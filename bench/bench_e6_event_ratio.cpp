@@ -1,0 +1,156 @@
+// Experiment E7 — the paper's conclusions:
+//
+// "the number of events that event-driven simulators have to evaluate is an
+//  order of magnitude higher compared to the system-level simulation in
+//  OPNET.  Thus, the integration of cycle-based simulation techniques is
+//  required."
+//
+// Table 1: events per cell at the three modeling levels — network simulator
+// (abstract), event-driven HDL kernel (delta cycles, activations, signal
+// updates), and the cycle-based engine.
+//
+// Table 2: event-driven vs cycle-based simulation of the *same* GCU
+// arbitration core (bit-identical behaviour, shared gcu_arbitrate), in
+// evaluated cycles per wall second.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/hw/atm_switch.hpp"
+#include "src/hw/cell_bits.hpp"
+#include "src/hw/gcu.hpp"
+#include "src/netsim/simulation.hpp"
+#include "src/traffic/processes.hpp"
+
+using namespace castanet;
+using bench::WallTimer;
+
+namespace {
+
+const SimTime kClk = clock_period_hz(20'000'000);
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCells = 400;
+
+  std::printf("E7: event ratio across modeling levels (paper conclusions)\n");
+  bench::rule('=');
+  std::printf("%-34s %10s %12s %14s\n", "level", "cells", "events",
+              "events/cell");
+  bench::rule();
+
+  // --- network level ----------------------------------------------------
+  {
+    netsim::Simulation net;
+    netsim::Node& env = net.add_node("env");
+    auto& gen = env.add_process<traffic::GeneratorProcess>(
+        "gen",
+        std::make_unique<traffic::CbrSource>(atm::VcId{1, 100}, 1,
+                                             SimTime::from_us(3)),
+        kCells);
+    auto& sink = env.add_process<traffic::SinkProcess>("sink");
+    sink.set_keep_log(false);
+    net.connect(gen, 0, sink, 0);
+    net.run();
+    std::printf("%-34s %10zu %12llu %14.1f\n",
+                "network simulator (abstract)", kCells,
+                static_cast<unsigned long long>(
+                    net.scheduler().events_executed()),
+                static_cast<double>(net.scheduler().events_executed()) /
+                    kCells);
+  }
+
+  // --- event-driven HDL level -------------------------------------------
+  {
+    rtl::Simulator hdl;
+    rtl::Signal clk(&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0));
+    rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
+    rtl::ClockGen clock(hdl, clk, kClk);
+    hw::AtmSwitch sw(hdl, "sw", clk, rst);
+    sw.install_route(0, {1, 100}, atm::Route{1, {2, 200}, {}});
+    hw::CellPortDriver drv(hdl, "drv", clk, sw.phys_in(0));
+    hw::CellPortMonitor mon(hdl, "mon", clk, sw.phys_out(1));
+    traffic::CbrSource src({1, 100}, 1, SimTime::from_us(3));
+    for (std::size_t i = 0; i < kCells; ++i) drv.enqueue(src.next().cell);
+    hdl.run_until(SimTime::from_us(3 * kCells + 100));
+    const auto& st = hdl.stats();
+    const std::uint64_t events =
+        st.process_activations + st.value_changes;
+    std::printf("%-34s %10zu %12llu %14.1f\n",
+                "event-driven HDL (RTL switch)", kCells,
+                static_cast<unsigned long long>(events),
+                static_cast<double>(events) / kCells);
+    std::printf("    (%llu activations, %llu signal changes, %llu deltas)\n",
+                static_cast<unsigned long long>(st.process_activations),
+                static_cast<unsigned long long>(st.value_changes),
+                static_cast<unsigned long long>(st.delta_cycles));
+  }
+
+  // --- cycle-based level ---------------------------------------------------
+  {
+    rtl::CycleEngine eng(kClk);
+    hw::GcuCycleModel gcu(4);
+    eng.add(gcu);
+    // One evaluation per clock: a cell occupies 53 clocks on the lane.
+    eng.run_cycles(kCells * 53);
+    std::printf("%-34s %10zu %12llu %14.1f\n", "cycle-based engine (GCU)",
+                kCells,
+                static_cast<unsigned long long>(eng.evaluations()),
+                static_cast<double>(eng.evaluations()) / kCells);
+  }
+  bench::rule();
+
+  // --- engine shoot-out on identical arbitration behaviour -----------------
+  std::printf("\nevent-driven vs cycle-based simulation of the same GCU "
+              "core\n");
+  bench::rule('=');
+  std::printf("%-34s %12s %10s %14s\n", "engine", "cycles", "wall s",
+              "cycles/s");
+  bench::rule();
+  constexpr std::uint64_t kCycles = 200'000;
+  double ev_cps = 0, cy_cps = 0;
+  {
+    rtl::Simulator hdl;
+    rtl::Signal clk(&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0));
+    rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
+    rtl::ClockGen clock(hdl, clk, kClk);
+    std::vector<hw::GlobalControlUnit::InputIf> ifs;
+    for (int p = 0; p < 4; ++p) {
+      const std::string nm = "i" + std::to_string(p);
+      hw::GlobalControlUnit::InputIf f;
+      f.req = rtl::Signal(&hdl, hdl.create_signal(nm, 1, rtl::Logic::L1));
+      f.dest =
+          rtl::Bus(&hdl, hdl.create_signal(nm + ".d", 4,
+                                           rtl::Logic::L0));
+      f.cell = rtl::Bus(&hdl, hdl.create_signal(nm + ".c", hw::kCellBits,
+                                                rtl::Logic::L0));
+      ifs.push_back(f);
+    }
+    hw::GlobalControlUnit gcu(hdl, "gcu", clk, rst, ifs);
+    WallTimer timer;
+    hdl.run_until(kClk * static_cast<std::int64_t>(kCycles));
+    const double wall = timer.seconds();
+    ev_cps = static_cast<double>(kCycles) / wall;
+    std::printf("%-34s %12llu %10.3f %14.0f\n", "event-driven kernel",
+                static_cast<unsigned long long>(kCycles), wall, ev_cps);
+  }
+  {
+    rtl::CycleEngine eng(kClk);
+    hw::GcuCycleModel gcu(4);
+    for (std::size_t p = 0; p < 4; ++p) {
+      gcu.in_req[p].req = true;
+      gcu.in_req[p].dest = 0;
+    }
+    eng.add(gcu);
+    WallTimer timer;
+    eng.run_cycles(kCycles);
+    const double wall = timer.seconds();
+    cy_cps = static_cast<double>(kCycles) / wall;
+    std::printf("%-34s %12llu %10.3f %14.0f\n", "cycle-based engine",
+                static_cast<unsigned long long>(kCycles), wall, cy_cps);
+  }
+  bench::rule();
+  std::printf("cycle-based speedup: %.1fx — the integration the paper calls "
+              "for\n", cy_cps / ev_cps);
+  return 0;
+}

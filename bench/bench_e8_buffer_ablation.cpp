@@ -1,0 +1,135 @@
+// Ablation — switch output-buffer dimensioning, abstract vs RTL.
+//
+// DESIGN.md's design-choice list: "there exists strong dependencies between
+// decisions at the system level and hardware costs of their actual
+// implementation" (§2) — buffer sizing is *the* canonical example.  The
+// same bursty traffic drives (a) the abstract single-server queue model in
+// the network simulator and (b) the RTL switch whose output FIFO depth is
+// the hardware cost knob.  Both must show the same shape: cell loss falls
+// steeply with buffer depth at a given utilisation, and the co-verification
+// environment is what lets a designer read both curves from one test bench.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/hw/atm_switch.hpp"
+#include "src/netsim/queue.hpp"
+#include "src/netsim/simulation.hpp"
+#include "src/traffic/processes.hpp"
+#include "src/traffic/trace.hpp"
+
+using namespace castanet;
+
+namespace {
+
+const SimTime kClk = clock_period_hz(20'000'000);
+const SimTime kCellTime = kClk * 53;  // output service time
+
+traffic::OnOffSource::Params bursty_params() {
+  traffic::OnOffSource::Params p;
+  p.peak_period = kCellTime;        // on: full link rate
+  p.mean_on_sec = 120e-6;           // ~45-cell bursts
+  p.mean_off_sec = 160e-6;          // duty ~0.43 per source, 2 sources
+  return p;
+}
+
+struct LossPoint {
+  std::uint64_t offered;
+  std::uint64_t lost;
+  double loss_rate() const {
+    return offered ? static_cast<double>(lost) / static_cast<double>(offered)
+                   : 0.0;
+  }
+};
+
+/// Abstract model: two bursty sources into one finite queue at cell rate.
+LossPoint run_abstract(std::size_t depth, std::size_t cells_per_source,
+                       std::uint64_t seed) {
+  netsim::Simulation sim(seed);
+  netsim::Node& n = sim.add_node("n");
+  netsim::QueueProcess::Config qc;
+  qc.service_time = kCellTime;
+  qc.capacity = depth;
+  auto& q = n.add_process<netsim::QueueProcess>("q", qc);
+  auto& sink = n.add_process<traffic::SinkProcess>("sink");
+  sink.set_keep_log(false);
+  sim.connect(q, 0, sink, 0);
+  for (int s = 0; s < 2; ++s) {
+    auto& gen = n.add_process<traffic::GeneratorProcess>(
+        "gen" + std::to_string(s),
+        std::make_unique<traffic::OnOffSource>(
+            atm::VcId{1, static_cast<std::uint16_t>(100 + s)},
+            static_cast<std::uint8_t>(s), bursty_params(),
+            Rng(seed * 17 + static_cast<std::uint64_t>(s))),
+        cells_per_source);
+    // A fresh intermediate stream per generator: the queue has one input
+    // stream, so multiplex through distinct in-stream indices.
+    sim.connect(gen, 0, q, 0);
+  }
+  sim.run();
+  return {q.arrivals(), q.drops()};
+}
+
+/// RTL: the same sources into switch inputs 0/1, both routed to output 0;
+/// the tx FIFO of port 0 with the swept depth is the loss point.  Cells are
+/// injected at their source times through scheduled callbacks so the burst
+/// gaps survive.
+LossPoint run_rtl_timed(std::size_t depth, std::size_t cells_per_source,
+                        std::uint64_t seed) {
+  rtl::Simulator hdl;
+  rtl::Signal clk(&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0));
+  rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
+  rtl::ClockGen clock(hdl, clk, kClk);
+  hw::AtmSwitch::Config cfg;
+  cfg.ports = 2;
+  cfg.port.tx_fifo_depth = depth;
+  cfg.port.rx_fifo_depth = 64;
+  hw::AtmSwitch sw(hdl, "sw", clk, rst, cfg);
+  std::vector<std::unique_ptr<hw::CellPortDriver>> drivers;
+  SimTime horizon = SimTime::zero();
+  std::uint64_t offered = 0;
+  for (int s = 0; s < 2; ++s) {
+    sw.install_route(static_cast<std::size_t>(s),
+                     {1, static_cast<std::uint16_t>(100 + s)},
+                     atm::Route{0, {2, static_cast<std::uint16_t>(200 + s)},
+                                {}});
+    drivers.push_back(std::make_unique<hw::CellPortDriver>(
+        hdl, "drv" + std::to_string(s), clk,
+        sw.phys_in(static_cast<std::size_t>(s))));
+    traffic::OnOffSource src(
+        atm::VcId{1, static_cast<std::uint16_t>(100 + s)},
+        static_cast<std::uint8_t>(s), bursty_params(),
+        Rng(seed * 17 + static_cast<std::uint64_t>(s)));
+    hw::CellPortDriver* drv = drivers.back().get();
+    for (std::size_t i = 0; i < cells_per_source; ++i) {
+      const traffic::CellArrival a = src.next();
+      hdl.schedule_callback(a.time, [drv, cell = a.cell] {
+        drv->enqueue(cell);
+      });
+      horizon = std::max(horizon, a.time);
+      ++offered;
+    }
+  }
+  hdl.run_until(horizon + kCellTime * 200);
+  return {offered, sw.port(0).tx_fifo().drops()};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCellsPerSource = 1500;
+  std::printf("Buffer-depth ablation: loss vs output FIFO depth "
+              "(2 bursty sources -> 1 output, utilisation ~0.86)\n");
+  bench::rule('=');
+  std::printf("%8s %16s %16s\n", "depth", "abstract loss", "RTL loss");
+  bench::rule();
+  for (std::size_t depth : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const LossPoint a = run_abstract(depth, kCellsPerSource, 5);
+    const LossPoint r = run_rtl_timed(depth, kCellsPerSource, 5);
+    std::printf("%8zu %15.2f%% %15.2f%%\n", depth, 100.0 * a.loss_rate(),
+                100.0 * r.loss_rate());
+  }
+  bench::rule();
+  std::printf("both curves must fall with depth; the system-level model\n"
+              "predicts the dimensioning the RTL confirms (Fig. 1's loop)\n");
+  return 0;
+}

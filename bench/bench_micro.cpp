@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the kernel primitives every
+// experiment builds on: event-list operations, delta cycles, HEC/CRC,
+// GCRA, cell codecs and board pin packing.
+#include <benchmark/benchmark.h>
+
+#include "src/atm/aal5.hpp"
+#include "src/atm/cell.hpp"
+#include "src/atm/gcra.hpp"
+#include "src/atm/hec.hpp"
+#include "src/board/config.hpp"
+#include "src/dsim/scheduler.hpp"
+#include "src/hw/cell_bits.hpp"
+#include "src/rtl/module.hpp"
+
+using namespace castanet;
+
+namespace {
+
+void BM_SchedulerScheduleExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(SimTime::from_ns(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleExecute);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler s;
+    std::vector<EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(s.schedule_at(SimTime::from_ns(i), [] {}));
+    }
+    for (const EventHandle& h : handles) s.cancel(h);
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_RtlClockCycle(benchmark::State& state) {
+  rtl::Simulator sim;
+  rtl::Signal clk(&sim, sim.create_signal("clk", 1, rtl::Logic::L0));
+  rtl::Bus count(&sim, sim.create_signal("count", 16, rtl::Logic::L0));
+  sim.add_process("counter", {clk.id()}, [&] {
+    if (sim.rose(clk.id())) {
+      count.write_uint((count.read_uint() + 1) & 0xFFFF);
+    }
+  });
+  rtl::ClockGen gen(sim, clk, SimTime::from_ns(50));
+  for (auto _ : state) {
+    sim.run_until(sim.now() + SimTime::from_ns(50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtlClockCycle);
+
+void BM_HecCompute(benchmark::State& state) {
+  std::uint8_t hdr[4] = {0x12, 0x34, 0x56, 0x78};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atm::compute_hec(hdr));
+    hdr[0] = static_cast<std::uint8_t>(hdr[0] + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HecCompute);
+
+void BM_HecCheckCorrect(benchmark::State& state) {
+  atm::Cell c;
+  c.header.vpi = 1;
+  c.header.vci = 100;
+  auto bytes = c.to_bytes();
+  int bit = 0;
+  for (auto _ : state) {
+    std::uint8_t hdr[5] = {bytes[0], bytes[1], bytes[2], bytes[3], bytes[4]};
+    hdr[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    benchmark::DoNotOptimize(atm::check_and_correct(hdr));
+    bit = (bit + 1) % 40;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HecCheckCorrect);
+
+void BM_Aal5Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> frame(1500, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atm::aal5_crc32(frame.data(), frame.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_Aal5Crc32);
+
+void BM_GcraConforms(benchmark::State& state) {
+  atm::Gcra g(SimTime::from_us(10), SimTime::from_us(3));
+  SimTime t;
+  for (auto _ : state) {
+    t += SimTime::from_us(10);
+    benchmark::DoNotOptimize(g.conforms(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GcraConforms);
+
+void BM_CellSerialize(benchmark::State& state) {
+  atm::Cell c;
+  c.header.vpi = 7;
+  c.header.vci = 777;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.to_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellSerialize);
+
+void BM_CellToBitsRoundTrip(benchmark::State& state) {
+  atm::Cell c;
+  c.header.vci = 42;
+  for (auto _ : state) {
+    const rtl::LogicVector v = hw::cell_to_bits(c);
+    benchmark::DoNotOptimize(hw::bits_to_cell(v, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellToBitsRoundTrip);
+
+void BM_LogicVectorResolve(benchmark::State& state) {
+  const rtl::LogicVector a(424, rtl::Logic::Z);
+  const rtl::LogicVector b(424, rtl::Logic::L1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolve(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogicVectorResolve);
+
+void BM_BoardPackUnpack(benchmark::State& state) {
+  const std::vector<board::LaneSlice> slices = {{0, 0, 8}, {1, 0, 8}};
+  std::uint8_t lanes[board::kByteLanes] = {};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    board::pack_slices(slices, v, lanes);
+    benchmark::DoNotOptimize(board::unpack_slices(slices, lanes));
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoardPackUnpack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Shared helpers for the experiment benches: wall-clock timing and table
+// printing.  Every bench_e* binary regenerates one element of the paper's
+// evaluation; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+namespace castanet::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void rule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace castanet::bench

@@ -1,0 +1,106 @@
+#include "src/atm/aal5.hpp"
+
+#include <array>
+
+#include "src/core/error.hpp"
+
+namespace castanet::atm {
+
+namespace {
+constexpr std::uint32_t kCrc32Poly = 0x04C11DB7;
+
+struct Crc32Table {
+  std::array<std::uint32_t, 256> t{};
+  constexpr Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i << 24;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc & 0x80000000u) ? (crc << 1) ^ kCrc32Poly : crc << 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+constexpr Crc32Table kCrcTable;
+
+constexpr std::size_t kTrailerBytes = 8;
+}  // namespace
+
+std::uint32_t aal5_crc32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = (crc << 8) ^ kCrcTable.t[(crc >> 24 ^ data[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<Cell> aal5_segment(const std::vector<std::uint8_t>& frame,
+                               VcId vc) {
+  if (frame.size() > 65535) {
+    throw ConfigError("aal5_segment: frame exceeds 65535 octets");
+  }
+  // CPCS-PDU = payload + pad + 8-octet trailer, a multiple of 48.
+  std::vector<std::uint8_t> pdu = frame;
+  const std::size_t unpadded = frame.size() + kTrailerBytes;
+  const std::size_t padded = (unpadded + 47) / 48 * 48;
+  pdu.resize(padded - kTrailerBytes, 0);
+  // Trailer: CPCS-UU(1) CPI(1) Length(2) CRC(4).
+  pdu.push_back(0);
+  pdu.push_back(0);
+  pdu.push_back(static_cast<std::uint8_t>(frame.size() >> 8));
+  pdu.push_back(static_cast<std::uint8_t>(frame.size() & 0xFF));
+  const std::uint32_t crc = aal5_crc32(pdu.data(), pdu.size());
+  pdu.push_back(static_cast<std::uint8_t>(crc >> 24));
+  pdu.push_back(static_cast<std::uint8_t>(crc >> 16));
+  pdu.push_back(static_cast<std::uint8_t>(crc >> 8));
+  pdu.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+
+  std::vector<Cell> cells;
+  cells.reserve(pdu.size() / kPayloadBytes);
+  for (std::size_t off = 0; off < pdu.size(); off += kPayloadBytes) {
+    Cell c;
+    c.header.vpi = vc.vpi;
+    c.header.vci = vc.vci;
+    const bool last = off + kPayloadBytes >= pdu.size();
+    c.header.pti = last ? 1 : 0;  // AAU bit marks end of CPCS-PDU
+    for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+      c.payload[i] = pdu[off + i];
+    }
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+std::optional<std::vector<std::uint8_t>> Aal5Reassembler::push(
+    const Cell& cell) {
+  buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
+  if ((cell.header.pti & 1) == 0) return std::nullopt;
+
+  std::vector<std::uint8_t> pdu = std::move(buffer_);
+  buffer_.clear();
+  if (pdu.size() < kTrailerBytes) {
+    ++length_errors_;
+    return std::nullopt;
+  }
+  const std::size_t n = pdu.size();
+  const std::uint32_t received_crc =
+      static_cast<std::uint32_t>(pdu[n - 4]) << 24 |
+      static_cast<std::uint32_t>(pdu[n - 3]) << 16 |
+      static_cast<std::uint32_t>(pdu[n - 2]) << 8 |
+      static_cast<std::uint32_t>(pdu[n - 1]);
+  if (aal5_crc32(pdu.data(), n - 4) != received_crc) {
+    ++crc_errors_;
+    return std::nullopt;
+  }
+  const std::size_t length = static_cast<std::size_t>(pdu[n - 6]) << 8 |
+                             static_cast<std::size_t>(pdu[n - 5]);
+  if (length > n - kTrailerBytes) {
+    ++length_errors_;
+    return std::nullopt;
+  }
+  ++frames_ok_;
+  pdu.resize(length);
+  return pdu;
+}
+
+}  // namespace castanet::atm

@@ -1,0 +1,49 @@
+// Minimal AAL5 (ITU-T I.363.5) segmentation and reassembly.
+//
+// The traffic models emit frame-sized bursts (e.g. MPEG frames); AAL5 turns
+// a frame into a cell train whose last cell is marked via PTI bit 0, with an
+// 8-octet trailer carrying the length and a CRC-32.  This is what makes the
+// "simulated real-world traces" stimuli of Fig. 1 produce realistic
+// back-to-back cell bursts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/atm/cell.hpp"
+#include "src/atm/connection.hpp"
+
+namespace castanet::atm {
+
+/// CRC-32 (IEEE 802.3 polynomial, as used by AAL5), bitwise MSB-first over
+/// the CPCS-PDU including padding and the first 4 trailer octets.
+std::uint32_t aal5_crc32(const std::uint8_t* data, std::size_t len);
+
+/// Segments `frame` into cells on connection `vc`.  The final cell has
+/// PTI = 1 (AAU: end of CPCS-PDU).  Throws ConfigError when the frame is
+/// larger than the AAL5 maximum (65535 octets).
+std::vector<Cell> aal5_segment(const std::vector<std::uint8_t>& frame,
+                               VcId vc);
+
+/// Streaming reassembler for a single connection.
+class Aal5Reassembler {
+ public:
+  /// Feeds the next cell of the connection.  Returns the reassembled frame
+  /// when this cell completes a CPCS-PDU whose CRC and length check out;
+  /// returns nullopt while a frame is in progress.  A CRC or length failure
+  /// discards the partial frame and increments error counters.
+  std::optional<std::vector<std::uint8_t>> push(const Cell& cell);
+
+  std::uint64_t frames_ok() const { return frames_ok_; }
+  std::uint64_t crc_errors() const { return crc_errors_; }
+  std::uint64_t length_errors() const { return length_errors_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t crc_errors_ = 0;
+  std::uint64_t length_errors_ = 0;
+};
+
+}  // namespace castanet::atm

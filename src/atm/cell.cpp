@@ -1,0 +1,102 @@
+#include "src/atm/cell.hpp"
+
+#include <cstdio>
+
+#include "src/atm/hec.hpp"
+#include "src/core/error.hpp"
+
+namespace castanet::atm {
+
+std::array<std::uint8_t, 4> Cell::header_bytes() const {
+  // UNI format (I.361):
+  //   octet 1: GFC(4) | VPI(7:4)
+  //   octet 2: VPI(3:0) | VCI(15:12)
+  //   octet 3: VCI(11:4)
+  //   octet 4: VCI(3:0) | PTI(3) | CLP(1)
+  std::array<std::uint8_t, 4> b{};
+  b[0] = static_cast<std::uint8_t>((header.gfc & 0x0F) << 4 |
+                                   (header.vpi >> 4 & 0x0F));
+  b[1] = static_cast<std::uint8_t>((header.vpi & 0x0F) << 4 |
+                                   (header.vci >> 12 & 0x0F));
+  b[2] = static_cast<std::uint8_t>(header.vci >> 4 & 0xFF);
+  b[3] = static_cast<std::uint8_t>((header.vci & 0x0F) << 4 |
+                                   (header.pti & 0x07) << 1 |
+                                   (header.clp ? 1 : 0));
+  return b;
+}
+
+std::array<std::uint8_t, kCellBytes> Cell::to_bytes() const {
+  require(header.gfc <= 0x0F, "Cell: GFC exceeds 4 bits");
+  require(header.vpi <= 0xFF, "Cell: VPI exceeds 8 bits (UNI)");
+  require(header.pti <= 0x07, "Cell: PTI exceeds 3 bits");
+  std::array<std::uint8_t, kCellBytes> out{};
+  const auto h = header_bytes();
+  for (std::size_t i = 0; i < 4; ++i) out[i] = h[i];
+  out[4] = compute_hec(h.data());
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    out[kHeaderBytes + i] = payload[i];
+  }
+  return out;
+}
+
+Cell Cell::from_bytes(const std::uint8_t* bytes, bool check_hec) {
+  if (check_hec) {
+    std::uint8_t h5[5] = {bytes[0], bytes[1], bytes[2], bytes[3], bytes[4]};
+    if (check_and_correct(h5) == HecResult::kUncorrectable) {
+      throw ProtocolError("Cell::from_bytes: uncorrectable HEC error");
+    }
+    // Parse the (possibly corrected) header.
+    Cell c;
+    c.header.gfc = static_cast<std::uint8_t>(h5[0] >> 4);
+    c.header.vpi = static_cast<std::uint16_t>((h5[0] & 0x0F) << 4 | h5[1] >> 4);
+    c.header.vci = static_cast<std::uint16_t>((h5[1] & 0x0F) << 12 |
+                                              h5[2] << 4 | h5[3] >> 4);
+    c.header.pti = static_cast<std::uint8_t>(h5[3] >> 1 & 0x07);
+    c.header.clp = (h5[3] & 1) != 0;
+    for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+      c.payload[i] = bytes[kHeaderBytes + i];
+    }
+    return c;
+  }
+  Cell c;
+  c.header.gfc = static_cast<std::uint8_t>(bytes[0] >> 4);
+  c.header.vpi =
+      static_cast<std::uint16_t>((bytes[0] & 0x0F) << 4 | bytes[1] >> 4);
+  c.header.vci = static_cast<std::uint16_t>((bytes[1] & 0x0F) << 12 |
+                                            bytes[2] << 4 | bytes[3] >> 4);
+  c.header.pti = static_cast<std::uint8_t>(bytes[3] >> 1 & 0x07);
+  c.header.clp = (bytes[3] & 1) != 0;
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    c.payload[i] = bytes[kHeaderBytes + i];
+  }
+  return c;
+}
+
+std::string Cell::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "cell{vpi=%u vci=%u pti=%u clp=%d payload[0..3]=%02x%02x%02x%02x}",
+                header.vpi, header.vci, header.pti, header.clp ? 1 : 0,
+                payload[0], payload[1], payload[2], payload[3]);
+  return buf;
+}
+
+Cell make_idle_cell() {
+  Cell c;
+  c.header = CellHeader{0, 0, 0, 0, true};
+  c.payload.fill(0x6A);
+  return c;
+}
+
+bool is_idle_cell(const Cell& c) {
+  return c.header.vpi == 0 && c.header.vci == 0 && c.header.pti == 0 &&
+         c.header.clp;
+}
+
+Cell make_unassigned_cell() {
+  Cell c;
+  c.header = CellHeader{0, 0, 0, 0, false};
+  return c;
+}
+
+}  // namespace castanet::atm

@@ -1,0 +1,58 @@
+// ATM cell model (ITU-T I.361): 53 octets = 5-octet header + 48-octet
+// payload.  This is the protocol data unit exchanged between the network
+// simulator and the hardware (Fig. 4 of the paper shows exactly this
+// struct-to-signal mapping).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace castanet::atm {
+
+constexpr std::size_t kHeaderBytes = 5;
+constexpr std::size_t kPayloadBytes = 48;
+constexpr std::size_t kCellBytes = kHeaderBytes + kPayloadBytes;  // 53
+
+/// UNI cell header fields.
+struct CellHeader {
+  std::uint8_t gfc = 0;   ///< generic flow control, 4 bits
+  std::uint16_t vpi = 0;  ///< virtual path identifier, 8 bits at the UNI
+  std::uint16_t vci = 0;  ///< virtual channel identifier, 16 bits
+  std::uint8_t pti = 0;   ///< payload type indicator, 3 bits
+  bool clp = false;       ///< cell loss priority
+
+  bool operator==(const CellHeader&) const = default;
+};
+
+/// A complete ATM cell.  `header` is kept decoded; `payload` raw.
+struct Cell {
+  CellHeader header;
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+
+  bool operator==(const Cell&) const = default;
+
+  /// Serializes to 53 octets including a freshly computed HEC octet.
+  std::array<std::uint8_t, kCellBytes> to_bytes() const;
+  /// Parses 53 octets.  If `check_hec` is set, throws ProtocolError on a HEC
+  /// mismatch (after attempting no correction — see hec.hpp for syndrome
+  /// handling).
+  static Cell from_bytes(const std::uint8_t* bytes, bool check_hec = true);
+
+  /// Encodes only the 4 header octets preceding the HEC.
+  std::array<std::uint8_t, 4> header_bytes() const;
+
+  std::string to_string() const;
+};
+
+/// The idle cell defined by ITU-T I.432: VPI=0, VCI=0, PTI=0, CLP=1,
+/// payload octets 0x6A.  Idle cells fill the link when no assigned cell is
+/// ready (§3.2 mentions the idle-cell periods that create the time-scale
+/// gap).
+Cell make_idle_cell();
+bool is_idle_cell(const Cell& c);
+
+/// An unassigned cell (all-zero header, CLP=0 per I.361).
+Cell make_unassigned_cell();
+
+}  // namespace castanet::atm

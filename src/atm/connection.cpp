@@ -1,0 +1,19 @@
+#include "src/atm/connection.hpp"
+
+namespace castanet::atm {
+
+void ConnectionTable::install(VcId in, Route route) { table_[in] = route; }
+
+bool ConnectionTable::remove(VcId in) { return table_.erase(in) > 0; }
+
+std::optional<Route> ConnectionTable::lookup(VcId in) const {
+  auto it = table_.find(in);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<VcId, Route>> ConnectionTable::entries() const {
+  return {table_.begin(), table_.end()};
+}
+
+}  // namespace castanet::atm

@@ -1,0 +1,70 @@
+// Virtual connection identification and translation tables.
+//
+// An ATM switch forwards cells by looking up (input port, VPI, VCI) and
+// rewriting the header with the outgoing (VPI, VCI) while routing to an
+// output port.  Both the RTL header-translation hardware and its reference
+// model share this table type so that discrepancies are attributable to the
+// implementation, not to divergent configuration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dsim/time.hpp"
+
+namespace castanet::atm {
+
+/// Identifies a virtual connection on a link.
+struct VcId {
+  std::uint16_t vpi = 0;
+  std::uint16_t vci = 0;
+  bool operator==(const VcId&) const = default;
+};
+
+struct VcIdHash {
+  std::size_t operator()(const VcId& id) const {
+    return std::hash<std::uint32_t>()(
+        static_cast<std::uint32_t>(id.vpi) << 16 | id.vci);
+  }
+};
+
+/// Traffic contract parameters for a connection (used by policing and by
+/// the accounting unit's tariff selection).
+struct TrafficContract {
+  SimTime pcr_increment = SimTime::zero();  ///< 1/PCR; zero = unpoliced
+  SimTime pcr_limit = SimTime::zero();      ///< CDV tolerance
+  SimTime scr_increment = SimTime::zero();  ///< 1/SCR; zero = single bucket
+  SimTime scr_limit = SimTime::zero();      ///< burst tolerance
+  std::uint8_t tariff_class = 0;            ///< accounting tariff index
+};
+
+/// One translation entry.
+struct Route {
+  std::uint8_t out_port = 0;
+  VcId out_vc;
+  TrafficContract contract;
+};
+
+/// Per-input-port translation table: (VPI, VCI) -> Route.
+class ConnectionTable {
+ public:
+  /// Installs a route; replaces any existing entry for `in`.
+  void install(VcId in, Route route);
+  /// Removes a route; returns false when absent.
+  bool remove(VcId in);
+  /// Looks up a route; nullopt for unknown connections (cell is discarded
+  /// and counted as misinserted by the caller).
+  std::optional<Route> lookup(VcId in) const;
+
+  std::size_t size() const { return table_.size(); }
+  /// Enumerates entries in unspecified order.
+  std::vector<std::pair<VcId, Route>> entries() const;
+
+ private:
+  std::unordered_map<VcId, Route, VcIdHash> table_;
+};
+
+}  // namespace castanet::atm

@@ -1,0 +1,50 @@
+#include "src/atm/gcra.hpp"
+
+namespace castanet::atm {
+
+bool Gcra::conforms(SimTime t) {
+  if (first_) {
+    first_ = false;
+    tat_ = t + increment_;
+    ++conforming_;
+    return true;
+  }
+  if (t < tat_ - limit_) {
+    // Arrived too early beyond the CDV tolerance: non-conforming.
+    ++nonconforming_;
+    return false;
+  }
+  tat_ = (t > tat_ ? t : tat_) + increment_;
+  ++conforming_;
+  return true;
+}
+
+void Gcra::reset() {
+  tat_ = SimTime::zero();
+  first_ = true;
+  conforming_ = 0;
+  nonconforming_ = 0;
+}
+
+bool DualGcra::conforms(SimTime t) {
+  // Evaluate both buckets' conformance before updating either, so a cell
+  // rejected by one bucket does not consume credit in the other.
+  const bool pcr_ok =
+      pcr_.conforming_count() + pcr_.nonconforming_count() == 0 ||
+      !(t < pcr_.tat() - pcr_.limit());
+  const bool scr_ok =
+      scr_.conforming_count() + scr_.nonconforming_count() == 0 ||
+      !(t < scr_.tat() - scr_.limit());
+  if (pcr_ok && scr_ok) {
+    pcr_.conforms(t);
+    scr_.conforms(t);
+    return true;
+  }
+  // Record the violation on whichever bucket failed (for statistics) without
+  // advancing the TATs.
+  if (!pcr_ok) pcr_.conforms(t);
+  if (!scr_ok) scr_.conforms(t);
+  return false;
+}
+
+}  // namespace castanet::atm

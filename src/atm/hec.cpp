@@ -1,0 +1,69 @@
+#include "src/atm/hec.hpp"
+
+#include <array>
+
+namespace castanet::atm {
+
+namespace {
+constexpr std::uint8_t kPoly = 0x07;  // x^8 + x^2 + x + 1 (x^8 implicit)
+constexpr std::uint8_t kCoset = 0x55;
+
+struct Crc8Table {
+  std::array<std::uint8_t, 256> t{};
+  constexpr Crc8Table() {
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t crc = static_cast<std::uint8_t>(i);
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ kPoly)
+                           : static_cast<std::uint8_t>(crc << 1);
+      }
+      t[static_cast<std::size_t>(i)] = crc;
+    }
+  }
+};
+constexpr Crc8Table kTable;
+}  // namespace
+
+std::uint8_t crc8(const std::uint8_t* data, std::size_t len) {
+  std::uint8_t crc = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable.t[static_cast<std::uint8_t>(crc ^ data[i])];
+  }
+  return crc;
+}
+
+std::uint8_t compute_hec(const std::uint8_t header4[4]) {
+  return static_cast<std::uint8_t>(crc8(header4, 4) ^ kCoset);
+}
+
+HecResult check_and_correct(std::uint8_t header5[5]) {
+  // Syndrome: recompute CRC over the 4 octets and compare with the received
+  // HEC (after removing the coset).
+  const std::uint8_t expected = crc8(header5, 4);
+  const std::uint8_t received = static_cast<std::uint8_t>(header5[4] ^ kCoset);
+  const std::uint8_t syndrome = static_cast<std::uint8_t>(expected ^ received);
+  if (syndrome == 0) return HecResult::kOk;
+
+  // A single-bit error in header octet i, bit b produces the syndrome equal
+  // to the CRC of that unit-weight pattern; a single-bit error in the HEC
+  // octet itself produces a unit-weight syndrome.  Search the 40 patterns.
+  for (int byte = 0; byte < 4; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::uint8_t pattern[4] = {0, 0, 0, 0};
+      pattern[byte] = static_cast<std::uint8_t>(1u << bit);
+      if (crc8(pattern, 4) == syndrome) {
+        header5[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        return HecResult::kCorrected;
+      }
+    }
+  }
+  for (int bit = 0; bit < 8; ++bit) {
+    if (syndrome == (1u << bit)) {
+      header5[4] ^= static_cast<std::uint8_t>(1u << bit);
+      return HecResult::kCorrected;
+    }
+  }
+  return HecResult::kUncorrectable;
+}
+
+}  // namespace castanet::atm

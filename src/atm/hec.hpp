@@ -1,0 +1,30 @@
+// Header error control (ITU-T I.432): CRC-8 with generator polynomial
+// x^8 + x^2 + x + 1 over the first four header octets, XORed with the coset
+// leader 0x55.  The receiver can correct single-bit header errors via the
+// error syndrome, which the RTL cell receiver and its reference model both
+// implement.
+#pragma once
+
+#include <cstdint>
+
+namespace castanet::atm {
+
+/// CRC-8 (poly 0x07) over `len` bytes, without the coset XOR.
+std::uint8_t crc8(const std::uint8_t* data, std::size_t len);
+
+/// The HEC octet for the four given header octets (CRC-8 ^ 0x55).
+std::uint8_t compute_hec(const std::uint8_t header4[4]);
+
+enum class HecResult {
+  kOk,            ///< syndrome zero: header accepted
+  kCorrected,     ///< single-bit error corrected in place
+  kUncorrectable  ///< multi-bit error: cell must be discarded
+};
+
+/// Checks (and possibly repairs) a 5-octet header in place, implementing the
+/// I.432 correction-mode receiver: a zero syndrome passes, a syndrome
+/// matching a single-bit error pattern is corrected, anything else is
+/// uncorrectable.
+HecResult check_and_correct(std::uint8_t header5[5]);
+
+}  // namespace castanet::atm

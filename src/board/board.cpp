@@ -1,0 +1,178 @@
+#include "src/board/board.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::board {
+
+HardwareTestBoard::HardwareTestBoard(ScsiChannel::Params scsi)
+    : scsi_(scsi) {}
+
+void HardwareTestBoard::configure(const ConfigDataSet& cfg) {
+  cfg.validate();
+  cfg_ = cfg;
+  configured_ = true;
+  stimulus_.clear();
+  ctrl_stimulus_.clear();
+  captures_.clear();
+  // Uploading the configuration data set costs a (small) SCSI transfer.
+  const std::uint64_t cfg_bytes =
+      16 * (cfg.inports.size() + cfg.outports.size() + cfg.ctrlports.size() +
+            cfg.ioports.size());
+  scsi_.transfer(cfg_bytes);
+}
+
+void HardwareTestBoard::load_stimulus(unsigned inport,
+                                      std::vector<std::uint64_t> values) {
+  require(configured_, "board: configure() before load_stimulus()");
+  const bool known = std::any_of(
+      cfg_.inports.begin(), cfg_.inports.end(),
+      [&](const InportMapping& m) { return m.inport == inport; });
+  if (!known) {
+    throw ConfigError("load_stimulus: inport " + std::to_string(inport) +
+                      " not in configuration data set");
+  }
+  if (values.size() > kMaxTestCycle) {
+    throw ConfigError("load_stimulus: exceeds vector memory depth");
+  }
+  stimulus_[inport] = std::move(values);
+}
+
+void HardwareTestBoard::load_ctrl(unsigned ctrlport,
+                                  std::vector<std::uint64_t> values) {
+  require(configured_, "board: configure() before load_ctrl()");
+  const bool known = std::any_of(
+      cfg_.ctrlports.begin(), cfg_.ctrlports.end(),
+      [&](const CtrlportMapping& m) { return m.ctrlport == ctrlport; });
+  if (!known) {
+    throw ConfigError("load_ctrl: ctrlport " + std::to_string(ctrlport) +
+                      " not in configuration data set");
+  }
+  if (values.size() > kMaxTestCycle) {
+    throw ConfigError("load_ctrl: exceeds vector memory depth");
+  }
+  ctrl_stimulus_[ctrlport] = std::move(values);
+}
+
+std::uint64_t HardwareTestBoard::stimulus_length() const {
+  std::uint64_t n = 0;
+  for (const auto& [port, v] : stimulus_) {
+    n = std::max<std::uint64_t>(n, v.size());
+  }
+  for (const auto& [port, v] : ctrl_stimulus_) {
+    n = std::max<std::uint64_t>(n, v.size());
+  }
+  return n;
+}
+
+HardwareTestBoard::RunStats HardwareTestBoard::run_test_cycle(
+    BehavioralDut& dut, std::uint64_t duration, std::uint64_t clock_hz) {
+  require(configured_, "board: configure() before run_test_cycle()");
+  if (clock_hz == 0 || clock_hz > kMaxBoardClockHz) {
+    throw ConfigError("board: clock beyond the 20 MHz board maximum");
+  }
+  if (duration == 0) duration = stimulus_length();
+  if (duration == 0 || duration > kMaxTestCycle) {
+    throw ConfigError("board: test cycle duration must be in 1.." +
+                      std::to_string(kMaxTestCycle));
+  }
+  require(dut.num_inputs() >= cfg_.inports.size() &&
+              dut.num_outputs() >= cfg_.outports.size(),
+          "board: DUT has fewer ports than the configuration maps");
+
+  RunStats stats;
+  stats.cycles = duration;
+
+  // --- software activity: store stimuli into the board memories ----------
+  std::uint64_t stim_bytes = 0;
+  for (const auto& [port, v] : stimulus_) stim_bytes += v.size() * 8;
+  for (const auto& [port, v] : ctrl_stimulus_) stim_bytes += v.size() * 8;
+  stats.sw_time += scsi_.transfer(stim_bytes);
+
+  // Indexed views of the mappings.
+  std::unordered_map<unsigned, const IoPortMapping*> io_by_inport;
+  std::unordered_map<unsigned, const IoPortMapping*> io_by_outport;
+  for (const IoPortMapping& m : cfg_.ioports) {
+    io_by_inport[m.inport] = &m;
+    io_by_outport[m.outport] = &m;
+  }
+  auto ctrl_value = [&](unsigned ctrlport, std::uint64_t cycle) {
+    auto it = ctrl_stimulus_.find(ctrlport);
+    if (it != ctrl_stimulus_.end() && cycle < it->second.size()) {
+      return it->second[cycle];
+    }
+    for (const CtrlportMapping& m : cfg_.ctrlports) {
+      if (m.ctrlport == ctrlport) return m.write_value;
+    }
+    return std::uint64_t{0};
+  };
+
+  for (auto& [port, cap] : captures_) {
+    cap.values.clear();
+    cap.enabled.clear();
+  }
+  for (const OutportMapping& m : cfg_.outports) {
+    captures_[m.outport].values.reserve(duration);
+    captures_[m.outport].enabled.reserve(duration);
+  }
+
+  // --- hardware activity: real-time replay -------------------------------
+  const std::uint64_t dut_hz = clock_hz / cfg_.gating_factor;
+  if (auto* rtl_dut = dynamic_cast<RtlDutAdapter*>(&dut)) {
+    rtl_dut->set_actual_hz(dut_hz);
+  }
+  std::vector<std::uint64_t> in_vals(dut.num_inputs(), 0);
+  std::vector<bool> in_en(dut.num_inputs(), true);
+  std::vector<std::uint64_t> out_vals;
+  std::vector<bool> out_en;
+  for (std::uint64_t c = 0; c < duration; ++c) {
+    for (const InportMapping& m : cfg_.inports) {
+      auto it = stimulus_.find(m.inport);
+      const std::uint64_t v =
+          (it != stimulus_.end() && c < it->second.size()) ? it->second[c] : 0;
+      in_vals[m.inport] = v;
+      bool enable = true;
+      if (auto io = io_by_inport.find(m.inport); io != io_by_inport.end()) {
+        // Tester releases the shared bus while the DUT drives it.
+        enable = ctrl_value(io->second->ctrlport, c) !=
+                 io->second->dut_drives_value;
+      }
+      in_en[m.inport] = enable;
+    }
+    dut.cycle(in_vals, in_en, out_vals, out_en);
+    for (const OutportMapping& m : cfg_.outports) {
+      bool capture_enabled = m.outport < out_en.size() && out_en[m.outport];
+      if (auto io = io_by_outport.find(m.outport); io != io_by_outport.end()) {
+        if (ctrl_value(io->second->ctrlport, c) !=
+            io->second->dut_drives_value) {
+          capture_enabled = false;  // tester-drive phase: nothing to capture
+        }
+      }
+      captures_[m.outport].values.push_back(
+          m.outport < out_vals.size() ? out_vals[m.outport] : 0);
+      captures_[m.outport].enabled.push_back(capture_enabled);
+    }
+  }
+  stats.hw_time = SimTime::from_ps(static_cast<std::int64_t>(
+      static_cast<double>(duration) / static_cast<double>(dut_hz) * 1e12));
+
+  // --- software activity: read responses back ----------------------------
+  const std::uint64_t resp_bytes = duration * 8 * cfg_.outports.size();
+  stats.sw_time += scsi_.transfer(resp_bytes);
+
+  ++test_cycles_run_;
+  return stats;
+}
+
+const HardwareTestBoard::Capture& HardwareTestBoard::response(
+    unsigned outport) const {
+  auto it = captures_.find(outport);
+  if (it == captures_.end()) {
+    throw LogicError("board: no capture for outport " +
+                     std::to_string(outport));
+  }
+  return it->second;
+}
+
+}  // namespace castanet::board

@@ -1,0 +1,91 @@
+#include "src/board/dut.hpp"
+
+#include "src/core/error.hpp"
+
+namespace castanet::board {
+
+RtlDutAdapter::RtlDutAdapter() : sim_(std::make_unique<rtl::Simulator>()) {}
+RtlDutAdapter::~RtlDutAdapter() = default;
+
+void RtlDutAdapter::add_input(rtl::Bus bus) {
+  require(bus.valid(), "RtlDutAdapter::add_input: invalid bus");
+  inputs_.push_back(bus);
+}
+
+void RtlDutAdapter::add_output(rtl::Bus bus) {
+  require(bus.valid(), "RtlDutAdapter::add_output: invalid bus");
+  outputs_.push_back(bus);
+}
+
+void RtlDutAdapter::set_max_safe_hz(std::uint64_t hz,
+                                    std::uint64_t fault_period) {
+  require(fault_period > 0, "RtlDutAdapter: fault period must be > 0");
+  max_safe_hz_ = hz;
+  fault_period_ = fault_period;
+}
+
+void RtlDutAdapter::step_clock() {
+  // Two half-periods per cycle; the concrete period only spaces events on
+  // the adapter's private time axis.
+  clk_.write(rtl::Logic::L1);
+  sim_->run_until(sim_->now() + SimTime::from_ps(period_.ps() / 2));
+  clk_.write(rtl::Logic::L0);
+  sim_->run_until(sim_->now() + SimTime::from_ps(period_.ps() / 2));
+}
+
+void RtlDutAdapter::reset() {
+  require(clk_.valid(), "RtlDutAdapter: clock not set");
+  if (rst_.valid()) {
+    rst_.write(rtl::Logic::L1);
+    step_clock();
+    step_clock();
+    rst_.write(rtl::Logic::L0);
+    step_clock();
+  }
+  cycle_count_ = 0;
+  timing_violations_ = 0;
+}
+
+void RtlDutAdapter::cycle(const std::vector<std::uint64_t>& inputs,
+                          const std::vector<bool>& input_enable,
+                          std::vector<std::uint64_t>& outputs,
+                          std::vector<bool>& output_enable) {
+  require(inputs.size() == inputs_.size() &&
+              input_enable.size() == inputs_.size(),
+          "RtlDutAdapter::cycle: input count mismatch");
+  ++cycle_count_;
+
+  const bool violate = max_safe_hz_ != 0 && actual_hz_ > max_safe_hz_ &&
+                       cycle_count_ % fault_period_ == 0;
+  if (violate) {
+    // Setup violation: the input registers miss this cycle's new values and
+    // keep sampling the previous ones — inputs are simply not applied.
+    ++timing_violations_;
+  } else {
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      if (input_enable[i]) {
+        inputs_[i].write_uint(inputs[i]);
+      } else {
+        inputs_[i].release();
+      }
+    }
+  }
+  step_clock();
+
+  outputs.resize(outputs_.size());
+  output_enable.assign(outputs_.size(), true);
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    const rtl::LogicVector& v = outputs_[o].read();
+    bool all_z = true;
+    std::uint64_t value = 0;
+    for (std::size_t b = 0; b < v.width(); ++b) {
+      const rtl::Logic bit = v.bit(b);
+      if (bit != rtl::Logic::Z) all_z = false;
+      if (rtl::to_bool(bit)) value |= std::uint64_t{1} << b;
+    }
+    outputs[o] = value;
+    output_enable[o] = !all_z;
+  }
+}
+
+}  // namespace castanet::board

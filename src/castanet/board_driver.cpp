@@ -1,0 +1,172 @@
+#include "src/castanet/board_driver.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+#include "src/hw/cell_port.hpp"
+
+namespace castanet::cosim {
+
+board::ConfigDataSet make_cell_stream_config(unsigned gating_factor) {
+  using namespace castanet::board;
+  ConfigDataSet cfg;
+  cfg.gating_factor = gating_factor;
+  cfg.inports.push_back({CellStreamPorts::kDataIn, 8, {{0, 0, 8}}});
+  cfg.inports.push_back({CellStreamPorts::kSyncIn, 1, {{1, 0, 1}}});
+  cfg.inports.push_back({CellStreamPorts::kValidIn, 1, {{1, 1, 1}}});
+  cfg.inports.push_back({CellStreamPorts::kAddr, 8, {{2, 0, 8}}});
+  cfg.inports.push_back(
+      {CellStreamPorts::kBusIn, 16, {{3, 0, 8}, {4, 0, 8}}});
+  cfg.inports.push_back({CellStreamPorts::kCs, 1, {{5, 0, 1}}});
+  cfg.inports.push_back({CellStreamPorts::kRw, 1, {{5, 1, 1}}});
+  cfg.outports.push_back(
+      {CellStreamPorts::kBusOut, 16, {{6, 0, 8}, {7, 0, 8}}});
+  cfg.ctrlports.push_back({CellStreamPorts::kBusDir, 1, {{5, 2, 1}}, 0});
+  cfg.ioports.push_back({CellStreamPorts::kBusIn, CellStreamPorts::kBusOut,
+                         CellStreamPorts::kBusDir, 16, 1});
+  return cfg;
+}
+
+AccountingBoardDut build_accounting_dut(std::size_t max_connections,
+                                        std::uint64_t max_safe_hz) {
+  AccountingBoardDut dut;
+  dut.adapter = std::make_unique<board::RtlDutAdapter>();
+  rtl::Simulator& sim = dut.adapter->sim();
+
+  rtl::Signal clk(&sim, sim.create_signal("clk", 1, rtl::Logic::L0));
+  rtl::Signal rst(&sim, sim.create_signal("rst", 1, rtl::Logic::L0));
+  hw::CellPort snoop = hw::make_cell_port(sim, "snoop");
+
+  auto& unit = dut.adapter->own(std::make_unique<hw::AccountingUnit>(
+      sim, "acct", clk, rst, snoop, max_connections));
+  dut.unit = &unit;
+
+  dut.adapter->set_clock(clk);
+  dut.adapter->set_reset(rst);
+  if (max_safe_hz != 0) dut.adapter->set_max_safe_hz(max_safe_hz);
+
+  dut.adapter->add_input(rtl::Bus(&sim, snoop.data.id()));   // 0
+  dut.adapter->add_input(rtl::Bus(&sim, snoop.sync.id()));   // 1
+  dut.adapter->add_input(rtl::Bus(&sim, snoop.valid.id()));  // 2
+  dut.adapter->add_input(rtl::Bus(&sim, unit.addr.id()));    // 3
+  dut.adapter->add_input(rtl::Bus(&sim, unit.data.id()));    // 4
+  dut.adapter->add_input(rtl::Bus(&sim, unit.cs.id()));      // 5
+  dut.adapter->add_input(rtl::Bus(&sim, unit.rw.id()));      // 6
+  dut.adapter->add_output(rtl::Bus(&sim, unit.data.id()));   // 0
+
+  return dut;
+}
+
+BoardCellStream::BoardCellStream(board::HardwareTestBoard& board, Params p)
+    : board_(board), p_(p) {
+  require(p.test_cycle_len >= atm::kCellBytes,
+          "BoardCellStream: test cycle shorter than one cell");
+}
+
+BoardCellStream::Result BoardCellStream::run(
+    board::BehavioralDut& dut,
+    const std::vector<traffic::CellArrival>& cells) {
+  Result result;
+  if (cells.empty()) return result;
+
+  // Real-time mapping: a cell arriving at simulated time t occupies 53
+  // consecutive board cycles starting at cycle round(t * f).  Overlapping
+  // cells (arrivals closer than a cell time) are serialized back-to-back,
+  // as a physical link would.
+  const double f = static_cast<double>(p_.clock_hz);
+  std::vector<std::uint64_t> data, sync, valid;
+  std::uint64_t cursor = 0;
+  for (const traffic::CellArrival& a : cells) {
+    auto start = static_cast<std::uint64_t>(a.time.seconds() * f + 0.5);
+    start = std::max(start, cursor);
+    if (data.size() < start + atm::kCellBytes) {
+      data.resize(start + atm::kCellBytes, 0);
+      sync.resize(start + atm::kCellBytes, 0);
+      valid.resize(start + atm::kCellBytes, 0);
+    }
+    const auto bytes = a.cell.to_bytes();
+    for (std::size_t j = 0; j < atm::kCellBytes; ++j) {
+      data[start + j] = bytes[j];
+      sync[start + j] = j == 0 ? 1 : 0;
+      valid[start + j] = 1;
+    }
+    cursor = start + atm::kCellBytes;
+  }
+  // Trailing flush cycles so pipeline stages (receiver -> counter) observe
+  // the last cell's strobes before the final hardware activity cycle ends.
+  constexpr std::size_t kFlushCycles = 4;
+  data.resize(data.size() + kFlushCycles, 0);
+  sync.resize(sync.size() + kFlushCycles, 0);
+  valid.resize(valid.size() + kFlushCycles, 0);
+
+  // Chunk into hardware test cycles and run each: SW store -> HW run -> SW
+  // readback, repeated "until the simulation is finished" (§3.3).
+  for (std::uint64_t off = 0; off < data.size(); off += p_.test_cycle_len) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(p_.test_cycle_len, data.size() - off);
+    auto slice = [&](const std::vector<std::uint64_t>& v) {
+      return std::vector<std::uint64_t>(
+          v.begin() + static_cast<std::ptrdiff_t>(off),
+          v.begin() + static_cast<std::ptrdiff_t>(off + n));
+    };
+    board_.load_stimulus(CellStreamPorts::kDataIn, slice(data));
+    board_.load_stimulus(CellStreamPorts::kSyncIn, slice(sync));
+    board_.load_stimulus(CellStreamPorts::kValidIn, slice(valid));
+    const auto stats = board_.run_test_cycle(dut, n, p_.clock_hz);
+    result.totals.cycles += stats.cycles;
+    result.totals.sw_time += stats.sw_time;
+    result.totals.hw_time += stats.hw_time;
+    ++result.test_cycles;
+  }
+  if (auto* rtl_dut = dynamic_cast<board::RtlDutAdapter*>(&dut)) {
+    result.timing_violations = rtl_dut->timing_violations();
+  }
+  return result;
+}
+
+namespace {
+/// Clears the cell-lane and bus stimulus so a bus transaction cycle does
+/// not replay stale cells.
+void load_idle_lanes(board::HardwareTestBoard& board, std::size_t n) {
+  const std::vector<std::uint64_t> zeros(n, 0);
+  board.load_stimulus(CellStreamPorts::kDataIn, zeros);
+  board.load_stimulus(CellStreamPorts::kSyncIn, zeros);
+  board.load_stimulus(CellStreamPorts::kValidIn, zeros);
+}
+}  // namespace
+
+void board_bus_write(board::HardwareTestBoard& board,
+                     board::BehavioralDut& dut, std::uint8_t addr,
+                     std::uint16_t value, std::uint64_t clock_hz) {
+  constexpr std::size_t n = 4;
+  load_idle_lanes(board, n);
+  board.load_stimulus(CellStreamPorts::kAddr, {addr, addr, 0, 0});
+  board.load_stimulus(CellStreamPorts::kBusIn, {value, value, 0, 0});
+  board.load_stimulus(CellStreamPorts::kCs, {1, 0, 0, 0});
+  board.load_stimulus(CellStreamPorts::kRw, {0, 1, 1, 1});
+  board.load_ctrl(CellStreamPorts::kBusDir, {0, 0, 0, 0});  // tester drives
+  board.run_test_cycle(dut, n, clock_hz);
+}
+
+std::uint16_t board_bus_read(board::HardwareTestBoard& board,
+                             board::BehavioralDut& dut, std::uint8_t addr,
+                             std::uint64_t clock_hz) {
+  constexpr std::size_t n = 6;
+  load_idle_lanes(board, n);
+  board.load_stimulus(CellStreamPorts::kAddr,
+                      {addr, addr, addr, addr, 0, 0});
+  board.load_stimulus(CellStreamPorts::kBusIn, {0, 0, 0, 0, 0, 0});
+  board.load_stimulus(CellStreamPorts::kCs, {1, 1, 1, 1, 0, 0});
+  board.load_stimulus(CellStreamPorts::kRw, {1, 1, 1, 1, 1, 1});
+  // DUT drives the bus for the whole select phase.
+  board.load_ctrl(CellStreamPorts::kBusDir, {1, 1, 1, 1, 1, 0});
+  board.run_test_cycle(dut, n, clock_hz);
+  const auto& cap = board.response(CellStreamPorts::kBusOut);
+  // Take the last cycle where the DUT actually drove the bus.
+  for (std::size_t c = cap.values.size(); c-- > 0;) {
+    if (cap.enabled[c]) return static_cast<std::uint16_t>(cap.values[c]);
+  }
+  throw ProtocolError("board_bus_read: DUT never drove the data bus");
+}
+
+}  // namespace castanet::cosim

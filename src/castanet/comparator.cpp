@@ -1,0 +1,83 @@
+#include "src/castanet/comparator.hpp"
+
+#include <sstream>
+
+namespace castanet::cosim {
+
+void ResponseComparator::expect(const atm::Cell& c) {
+  outstanding_[{c.header.vpi, c.header.vci}].push_back(c);
+  ++expected_count_;
+}
+
+void ResponseComparator::actual(const atm::Cell& c) {
+  ++actual_count_;
+  const atm::VcId vc{c.header.vpi, c.header.vci};
+  const std::uint64_t index = slot_[vc]++;
+  auto it = outstanding_.find(vc);
+  if (it == outstanding_.end() || it->second.empty()) {
+    mismatches_.push_back(
+        {Mismatch::Kind::kExtra, vc, index,
+         "unexpected DUT cell " + c.to_string()});
+    return;
+  }
+  const atm::Cell want = it->second.front();
+  it->second.pop_front();
+  bool ok = true;
+  if (!(want.header == c.header)) {
+    std::ostringstream os;
+    os << "header mismatch: expected " << want.to_string() << " got "
+       << c.to_string();
+    mismatches_.push_back({Mismatch::Kind::kHeader, vc, index, os.str()});
+    ok = false;
+  }
+  if (want.payload != c.payload) {
+    std::size_t first_diff = 0;
+    while (first_diff < atm::kPayloadBytes &&
+           want.payload[first_diff] == c.payload[first_diff]) {
+      ++first_diff;
+    }
+    mismatches_.push_back(
+        {Mismatch::Kind::kPayload, vc, index,
+         "payload differs from octet " + std::to_string(first_diff)});
+    ok = false;
+  }
+  if (ok) ++matched_;
+}
+
+void ResponseComparator::compare_value(std::uint64_t id,
+                                       std::uint64_t expected,
+                                       std::uint64_t got,
+                                       const std::string& what) {
+  if (expected == got) {
+    ++matched_;
+    return;
+  }
+  std::ostringstream os;
+  os << what << ": expected " << expected << " got " << got;
+  mismatches_.push_back({Mismatch::Kind::kValue, {}, id, os.str()});
+}
+
+void ResponseComparator::finish() {
+  for (auto& [vc, q] : outstanding_) {
+    while (!q.empty()) {
+      mismatches_.push_back({Mismatch::Kind::kMissing, vc, slot_[vc]++,
+                             "reference cell never produced by DUT: " +
+                                 q.front().to_string()});
+      q.pop_front();
+    }
+  }
+}
+
+std::string ResponseComparator::report() const {
+  std::ostringstream os;
+  os << "compared " << actual_count_ << " DUT cells against "
+     << expected_count_ << " reference cells: " << matched_ << " matched, "
+     << mismatches_.size() << " mismatches\n";
+  for (const Mismatch& m : mismatches_) {
+    os << "  [vc " << m.vc.vpi << "/" << m.vc.vci << " #" << m.index << "] "
+       << m.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace castanet::cosim

@@ -1,0 +1,72 @@
+// The "=?" of Fig. 1: comparing DUT responses against the algorithm
+// reference model at the system level.
+//
+// ATM guarantees cell order within a virtual connection, so the comparator
+// matches per-VC FIFO streams: each actual (DUT) cell is checked against the
+// oldest outstanding expected (reference) cell of the same VC.  Header and
+// payload are compared separately so a translation bug and a datapath bug
+// produce distinguishable reports.  Scalar register comparisons (for the
+// accounting case study) use expect_value/actual_value pairs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atm/cell.hpp"
+#include "src/atm/connection.hpp"
+#include "src/dsim/time.hpp"
+
+namespace castanet::cosim {
+
+struct Mismatch {
+  enum class Kind {
+    kHeader,        ///< same slot, header fields differ
+    kPayload,       ///< same slot, payload differs
+    kExtra,         ///< DUT produced a cell the reference never sent
+    kMissing,       ///< reference cell never matched by the DUT
+    kValue,         ///< scalar register mismatch
+  };
+  Kind kind;
+  atm::VcId vc;
+  std::uint64_t index = 0;  ///< per-VC slot, or register id for kValue
+  std::string detail;
+};
+
+class ResponseComparator {
+ public:
+  /// Feeds one reference-model output cell.
+  void expect(const atm::Cell& c);
+  /// Feeds one DUT output cell; compares immediately against the oldest
+  /// outstanding expectation on the same VC.
+  void actual(const atm::Cell& c);
+
+  /// Scalar comparison (registers, counters); `id` labels the quantity.
+  void compare_value(std::uint64_t id, std::uint64_t expected,
+                     std::uint64_t got, const std::string& what);
+
+  /// Flushes: every still-outstanding expected cell becomes kMissing.
+  /// Call once, at end of run.
+  void finish();
+
+  const std::vector<Mismatch>& mismatches() const { return mismatches_; }
+  std::uint64_t cells_matched() const { return matched_; }
+  std::uint64_t cells_expected() const { return expected_count_; }
+  std::uint64_t cells_actual() const { return actual_count_; }
+  bool clean() const { return mismatches_.empty(); }
+
+  std::string report() const;
+
+ private:
+  std::unordered_map<atm::VcId, std::deque<atm::Cell>, atm::VcIdHash>
+      outstanding_;
+  std::unordered_map<atm::VcId, std::uint64_t, atm::VcIdHash> slot_;
+  std::vector<Mismatch> mismatches_;
+  std::uint64_t matched_ = 0;
+  std::uint64_t expected_count_ = 0;
+  std::uint64_t actual_count_ = 0;
+};
+
+}  // namespace castanet::cosim

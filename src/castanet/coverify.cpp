@@ -1,0 +1,96 @@
+#include "src/castanet/coverify.hpp"
+
+#include "src/core/error.hpp"
+
+namespace castanet::cosim {
+
+CoVerification::CoVerification(netsim::Simulation& net, rtl::Simulator& hdl,
+                               netsim::Node& node, unsigned streams,
+                               Params params)
+    : net_(net), hdl_(hdl),
+      net_to_hdl_(MessageChannel::Params{params.ipc_overhead_per_message}),
+      hdl_to_net_(MessageChannel::Params{params.ipc_overhead_per_message}),
+      params_(params) {
+  gateway_ = &node.add_process<GatewayProcess>("castanet_if", net_to_hdl_,
+                                               streams);
+  entity_ = std::make_unique<CosimEntity>(hdl, net_to_hdl_, hdl_to_net_,
+                                          params.sync);
+}
+
+void CoVerification::pump_responses() {
+  while (auto m = hdl_to_net_.receive()) {
+    // A response computed at HDL time t re-enters the network model no
+    // earlier than t (plus the configured latency) and never in the
+    // network's past.
+    SimTime when = m->timestamp + params_.response_latency;
+    if (when < net_.now()) when = net_.now();
+    net_.scheduler().schedule_at(when, [this, msg = std::move(*m)] {
+      if (on_response_) {
+        on_response_(msg);
+        return;
+      }
+      if (msg.cell) {
+        netsim::Packet p;
+        p.set_id(net_.next_packet_id());
+        p.set_creation_time(net_.now());
+        p.set_cell(*msg.cell);
+        gateway_->emit_response(msg.type, std::move(p));
+      }
+    });
+  }
+}
+
+void CoVerification::catch_up_hdl(SimTime limit) {
+  // Keep granting windows until the protocol stops making progress.  The
+  // message-driven policies converge in one iteration; lockstep needs one
+  // iteration per clock period.
+  for (;;) {
+    const SimTime w = entity_->window();
+    const SimTime target = std::min(w - SimTime::from_ps(1), limit);
+    if (target <= hdl_.now()) break;
+    entity_->advance_hdl_to(target);
+    pump_responses();
+  }
+}
+
+void CoVerification::run_until(SimTime limit) {
+  net_.start();
+  while (true) {
+    const SimTime next = net_.scheduler().next_event_time();
+    if (next > limit) break;
+    net_.scheduler().step();
+    ++net_events_;
+
+    // Announce the originator's clock, then let the HDL side catch up.
+    entity_->pump();
+    entity_->sync().push(make_time_update(net_.now()));
+    catch_up_hdl(limit);
+    pump_responses();
+  }
+  // Final catch-up: grant the HDL side the rest of the horizon.  Responses
+  // scheduled back into the network may create new events, so iterate until
+  // both sides are quiescent up to the limit.
+  for (;;) {
+    net_.scheduler().advance_to(
+        std::min(limit, net_.scheduler().next_event_time()));
+    entity_->pump();
+    entity_->sync().push(make_time_update(limit));
+    catch_up_hdl(limit);
+    pump_responses();
+    if (net_.scheduler().next_event_time() > limit) break;
+    net_.run_until(limit);
+  }
+}
+
+CoVerification::Stats CoVerification::stats() const {
+  Stats s;
+  s.net_events = net_events_;
+  s.messages_to_hdl = net_to_hdl_.messages_sent();
+  s.messages_to_net = hdl_to_net_.messages_sent();
+  s.windows = entity_->sync().windows_granted();
+  s.max_lag_seconds = entity_->sync().max_lag_seconds();
+  s.causality_errors = entity_->sync().causality_errors();
+  return s;
+}
+
+}  // namespace castanet::cosim

@@ -1,0 +1,75 @@
+// Co-verification orchestrator — the whole of Fig. 2 in one object.
+//
+// Owns the message channels between a netsim::Simulation (the "OPNET") and
+// an rtl::Simulator (the "VSS"), the OPNET-side gateway and the HDL-side
+// co-simulation entity, and runs the coupled simulation: network events
+// execute in time-stamp order; after each one the entity is pumped, the
+// conservative protocol computes the safe window, the HDL simulator catches
+// up, and DUT responses flow back into the network model as packets.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/castanet/entity.hpp"
+#include "src/castanet/gateway.hpp"
+#include "src/netsim/simulation.hpp"
+
+namespace castanet::cosim {
+
+class CoVerification {
+ public:
+  struct Params {
+    ConservativeSync::Params sync;
+    /// Modeled IPC cost per message, charged to the channel statistics.
+    SimTime ipc_overhead_per_message = SimTime::zero();
+    /// Extra model delay for a DUT response to re-enter the network model.
+    SimTime response_latency = SimTime::zero();
+  };
+
+  /// The gateway is created inside `node` with `streams` bidirectional
+  /// streams; connect network models to it like to any process.
+  CoVerification(netsim::Simulation& net, rtl::Simulator& hdl,
+                 netsim::Node& node, unsigned streams, Params params);
+
+  GatewayProcess& gateway() { return *gateway_; }
+  CosimEntity& entity() { return *entity_; }
+  MessageChannel& net_to_hdl() { return net_to_hdl_; }
+  MessageChannel& hdl_to_net() { return hdl_to_net_; }
+
+  /// Handles a DUT response message; default (if unset): cell responses are
+  /// re-emitted by the gateway on the output stream matching the message
+  /// type.  The handler runs inside a network-simulation event at a time
+  /// >= both the HDL time stamp and the network's current time.
+  using ResponseHandler = std::function<void(const TimedMessage&)>;
+  void set_response_handler(ResponseHandler h) { on_response_ = std::move(h); }
+
+  /// Runs the coupled simulation until network time `limit`.
+  void run_until(SimTime limit);
+
+  struct Stats {
+    std::uint64_t net_events = 0;
+    std::uint64_t messages_to_hdl = 0;
+    std::uint64_t messages_to_net = 0;
+    std::uint64_t windows = 0;
+    double max_lag_seconds = 0.0;
+    std::uint64_t causality_errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void pump_responses();
+  void catch_up_hdl(SimTime limit);
+
+  netsim::Simulation& net_;
+  rtl::Simulator& hdl_;
+  MessageChannel net_to_hdl_;
+  MessageChannel hdl_to_net_;
+  GatewayProcess* gateway_ = nullptr;
+  std::unique_ptr<CosimEntity> entity_;
+  Params params_;
+  ResponseHandler on_response_;
+  std::uint64_t net_events_ = 0;
+};
+
+}  // namespace castanet::cosim

@@ -1,0 +1,169 @@
+#include "src/castanet/mapping.hpp"
+
+#include "src/core/error.hpp"
+
+namespace castanet::cosim {
+
+// --- WideLaneDriver ----------------------------------------------------------
+
+WideLaneDriver::WideLaneDriver(rtl::Simulator& sim, std::string name,
+                               rtl::Signal clk, rtl::Bus data,
+                               rtl::Signal sync, rtl::Signal valid,
+                               std::size_t lane_bytes)
+    : Module(sim, std::move(name)), clk_(clk), data_(data), sync_(sync),
+      valid_(valid), lane_bytes_(lane_bytes) {
+  require(lane_bytes == 1 || lane_bytes == 2 || lane_bytes == 4,
+          "WideLaneDriver: lane width must be 1, 2 or 4 bytes");
+  require(data_.width() == 8 * lane_bytes,
+          "WideLaneDriver: data bus width mismatch");
+  clocked("drive", clk_, [this] { on_clk(); });
+}
+
+std::size_t WideLaneDriver::clocks_per_cell() const {
+  return (atm::kCellBytes + lane_bytes_ - 1) / lane_bytes_;
+}
+
+void WideLaneDriver::enqueue(const atm::Cell& c) {
+  const auto bytes = c.to_bytes();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Pad to a whole number of lane words so the next cell starts aligned.
+  while (buffer_.size() % lane_bytes_ != 0) buffer_.push_back(0);
+}
+
+void WideLaneDriver::on_clk() {
+  if (buffer_.empty()) {
+    valid_.write(rtl::Logic::L0);
+    sync_.write(rtl::Logic::L0);
+    phase_ = 0;
+    return;
+  }
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < lane_bytes_ && !buffer_.empty(); ++i) {
+    word |= static_cast<std::uint64_t>(buffer_.front()) << (8 * i);
+    buffer_.pop_front();
+  }
+  data_.write_uint(word);
+  valid_.write(rtl::Logic::L1);
+  sync_.write(phase_ == 0 ? rtl::Logic::L1 : rtl::Logic::L0);
+  ++phase_;
+  if (phase_ == clocks_per_cell()) {
+    phase_ = 0;
+    ++cells_;
+  }
+}
+
+// --- WideLaneMonitor ---------------------------------------------------------
+
+WideLaneMonitor::WideLaneMonitor(rtl::Simulator& sim, std::string name,
+                                 rtl::Signal clk, rtl::Bus data,
+                                 rtl::Signal sync, rtl::Signal valid,
+                                 std::size_t lane_bytes)
+    : Module(sim, std::move(name)), clk_(clk), data_(data), sync_(sync),
+      valid_(valid), lane_bytes_(lane_bytes) {
+  require(lane_bytes == 1 || lane_bytes == 2 || lane_bytes == 4,
+          "WideLaneMonitor: lane width must be 1, 2 or 4 bytes");
+  require(data_.width() == 8 * lane_bytes,
+          "WideLaneMonitor: data bus width mismatch");
+  clocked("observe", clk_, [this] { on_clk(); });
+}
+
+void WideLaneMonitor::on_clk() {
+  if (!valid_.read_bool()) return;
+  if (sync_.read_bool()) shift_.clear();
+  const std::uint64_t word = data_.read_uint();
+  for (std::size_t i = 0; i < lane_bytes_; ++i) {
+    shift_.push_back(static_cast<std::uint8_t>(word >> (8 * i) & 0xFF));
+  }
+  if (shift_.size() >= atm::kCellBytes) {
+    const atm::Cell c = atm::Cell::from_bytes(shift_.data(), true);
+    cells_.push_back(c);
+    if (callback_) callback_(c);
+    shift_.clear();
+  }
+}
+
+// --- BusMaster ---------------------------------------------------------------
+
+BusMaster::BusMaster(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                     rtl::Bus addr, rtl::Bus data, rtl::Signal cs,
+                     rtl::Signal rw)
+    : Module(sim, std::move(name)), clk_(clk), addr_(addr), data_(data),
+      cs_(cs), rw_(rw) {
+  // No initialization writes: cs/rw/addr take their creation-time initial
+  // values until the first clock; writing here would register a second
+  // driver that resolves against the bus-master process forever.
+  clocked("bus_master", clk_, [this] { on_clk(); });
+}
+
+void BusMaster::write(std::uint8_t addr, std::uint16_t value) {
+  ops_.push_back(Op{false, addr, value, nullptr});
+}
+
+void BusMaster::read(std::uint8_t addr,
+                     std::function<void(std::uint16_t)> done) {
+  ops_.push_back(Op{true, addr, 0, std::move(done)});
+}
+
+void BusMaster::on_clk() {
+  if (ops_.empty()) {
+    cs_.write(rtl::Logic::L0);
+    data_.release();
+    return;
+  }
+  Op& op = ops_.front();
+  if (op.is_read) {
+    // phase 0: assert addr/cs/rw=read, bus released by master.
+    // phase 1: slave decodes (its outputs appear after its clock edge).
+    // phase 2: sample the slave-driven bus, deassert cs.
+    // phase 3: bus turnaround (slave releases), op completes.
+    switch (phase_) {
+      case 0:
+        addr_.write_uint(op.addr);
+        rw_.write(rtl::Logic::L1);
+        cs_.write(rtl::Logic::L1);
+        data_.release();
+        ++phase_;
+        break;
+      case 1:
+        ++phase_;
+        break;
+      case 2: {
+        const auto& v = data_.read();
+        const std::uint16_t value =
+            v.is_defined() ? static_cast<std::uint16_t>(v.to_uint()) : 0xFFFF;
+        cs_.write(rtl::Logic::L0);
+        ++phase_;
+        if (op.done) op.done(value);
+        break;
+      }
+      default:
+        ++transactions_;
+        ops_.pop_front();
+        phase_ = 0;
+        break;
+    }
+    return;
+  }
+  // Write: phase 0 drives everything; the slave samples at its next edge;
+  // phase 1 deasserts and releases.
+  switch (phase_) {
+    case 0:
+      addr_.write_uint(op.addr);
+      data_.write_uint(op.value);
+      rw_.write(rtl::Logic::L0);
+      cs_.write(rtl::Logic::L1);
+      ++phase_;
+      break;
+    case 1:
+      // Hold for the slave's sampling edge, then release.
+      cs_.write(rtl::Logic::L0);
+      rw_.write(rtl::Logic::L1);
+      data_.release();
+      ++transactions_;
+      ops_.pop_front();
+      phase_ = 0;
+      break;
+  }
+}
+
+}  // namespace castanet::cosim

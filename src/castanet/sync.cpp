@@ -1,0 +1,133 @@
+#include "src/castanet/sync.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::cosim {
+
+void ConservativeSync::declare_input(MessageType type,
+                                     std::uint64_t delta_cycles) {
+  require(received_ == 0, "ConservativeSync: declare inputs before pushing");
+  require(delta_cycles > 0, "ConservativeSync: delta must be >= 1 cycle");
+  InputQueue q;
+  q.delta_cycles = delta_cycles;
+  inputs_[type] = std::move(q);
+}
+
+SimTime ConservativeSync::min_delta_time() const {
+  std::uint64_t min_delta = UINT64_MAX;
+  for (const auto& [type, q] : inputs_) {
+    min_delta = std::min(min_delta, q.delta_cycles);
+  }
+  if (min_delta == UINT64_MAX) min_delta = 1;
+  return p_.clock_period * static_cast<std::int64_t>(min_delta);
+}
+
+void ConservativeSync::push(const TimedMessage& m) {
+  network_time_ = std::max(network_time_, m.timestamp);
+  if (m.time_update_only) {
+    // Pure clock announcements carry no event; the originator's clock may
+    // legitimately lag a window that the δ rule extended beyond it.
+    ++time_updates_;
+    return;
+  }
+  // Time stamps from a sequential DE simulator arrive in nondecreasing
+  // order; a data message stamped inside an already-granted window would be
+  // a causality error (Fig. 3), which the protocol makes impossible under
+  // its spacing assumption (per-queue message spacing >= δ_j).  We still
+  // check, because the check is the verification.
+  if (m.timestamp < granted_) {
+    ++causality_errors_;
+    throw ProtocolError(
+        "ConservativeSync: message time stamp " + m.timestamp.to_string() +
+        " precedes granted window " + granted_.to_string());
+  }
+  auto it = inputs_.find(m.type);
+  if (it == inputs_.end()) {
+    throw ProtocolError("ConservativeSync: undeclared message type " +
+                        std::to_string(m.type));
+  }
+  it->second.queue.push_back(m);
+  it->second.newest_ts = m.timestamp;
+  it->second.seen = true;
+  ++received_;
+}
+
+SimTime ConservativeSync::window() const {
+  SimTime w = granted_;
+  switch (p_.policy) {
+    case SyncPolicy::kGlobalOrder: {
+      // Single monotone originator: everything strictly before its
+      // announced time is safe.
+      w = std::max(w, network_time_);
+      break;
+    }
+    case SyncPolicy::kLockstep: {
+      // One clock period at a time, never beyond the originator's clock.
+      const SimTime next = granted_ + p_.clock_period;
+      w = std::min(next, network_time_);
+      w = std::max(w, granted_);
+      break;
+    }
+    case SyncPolicy::kTimeWindow: {
+      // The paper's rule.  With every input queue holding a message, local
+      // time may advance past the minimum head by min_j δ_j; otherwise the
+      // newest announced originator time bounds the window.
+      bool all_nonempty = !inputs_.empty();
+      SimTime min_head = SimTime::max();
+      for (const auto& [type, q] : inputs_) {
+        if (q.queue.empty()) {
+          all_nonempty = false;
+          break;
+        }
+        min_head = std::min(min_head, q.queue.front().timestamp);
+      }
+      if (all_nonempty) {
+        w = std::max(w, min_head + min_delta_time());
+        w = std::max(w, network_time_);
+      } else {
+        w = std::max(w, network_time_);
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+std::vector<TimedMessage> ConservativeSync::take_deliverable(SimTime up_to) {
+  std::vector<TimedMessage> out;
+  for (auto& [type, q] : inputs_) {
+    while (!q.queue.empty() && q.queue.front().timestamp < up_to) {
+      out.push_back(std::move(q.queue.front()));
+      q.queue.pop_front();
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimedMessage& a, const TimedMessage& b) {
+              return a.timestamp < b.timestamp;
+            });
+  if (up_to > granted_) {
+    granted_ = up_to;
+    ++windows_granted_;
+  }
+  return out;
+}
+
+void ConservativeSync::note_hdl_time(SimTime t) {
+  // The invariant the protocol guarantees: the HDL simulator never runs
+  // beyond what was granted, and grants never exceed the originator's
+  // announced time by more than the processing window min_j δ_j.
+  const SimTime bound = std::max(network_time_ + min_delta_time(), granted_);
+  if (t > bound) {
+    throw ProtocolError(
+        "ConservativeSync: HDL time " + t.to_string() +
+        " overtook the granted window " + bound.to_string() +
+        " (lag invariant violated)");
+  }
+  if (network_time_ > t) {
+    max_lag_sec_ = std::max(max_lag_sec_, (network_time_ - t).seconds());
+  }
+}
+
+}  // namespace castanet::cosim

@@ -1,0 +1,9 @@
+#include "src/core/error.hpp"
+
+namespace castanet {
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw LogicError(msg);
+}
+
+}  // namespace castanet

@@ -1,0 +1,50 @@
+// Error types shared across the CASTANET libraries.
+//
+// We follow the convention that programming errors (precondition violations)
+// throw LogicError, while environment/configuration problems encountered at
+// run time throw the more specific subclasses below.  All carry a message
+// describing the failing condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace castanet {
+
+/// Base class of all errors raised by CASTANET libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// A user-supplied configuration (pin mapping, signal mapping, model
+/// parameters) is inconsistent or out of range.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// The co-simulation protocol was violated (e.g. a message with a time stamp
+/// in the local past was received — a causality error, Fig. 3 of the paper).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// File/trace I/O failed or a trace file is malformed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Throws LogicError with `msg` when `cond` is false.  Used for documented
+/// preconditions that remain checked in release builds.
+void require(bool cond, const std::string& msg);
+
+}  // namespace castanet

@@ -1,0 +1,88 @@
+#include "src/core/rng.hpp"
+
+#include <cmath>
+
+#include "src/core/error.hpp"
+
+namespace castanet {
+
+double Rng::uniform() {
+  // 53-bit mantissa, uniform in [0,1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: lo > hi");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return engine_();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t draw;
+  do {
+    draw = engine_();
+  } while (draw >= limit);
+  return lo + draw % span;
+}
+
+double Rng::exponential(double mean) {
+  require(mean > 0.0, "Rng::exponential: mean must be > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::uint64_t Rng::geometric(double p) {
+  require(p > 0.0 && p <= 1.0, "Rng::geometric: p must be in (0,1]");
+  if (p == 1.0) return 1;
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  const double n = std::ceil(std::log(u) / std::log1p(-p));
+  return n < 1.0 ? 1 : static_cast<std::uint64_t>(n);
+}
+
+double Rng::pareto(double alpha, double xm) {
+  require(alpha > 0.0 && xm > 0.0, "Rng::pareto: alpha and xm must be > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::fork() {
+  // SplitMix-style scramble of two draws gives an independent seed.
+  std::uint64_t s = engine_() ^ 0x9e3779b97f4a7c15ULL;
+  s ^= engine_() << 1;
+  s *= 0xbf58476d1ce4e5b9ULL;
+  s ^= s >> 31;
+  return Rng(s);
+}
+
+}  // namespace castanet

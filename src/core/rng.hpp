@@ -1,0 +1,49 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic model takes an explicit Rng so runs are reproducible from
+// a single seed; independent streams are derived with Rng::fork() so adding a
+// traffic source does not perturb the draws of existing ones.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace castanet {
+
+/// Seeded pseudo-random generator with the distributions the traffic models
+/// need.  Wraps std::mt19937_64; the wrapper pins down the draw protocol so
+/// results are stable across standard libraries for the distributions we
+/// implement ourselves (exponential, geometric draws via inversion).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform in [0,1).
+  double uniform();
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+  /// Exponential with mean `mean` (inversion method).
+  double exponential(double mean);
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean, double stddev);
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Bernoulli with probability p.
+  bool bernoulli(double p);
+  /// Geometric number of trials >= 1 with success probability p.
+  std::uint64_t geometric(double p);
+  /// Pareto with shape alpha >= 0 and scale xm > 0 (heavy-tailed on/off).
+  double pareto(double alpha, double xm);
+
+  /// Derives an independent child stream.
+  Rng fork();
+
+  std::uint64_t raw() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace castanet

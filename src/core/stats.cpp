@@ -1,0 +1,92 @@
+#include "src/core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/core/error.hpp"
+
+namespace castanet {
+
+void SampleStat::record(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double SampleStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SampleStat::stddev() const { return std::sqrt(variance()); }
+
+void TimeAverageStat::set(double time, double value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = time;
+  } else if (time > last_time_) {
+    weighted_sum_ += value_ * (time - last_time_);
+  }
+  last_time_ = std::max(last_time_, time);
+  value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double TimeAverageStat::average(double now) const {
+  if (!started_ || now <= start_time_) return 0.0;
+  double ws = weighted_sum_;
+  if (now > last_time_) ws += value_ * (now - last_time_);
+  return ws / (now - start_time_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  require(hi > lo && bins > 0, "Histogram: need hi > lo and bins > 0");
+}
+
+void Histogram::record(double x) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    i = std::min(i, counts_.size() - 1);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q out of [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return bin_lo(i) + width_;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << "[" << bin_lo(i) << "," << bin_lo(i) + width_ << ") "
+       << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace castanet

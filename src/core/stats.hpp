@@ -1,0 +1,78 @@
+// Statistics collection used by the network simulator and the benches.
+//
+// OPNET-style models record scalar samples ("sample statistics") and
+// time-weighted values such as queue occupancy ("time-average statistics");
+// both appear here, plus a fixed-bin histogram for distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace castanet {
+
+/// Running mean/variance/min/max over discrete samples (Welford).
+class SampleStat {
+ public:
+  void record(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  ///< Unbiased sample variance; 0 for n < 2.
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant value (e.g. queue length).
+/// Call set(t, v) at every change; read average(t_now).
+class TimeAverageStat {
+ public:
+  void set(double time, double value);
+  /// Time-weighted mean over [first set, now]; 0 if never set.
+  double average(double now) const;
+  double current() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double start_time_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples go to
+/// saturating edge bins so no sample is lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void record(double x);
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  /// Smallest x such that at least `q` (0..1) of the mass lies at or below
+  /// the containing bin's upper edge.
+  double quantile(double q) const;
+  std::string to_string() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace castanet

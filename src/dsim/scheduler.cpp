@@ -1,0 +1,92 @@
+#include "src/dsim/scheduler.hpp"
+
+#include "src/core/error.hpp"
+
+namespace castanet {
+
+EventHandle Scheduler::schedule_at(SimTime when, Action action, int priority) {
+  if (when < now_) {
+    throw ProtocolError("Scheduler: event scheduled in the past (" +
+                        when.to_string() + " < " + now_.to_string() + ")");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, priority, seq});
+  actions_.emplace(seq, std::move(action));
+  ++live_count_;
+  ++scheduled_;
+  return EventHandle{seq};
+}
+
+EventHandle Scheduler::schedule_in(SimTime delay, Action action,
+                                   int priority) {
+  return schedule_at(now_ + delay, std::move(action), priority);
+}
+
+bool Scheduler::cancel(EventHandle h) {
+  auto it = actions_.find(h.seq);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void Scheduler::pop_dead() {
+  while (!queue_.empty() && !actions_.contains(queue_.top().seq)) {
+    queue_.pop();
+  }
+}
+
+SimTime Scheduler::next_event_time() const {
+  // pop_dead() is called by the mutating entry points, but a cancel may have
+  // happened since; scan without mutating.
+  auto* self = const_cast<Scheduler*>(this);
+  self->pop_dead();
+  return queue_.empty() ? SimTime::max() : queue_.top().when;
+}
+
+bool Scheduler::step() {
+  pop_dead();
+  if (queue_.empty()) return false;
+  const Entry e = queue_.top();
+  queue_.pop();
+  auto it = actions_.find(e.seq);
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  --live_count_;
+  now_ = e.when;
+  ++executed_;
+  action();
+  return true;
+}
+
+std::uint64_t Scheduler::run_until(SimTime limit) {
+  std::uint64_t n = 0;
+  while (true) {
+    pop_dead();
+    if (queue_.empty() || queue_.top().when > limit) break;
+    step();
+    ++n;
+  }
+  if (now_ < limit && !queue_.empty()) {
+    // Time halts at the limit even though later events are pending.
+    now_ = limit;
+  } else if (now_ < limit && queue_.empty()) {
+    now_ = limit;
+  }
+  return n;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while ((max_events == 0 || n < max_events) && step()) ++n;
+  return n;
+}
+
+void Scheduler::advance_to(SimTime t) {
+  require(t >= now_, "Scheduler::advance_to: cannot move time backwards");
+  require(t <= next_event_time(),
+          "Scheduler::advance_to: would skip pending events");
+  now_ = t;
+}
+
+}  // namespace castanet

@@ -1,0 +1,91 @@
+// Generic discrete-event scheduler.
+//
+// This is the event-list machinery (Fig. 3 of the paper) shared by the
+// network simulator: a priority queue of (time, priority, sequence) ordered
+// events, with cancellation, strictly monotone execution, and counters used
+// by the E7 event-ratio experiment.  Events may be scheduled for the current
+// time or the future, never the past — scheduling into the past throws
+// ProtocolError, which is exactly the causality error the §3.1 protocol must
+// prevent across simulator boundaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dsim/time.hpp"
+
+namespace castanet {
+
+/// Identifies a scheduled event so it can be cancelled.
+struct EventHandle {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when` (>= now).  Events at equal
+  /// time run in (priority, insertion) order; lower priority value first.
+  EventHandle schedule_at(SimTime when, Action action, int priority = 0);
+  /// Schedules `action` `delay` after now.
+  EventHandle schedule_in(SimTime delay, Action action, int priority = 0);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventHandle h);
+
+  /// True if no events are pending.
+  bool empty() const { return live_count_ == 0; }
+  /// Time stamp of the earliest pending event; SimTime::max() when empty.
+  SimTime next_event_time() const;
+
+  /// Runs the single earliest event; returns false when none pending.
+  bool step();
+  /// Runs all events with time <= limit (inclusive); time ends at
+  /// min(limit, last event time).  Returns number of events executed.
+  std::uint64_t run_until(SimTime limit);
+  /// Runs to exhaustion (or until `max_events` executed; 0 = unlimited).
+  std::uint64_t run(std::uint64_t max_events = 0);
+
+  /// Advances now to `t` without executing anything (used by co-simulation
+  /// time-window grants).  `t` must be >= now and <= next_event_time().
+  void advance_to(SimTime t);
+
+  /// Total events executed since construction (E7 experiment counter).
+  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_scheduled() const { return scheduled_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    int priority;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      if (priority != o.priority) return priority > o.priority;
+      return seq > o.seq;
+    }
+  };
+
+  void pop_dead();
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t live_count_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Actions for live events keyed by seq; a cancelled event's key is simply
+  // absent when its queue entry surfaces.
+  std::unordered_map<std::uint64_t, Action> actions_;
+};
+
+}  // namespace castanet

@@ -1,0 +1,29 @@
+#include "src/dsim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace castanet {
+
+SimTime SimTime::from_seconds(double s) {
+  return SimTime(static_cast<std::int64_t>(std::llround(s * 1e12)));
+}
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  if (ps_ % 1'000'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(ps_ / 1'000'000'000'000));
+  } else if (ps_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(ps_ / 1'000'000));
+  } else if (ps_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldns",
+                  static_cast<long long>(ps_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldps", static_cast<long long>(ps_));
+  }
+  return buf;
+}
+
+}  // namespace castanet

@@ -1,0 +1,69 @@
+// Simulation time.
+//
+// Both coupled simulators (the network simulator and the HDL simulator) need
+// a shared, exactly-comparable notion of time — the §3.1 synchronization
+// protocol is defined in terms of time-stamp comparisons, so floating point
+// is out.  SimTime is an integer count of picoseconds, wide enough for
+// ~106 days of simulated time, fine enough to express both an ATM cell slot
+// (~2.7 µs at 155 Mb/s) and a 20 MHz board clock period exactly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace castanet {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_ps(std::int64_t ps) { return SimTime(ps); }
+  static constexpr SimTime from_ns(std::int64_t ns) {
+    return SimTime(ns * 1'000);
+  }
+  static constexpr SimTime from_us(std::int64_t us) {
+    return SimTime(us * 1'000'000);
+  }
+  static constexpr SimTime from_ms(std::int64_t ms) {
+    return SimTime(ms * 1'000'000'000);
+  }
+  static constexpr SimTime from_sec(std::int64_t s) {
+    return SimTime(s * 1'000'000'000'000);
+  }
+  /// Rounds to the nearest picosecond.
+  static SimTime from_seconds(double s);
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t ps() const { return ps_; }
+  double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ps_ + o.ps_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ps_ - o.ps_); }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(ps_ * k); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  /// Integer division: how many periods of `o` fit into this duration.
+  constexpr std::int64_t operator/(SimTime o) const { return ps_ / o.ps_; }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+/// The period of one clock at `hz` cycles per second, rounded down to ps.
+constexpr SimTime clock_period_hz(std::int64_t hz) {
+  return SimTime::from_ps(1'000'000'000'000 / hz);
+}
+
+}  // namespace castanet

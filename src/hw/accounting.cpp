@@ -1,0 +1,136 @@
+#include "src/hw/accounting.hpp"
+
+#include "src/core/error.hpp"
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+AccountingUnit::AccountingUnit(rtl::Simulator& sim, std::string name,
+                               rtl::Signal clk, rtl::Signal rst,
+                               CellPort snoop, std::size_t max_connections)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst) {
+  require(max_connections > 0, "AccountingUnit: need at least 1 connection");
+  rx_ = std::make_unique<CellReceiver>(sim, this->name() + ".rx", clk, rst,
+                                       snoop);
+  tariffs_.resize(256);
+  counts_.resize(max_connections, 0);
+  clp1_counts_.resize(max_connections, 0);
+  charges_.resize(max_connections, 0);
+
+  addr = make_bus("addr", 8, rtl::Logic::L0);
+  // The data bus is bidirectional: it initializes to Z and the unit's bus
+  // process only drives it while answering a read.
+  data = make_bus("data", 16, rtl::Logic::Z);
+  cs = make_signal("cs", rtl::Logic::L0);
+  rw = make_signal("rw", rtl::Logic::L1);
+
+  clocked("count", clk_, [this] { on_clk_count(); });
+  clocked("bus", clk_, [this] { on_clk_bus(); });
+}
+
+void AccountingUnit::bind_connection(atm::VcId vc, std::size_t index,
+                                     std::uint8_t tariff_class) {
+  require(index < counts_.size(), "bind_connection: index out of range");
+  bindings_[vc] = Binding{index, tariff_class};
+}
+
+void AccountingUnit::set_tariff(std::uint8_t tariff_class, Tariff t) {
+  tariffs_[tariff_class] = t;
+}
+
+std::uint64_t AccountingUnit::count(std::size_t index) const {
+  require(index < counts_.size(), "count: index out of range");
+  return counts_[index];
+}
+
+std::uint64_t AccountingUnit::clp1_count(std::size_t index) const {
+  require(index < clp1_counts_.size(), "clp1_count: index out of range");
+  return clp1_counts_[index];
+}
+
+std::uint64_t AccountingUnit::charge(std::size_t index) const {
+  require(index < charges_.size(), "charge: index out of range");
+  return charges_[index];
+}
+
+void AccountingUnit::on_clk_count() {
+  if (rst_.read_bool()) return;
+  if (!rx_->cell_valid.read_bool()) return;
+  const atm::Cell c = bits_to_cell(rx_->cell_out.read(), false);
+  ++cells_observed_;
+  auto it = bindings_.find({c.header.vpi, c.header.vci});
+  if (it == bindings_.end()) {
+    unknown_vc_seen_ = true;
+    return;
+  }
+  const Binding& b = it->second;
+  if (c.header.clp && fault_ == AccountingFault::kIgnoreClp1) {
+    return;  // injected bug: CLP=1 traffic invisible to accounting
+  }
+  ++counts_[b.index];
+  if (c.header.clp) ++clp1_counts_[b.index];
+  const Tariff& t = tariffs_[b.tariff_class];
+  const std::uint64_t price = c.header.clp ? t.clp1_price : t.clp0_price;
+  charges_[b.index] += price;
+  if (fault_ == AccountingFault::kCharge16BitWrap) {
+    charges_[b.index] &= 0xFFFF;  // injected bug: narrow accumulator
+  }
+}
+
+std::uint16_t AccountingUnit::read_register(std::uint8_t a) const {
+  const std::size_t i = selected_;
+  switch (a) {
+    case 0x01: return static_cast<std::uint16_t>(counts_[i] & 0xFFFF);
+    case 0x02: return static_cast<std::uint16_t>(counts_[i] >> 16 & 0xFFFF);
+    case 0x03: return static_cast<std::uint16_t>(counts_[i] >> 32 & 0xFFFF);
+    case 0x04: return static_cast<std::uint16_t>(charges_[i] & 0xFFFF);
+    case 0x05: return static_cast<std::uint16_t>(charges_[i] >> 16 & 0xFFFF);
+    case 0x06: return static_cast<std::uint16_t>(charges_[i] >> 32 & 0xFFFF);
+    case 0x07: return static_cast<std::uint16_t>(clp1_counts_[i] & 0xFFFF);
+    case 0x08:
+      return static_cast<std::uint16_t>(clp1_counts_[i] >> 16 & 0xFFFF);
+    case 0x09:
+      return static_cast<std::uint16_t>(clp1_counts_[i] >> 32 & 0xFFFF);
+    case 0x0A: return unknown_vc_seen_ ? 1 : 0;
+    default: return 0xDEAD;  // reads of undefined registers
+  }
+}
+
+void AccountingUnit::on_clk_bus() {
+  if (rst_.read_bool()) {
+    data.release();
+    return;
+  }
+  if (!cs.read_bool()) {
+    data.release();
+    return;
+  }
+  const auto& av = addr.read();
+  if (!av.is_defined()) {
+    data.release();
+    return;
+  }
+  const auto a = static_cast<std::uint8_t>(av.to_uint());
+  if (rw.read_bool()) {
+    // Read cycle: drive the register value for the master to sample.
+    data.write_uint(read_register(a));
+    return;
+  }
+  // Write cycle: the master drives the bus; we must not.
+  data.release();
+  const auto& dv = data.read();
+  if (!dv.is_defined()) return;
+  const auto value = static_cast<std::uint16_t>(dv.to_uint());
+  if (a == 0x00) {
+    if (value < counts_.size()) selected_ = value;
+  } else if (a == 0x0F) {
+    const std::uint64_t base =
+        fault_ == AccountingFault::kOffByOneClear ? 1 : 0;
+    counts_[selected_] = base;
+    clp1_counts_[selected_] = base;
+    charges_[selected_] = base;
+    unknown_vc_seen_ = false;
+  }
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,104 @@
+// ATM accounting unit — the device the paper verified with CASTANET ("We
+// have used CASTANET for the functional verification of an ATM accounting
+// unit", §4).
+//
+// The unit snoops a cell stream and maintains per-connection usage counters
+// (total cells, CLP=1 cells) plus a charge accumulator computed from a
+// per-tariff-class price table — the charging-algorithm application of the
+// authors' HLDVT'96 case study.  A microprocessor bus with a bidirectional
+// 16-bit data bus exposes the registers; this is the interface the hardware
+// test board exercises through its I/O-port (in/out/direction) mapping
+// (§3.3).
+//
+// Register map (addr is 8 bits; all data 16 bits):
+//   0x00 W  VC_SELECT   select connection index for subsequent reads
+//   0x01 R  COUNT_LO    total-cell counter, bits 15..0
+//   0x02 R  COUNT_MID   bits 31..16
+//   0x03 R  COUNT_HI    bits 47..32
+//   0x04 R  CHARGE_LO   charge accumulator, bits 15..0
+//   0x05 R  CHARGE_MID  bits 31..16
+//   0x06 R  CHARGE_HI   bits 47..32
+//   0x07 R  CLP1_LO     CLP=1 cell counter, bits 15..0
+//   0x08 R  CLP1_MID    bits 31..16
+//   0x09 R  CLP1_HI     bits 47..32
+//   0x0A R  STATUS      bit0 = unknown-VC cell observed since last clear
+//   0x0F W  CLEAR       any write clears the selected connection's counters
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atm/connection.hpp"
+#include "src/hw/cell_port.hpp"
+#include "src/hw/cell_rx.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+/// Price per cell in charge units, indexed by tariff class, split by CLP.
+struct Tariff {
+  std::uint16_t clp0_price = 1;
+  std::uint16_t clp1_price = 0;
+};
+
+/// Fault injection hooks for the co-verification experiments (E2): each
+/// models a realistic RTL bug the reference-model comparison must catch.
+enum class AccountingFault {
+  kNone,
+  kIgnoreClp1,      ///< CLP=1 cells not counted at all
+  kCharge16BitWrap, ///< charge accumulator truncated to 16 bits
+  kOffByOneClear,   ///< CLEAR leaves the counters at 1 instead of 0
+};
+
+class AccountingUnit : public rtl::Module {
+ public:
+  AccountingUnit(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                 rtl::Signal rst, CellPort snoop, std::size_t max_connections);
+
+  // --- management (software) configuration ------------------------------
+  /// Binds a VC to a counter index with a tariff class.
+  void bind_connection(atm::VcId vc, std::size_t index,
+                       std::uint8_t tariff_class);
+  void set_tariff(std::uint8_t tariff_class, Tariff t);
+  void set_fault(AccountingFault f) { fault_ = f; }
+
+  // --- microprocessor bus ------------------------------------------------
+  rtl::Bus addr;       ///< 8 bits, driven by the master
+  rtl::Bus data;       ///< 16 bits, bidirectional (resolved)
+  rtl::Signal cs;      ///< chip select
+  rtl::Signal rw;      ///< '1' = read, '0' = write
+
+  // --- direct observation (white-box test access) -----------------------
+  std::uint64_t count(std::size_t index) const;
+  std::uint64_t clp1_count(std::size_t index) const;
+  std::uint64_t charge(std::size_t index) const;
+  bool unknown_vc_seen() const { return unknown_vc_seen_; }
+  std::uint64_t cells_observed() const { return cells_observed_; }
+  const CellReceiver& rx() const { return *rx_; }
+
+ private:
+  void on_clk_count();
+  void on_clk_bus();
+  std::uint16_t read_register(std::uint8_t a) const;
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  std::unique_ptr<CellReceiver> rx_;
+
+  struct Binding {
+    std::size_t index;
+    std::uint8_t tariff_class;
+  };
+  std::unordered_map<atm::VcId, Binding, atm::VcIdHash> bindings_;
+  std::vector<Tariff> tariffs_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> clp1_counts_;
+  std::vector<std::uint64_t> charges_;
+  bool unknown_vc_seen_ = false;
+  std::uint64_t cells_observed_ = 0;
+  std::size_t selected_ = 0;
+  AccountingFault fault_ = AccountingFault::kNone;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,52 @@
+#include "src/hw/atm_switch.hpp"
+
+#include "src/core/error.hpp"
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+AtmSwitch::AtmSwitch(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                     rtl::Signal rst)
+    : AtmSwitch(sim, std::move(name), clk, rst, Config{}) {}
+
+AtmSwitch::AtmSwitch(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                     rtl::Signal rst, Config cfg)
+    : Module(sim, std::move(name)) {
+  require(cfg.ports >= 1 && cfg.ports <= kMaxSwitchPorts,
+          "AtmSwitch: 1..16 ports");
+  // Create request-side signal bundles first (ports drive them, GCU reads).
+  std::vector<GlobalControlUnit::InputIf> req_ifs;
+  for (std::size_t i = 0; i < cfg.ports; ++i) {
+    const std::string p = this->name() + ".req" + std::to_string(i);
+    GlobalControlUnit::InputIf rif;
+    rif.req = rtl::Signal(&sim,
+                          sim.create_signal(p + ".req", 1, rtl::Logic::L0));
+    rif.dest = rtl::Bus(&sim,
+                        sim.create_signal(p + ".dest", 4, rtl::Logic::L0));
+    rif.cell = rtl::Bus(
+        &sim, sim.create_signal(p + ".cell", kCellBits, rtl::Logic::L0));
+    req_ifs.push_back(rif);
+  }
+  gcu_ = std::make_unique<GlobalControlUnit>(sim, this->name() + ".gcu", clk,
+                                             rst, req_ifs);
+  for (std::size_t i = 0; i < cfg.ports; ++i) {
+    phys_in_.push_back(
+        make_cell_port(sim, this->name() + ".in" + std::to_string(i)));
+    phys_out_.push_back(
+        make_cell_port(sim, this->name() + ".out" + std::to_string(i)));
+    port_modules_.push_back(std::make_unique<PortModule>(
+        sim, this->name() + ".port" + std::to_string(i), clk, rst,
+        phys_in_[i], phys_out_[i], req_ifs[i], gcu_->grant(i),
+        gcu_->out_cell(i), gcu_->out_valid(i), cfg.port));
+  }
+}
+
+void AtmSwitch::install_route(std::size_t in_port, atm::VcId in_vc,
+                              atm::Route route) {
+  require(in_port < port_modules_.size(), "install_route: bad input port");
+  require(route.out_port < port_modules_.size(),
+          "install_route: bad output port");
+  port_modules_[in_port]->table().install(in_vc, route);
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,44 @@
+// Switch top level: N port modules around one global control unit — the
+// device evaluated in §2 of the paper (N=4 there).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/hw/gcu.hpp"
+#include "src/hw/port_module.hpp"
+
+namespace castanet::hw {
+
+class AtmSwitch : public rtl::Module {
+ public:
+  struct Config {
+    std::size_t ports = 4;
+    PortModule::Config port;
+  };
+
+  /// Creates the physical ports, port modules and GCU; the caller drives
+  /// phys_in(i) and observes phys_out(i).
+  AtmSwitch(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+            rtl::Signal rst, Config cfg);
+  /// Four ports, default FIFO depths.
+  AtmSwitch(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+            rtl::Signal rst);
+
+  std::size_t ports() const { return port_modules_.size(); }
+  CellPort phys_in(std::size_t i) const { return phys_in_.at(i); }
+  CellPort phys_out(std::size_t i) const { return phys_out_.at(i); }
+  PortModule& port(std::size_t i) { return *port_modules_.at(i); }
+  GlobalControlUnit& gcu() { return *gcu_; }
+
+  /// Installs a route on the input port's translation table.
+  void install_route(std::size_t in_port, atm::VcId in_vc, atm::Route route);
+
+ private:
+  std::vector<CellPort> phys_in_;
+  std::vector<CellPort> phys_out_;
+  std::vector<std::unique_ptr<PortModule>> port_modules_;
+  std::unique_ptr<GlobalControlUnit> gcu_;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,44 @@
+#include "src/hw/cell_bits.hpp"
+
+#include "src/core/error.hpp"
+
+namespace castanet::hw {
+
+rtl::LogicVector cell_to_bits(const atm::Cell& c) {
+  const auto bytes = c.to_bytes();
+  rtl::LogicVector v(kCellBits);
+  for (std::size_t j = 0; j < atm::kCellBytes; ++j) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      v.set_bit(8 * j + i, rtl::from_bool((bytes[j] >> i) & 1));
+    }
+  }
+  return v;
+}
+
+atm::Cell bits_to_cell(const rtl::LogicVector& v, bool check_hec) {
+  require(v.width() == kCellBits, "bits_to_cell: expected 424-bit vector");
+  std::uint8_t bytes[atm::kCellBytes];
+  for (std::size_t j = 0; j < atm::kCellBytes; ++j) {
+    std::uint8_t b = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const rtl::Logic bit = v.bit(8 * j + i);
+      if (!rtl::is_01(bit)) {
+        throw LogicError("bits_to_cell: undefined bit in cell bus");
+      }
+      if (rtl::to_bool(bit)) b |= static_cast<std::uint8_t>(1u << i);
+    }
+    bytes[j] = b;
+  }
+  return atm::Cell::from_bytes(bytes, check_hec);
+}
+
+rtl::LogicVector byte_to_bits(std::uint8_t b) {
+  return rtl::LogicVector::from_uint(b, 8);
+}
+
+std::uint8_t bits_to_byte(const rtl::LogicVector& v) {
+  require(v.width() == 8, "bits_to_byte: expected 8-bit vector");
+  return static_cast<std::uint8_t>(v.to_uint());
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,28 @@
+// ATM cell <-> bit-level representation used on wide internal buses.
+//
+// Inside the switch fabric a whole cell travels in parallel on a 424-bit
+// bus (53 octets).  Byte j of the serialized cell occupies bits
+// [8*j, 8*j+8), LSB first within the byte — the same layout the byte-lane
+// serialization uses, so slicing byte j out of the bus equals byte j on the
+// wire.
+#pragma once
+
+#include "src/atm/cell.hpp"
+#include "src/rtl/logic_vector.hpp"
+
+namespace castanet::hw {
+
+constexpr std::size_t kCellBits = 8 * atm::kCellBytes;  // 424
+
+/// Serializes (including computed HEC) to a 424-bit vector.
+rtl::LogicVector cell_to_bits(const atm::Cell& c);
+
+/// Parses a 424-bit vector; throws LogicError on undefined bits and
+/// ProtocolError on an uncorrectable HEC.
+atm::Cell bits_to_cell(const rtl::LogicVector& v, bool check_hec = true);
+
+/// One byte as an 8-bit vector / back.
+rtl::LogicVector byte_to_bits(std::uint8_t b);
+std::uint8_t bits_to_byte(const rtl::LogicVector& v);
+
+}  // namespace castanet::hw

@@ -1,0 +1,82 @@
+// The byte-serial cell interface of Fig. 4:
+//   atmdata : STD_LOGIC_VECTOR(7 DOWNTO 0) — one octet per clock
+//   cellsync: '1' during the first octet of a cell
+//   valid   : '1' while an assigned octet is on the lane
+// plus helper classes to drive and observe such a port from test benches and
+// from the co-simulation entity.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/atm/cell.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+/// Signal bundle of one serial cell lane.
+struct CellPort {
+  rtl::Bus data;      ///< 8 bits
+  rtl::Signal sync;   ///< first-octet marker
+  rtl::Signal valid;  ///< octet valid
+};
+
+/// Creates the three signals of a port with hierarchical names.
+CellPort make_cell_port(rtl::Simulator& sim, const std::string& prefix);
+
+/// Drives cells onto a CellPort, one octet per rising clock edge, from a
+/// software queue.  Gaps (no queued cell) drive valid='0'.  This is the
+/// bit-level output half of the co-simulation entity's signal conditioning.
+class CellPortDriver : public rtl::Module {
+ public:
+  CellPortDriver(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                 CellPort port);
+
+  /// Enqueues a cell for transmission (takes 53 clock edges).
+  void enqueue(const atm::Cell& c);
+  /// Enqueues raw 53-byte data (for HEC-corrupted conformance vectors).
+  void enqueue_bytes(const std::array<std::uint8_t, atm::kCellBytes>& bytes);
+  bool idle() const { return buffer_.empty(); }
+  std::size_t backlog_cells() const { return buffer_.size() / atm::kCellBytes; }
+  std::uint64_t cells_driven() const { return cells_driven_; }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  CellPort port_;
+  std::deque<std::uint8_t> buffer_;  // flat octet stream; sync every 53
+  std::size_t phase_ = 0;            // octet index within current cell
+  std::uint64_t cells_driven_ = 0;
+};
+
+/// Observes a CellPort, reassembling octets into cells; the input half of
+/// the co-simulation entity (DUT responses back to the abstract level).
+class CellPortMonitor : public rtl::Module {
+ public:
+  using CellCallback = std::function<void(const atm::Cell&)>;
+
+  CellPortMonitor(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                  CellPort port, bool check_hec = true);
+
+  void set_callback(CellCallback cb) { callback_ = std::move(cb); }
+  const std::vector<atm::Cell>& cells() const { return cells_; }
+  std::uint64_t hec_discards() const { return hec_discards_; }
+  std::uint64_t framing_errors() const { return framing_errors_; }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  CellPort port_;
+  bool check_hec_;
+  std::array<std::uint8_t, atm::kCellBytes> shift_{};
+  std::size_t count_ = 0;
+  std::vector<atm::Cell> cells_;
+  CellCallback callback_;
+  std::uint64_t hec_discards_ = 0;
+  std::uint64_t framing_errors_ = 0;
+};
+
+}  // namespace castanet::hw

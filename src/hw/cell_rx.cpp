@@ -1,0 +1,56 @@
+#include "src/hw/cell_rx.hpp"
+
+#include "src/atm/hec.hpp"
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+CellReceiver::CellReceiver(rtl::Simulator& sim, std::string name,
+                           rtl::Signal clk, rtl::Signal rst, CellPort in)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), in_(in) {
+  cell_out = make_bus("cell_out", kCellBits);
+  cell_valid = make_signal("cell_valid", rtl::Logic::L0);
+  hec_error = make_signal("hec_error", rtl::Logic::L0);
+  clocked("rx", clk_, [this] { on_clk(); });
+}
+
+void CellReceiver::on_clk() {
+  if (rst_.read_bool()) {
+    count_ = 0;
+    cell_valid.write(rtl::Logic::L0);
+    hec_error.write(rtl::Logic::L0);
+    return;
+  }
+  // Default: deassert pulses each clock.
+  cell_valid.write(rtl::Logic::L0);
+  hec_error.write(rtl::Logic::L0);
+
+  if (!in_.valid.read_bool()) return;
+  const bool sync = in_.sync.read_bool();
+  if (sync) count_ = 0;
+  if (!sync && count_ == 0) return;  // octets before first sync: skip
+  shift_[count_++] = bits_to_byte(in_.data.read());
+  if (count_ < atm::kCellBytes) return;
+  count_ = 0;
+
+  // HEC check/correct over the 5 header octets.
+  const auto result = atm::check_and_correct(shift_.data());
+  if (result == atm::HecResult::kUncorrectable) {
+    ++discarded_;
+    hec_error.write(rtl::Logic::L1);
+    return;
+  }
+  if (result == atm::HecResult::kCorrected) ++corrected_;
+
+  const atm::Cell c = atm::Cell::from_bytes(shift_.data(), false);
+  if (atm::is_idle_cell(c) ||
+      (c.header.vpi == 0 && c.header.vci == 0 && !c.header.clp)) {
+    ++idle_filtered_;
+    return;
+  }
+  ++accepted_;
+  cell_out.write(cell_to_bits(c));
+  cell_valid.write(rtl::Logic::L1);
+}
+
+}  // namespace castanet::hw

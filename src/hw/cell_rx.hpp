@@ -1,0 +1,44 @@
+// Cell receiver: deserializes the byte lane into whole cells.
+//
+// Collects 53 octets framed by `cellsync`, runs the I.432 HEC check in
+// correction mode, and presents accepted cells on a parallel 424-bit bus
+// with a one-clock `cell_valid` pulse.  Idle/unassigned cells are filtered
+// (they only pad the physical link).
+#pragma once
+
+#include "src/hw/cell_port.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class CellReceiver : public rtl::Module {
+ public:
+  CellReceiver(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+               rtl::Signal rst, CellPort in);
+
+  /// Parallel cell output, qualified by cell_valid for one clock.
+  rtl::Bus cell_out;
+  rtl::Signal cell_valid;
+  /// Diagnostic pulse on an uncorrectable header.
+  rtl::Signal hec_error;
+
+  std::uint64_t cells_accepted() const { return accepted_; }
+  std::uint64_t cells_corrected() const { return corrected_; }
+  std::uint64_t cells_discarded() const { return discarded_; }
+  std::uint64_t idle_filtered() const { return idle_filtered_; }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  CellPort in_;
+  std::array<std::uint8_t, atm::kCellBytes> shift_{};
+  std::size_t count_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t corrected_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t idle_filtered_ = 0;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,42 @@
+// Cell transmitter: serializes parallel cells onto the byte lane.
+//
+// Accepts a cell on `cell_in` when `send` pulses while `ready`; emits 53
+// octets with `cellsync` on the first.  When idle and idle-cell insertion is
+// enabled (the physical-layer behaviour §3.2 refers to), it transmits idle
+// cells back-to-back so the lane always carries a continuous octet stream.
+#pragma once
+
+#include "src/hw/cell_port.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class CellTransmitter : public rtl::Module {
+ public:
+  CellTransmitter(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                  rtl::Signal rst, CellPort out, bool insert_idle = false);
+
+  /// Parallel input: pulse `send` with the cell on `cell_in` while `ready`.
+  rtl::Bus cell_in;
+  rtl::Signal send;
+  rtl::Signal ready;  ///< '1' when a new cell can be accepted this clock
+
+  std::uint64_t cells_sent() const { return cells_sent_; }
+  std::uint64_t idle_cells_sent() const { return idle_sent_; }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  CellPort out_;
+  bool insert_idle_;
+  std::array<std::uint8_t, atm::kCellBytes> buffer_{};
+  std::size_t index_ = 0;
+  bool busy_ = false;
+  bool sending_idle_ = false;
+  std::uint64_t cells_sent_ = 0;
+  std::uint64_t idle_sent_ = 0;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,64 @@
+#include "src/hw/epd.hpp"
+
+#include "src/core/error.hpp"
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+EarlyPacketDiscard::EarlyPacketDiscard(rtl::Simulator& sim, std::string name,
+                                       rtl::Signal clk, rtl::Signal rst,
+                                       rtl::Bus cell_in, rtl::Signal in_valid,
+                                       rtl::Bus occupancy_in,
+                                       std::size_t threshold, bool enable_epd)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), cell_in_(cell_in),
+      in_valid_(in_valid), occupancy_in_(occupancy_in), threshold_(threshold),
+      enabled_(enable_epd) {
+  require(threshold >= 1, "EarlyPacketDiscard: threshold must be >= 1");
+  cell_out = make_bus("cell_out", kCellBits);
+  out_valid = make_signal("out_valid", rtl::Logic::L0);
+  clocked("epd", clk_, [this] { on_clk(); });
+}
+
+void EarlyPacketDiscard::on_clk() {
+  if (rst_.read_bool()) {
+    vc_state_.clear();
+    out_valid.write(rtl::Logic::L0);
+    return;
+  }
+  out_valid.write(rtl::Logic::L0);
+  if (!in_valid_.read_bool()) return;
+
+  const atm::Cell c = bits_to_cell(cell_in_.read(), false);
+  const atm::VcId vc{c.header.vpi, c.header.vci};
+  const bool end_of_frame = (c.header.pti & 1) != 0;
+  VcState& st = vc_state_[vc];
+
+  if (st.discarding) {
+    // Partial-packet discard: the rest of a condemned frame never enters
+    // the queue; the end-of-frame cell re-arms the VC.
+    ++discarded_;
+    if (end_of_frame) st = VcState{};
+    return;
+  }
+
+  if (!st.mid_frame && enabled_) {
+    // Frame boundary: the early-discard decision point.
+    const auto& occ = occupancy_in_.read();
+    const std::size_t occupancy =
+        occ.is_defined() ? static_cast<std::size_t>(occ.to_uint()) : 0;
+    if (occupancy >= threshold_) {
+      ++frames_discarded_;
+      ++discarded_;
+      if (!end_of_frame) st.discarding = true;  // condemn the rest
+      return;
+    }
+  }
+
+  // Admit the cell.
+  ++passed_;
+  st.mid_frame = !end_of_frame;
+  cell_out.write(cell_in_.read());
+  out_valid.write(rtl::Logic::L1);
+}
+
+}  // namespace castanet::hw

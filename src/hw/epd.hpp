@@ -1,0 +1,61 @@
+// Early packet discard (EPD).
+//
+// Romanow & Floyd's classic ATM result: when a congested buffer drops
+// individual cells, every partially-damaged AAL5 frame still occupies
+// downstream capacity only to fail its CRC at reassembly — goodput
+// collapses.  EPD instead decides at *frame boundaries*: if the queue is
+// beyond a threshold when a frame's first cell arrives, the whole frame is
+// dropped (and, once any cell of a frame is lost, the rest is discarded
+// too — partial packet discard).  The unit sits in front of a cell queue
+// and tracks per-VC frame state from the AAL5 end-of-PDU bit.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/atm/cell.hpp"
+#include "src/atm/connection.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class EarlyPacketDiscard : public rtl::Module {
+ public:
+  /// Admission runs against `occupancy_in` (the downstream queue's fill
+  /// level, e.g. SyncFifo::occupancy): a frame whose first cell arrives
+  /// with occupancy >= threshold is discarded in full.
+  EarlyPacketDiscard(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                     rtl::Signal rst, rtl::Bus cell_in, rtl::Signal in_valid,
+                     rtl::Bus occupancy_in, std::size_t threshold,
+                     bool enable_epd = true);
+
+  rtl::Bus cell_out;
+  rtl::Signal out_valid;
+
+  /// With EPD disabled the unit passes everything (tail-drop baseline).
+  void set_enabled(bool on) { enabled_ = on; }
+
+  std::uint64_t cells_passed() const { return passed_; }
+  std::uint64_t cells_discarded() const { return discarded_; }
+  std::uint64_t frames_discarded() const { return frames_discarded_; }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  rtl::Bus cell_in_;
+  rtl::Signal in_valid_;
+  rtl::Bus occupancy_in_;
+  std::size_t threshold_;
+  bool enabled_;
+  struct VcState {
+    bool mid_frame = false;   ///< an admitted frame is in progress
+    bool discarding = false;  ///< the current frame was condemned
+  };
+  std::unordered_map<atm::VcId, VcState, atm::VcIdHash> vc_state_;
+  std::uint64_t passed_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t frames_discarded_ = 0;
+};
+
+}  // namespace castanet::hw

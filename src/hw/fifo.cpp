@@ -1,0 +1,57 @@
+#include "src/hw/fifo.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::hw {
+
+SyncFifo::SyncFifo(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                   rtl::Signal rst, std::size_t width, std::size_t depth)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), width_(width),
+      depth_(depth) {
+  require(depth > 0, "SyncFifo: depth must be > 0");
+  din = make_bus("din", width);
+  push = make_signal("push", rtl::Logic::L0);
+  pop = make_signal("pop", rtl::Logic::L0);
+  dout = make_bus("dout", width);
+  empty = make_signal("empty", rtl::Logic::L1);
+  full = make_signal("full", rtl::Logic::L0);
+  occupancy = make_bus("occupancy", 16, rtl::Logic::L0);
+  clocked("fifo", clk_, [this] { on_clk(); });
+}
+
+void SyncFifo::on_clk() {
+  if (rst_.read_bool()) {
+    store_.clear();
+    refresh_outputs();
+    return;
+  }
+  // Pop first so a simultaneous push into a full FIFO succeeds when the pop
+  // frees a slot (standard synchronous FIFO semantics).
+  if (pop.read_bool() && !store_.empty()) {
+    store_.pop_front();
+    ++pops_;
+  }
+  if (push.read_bool()) {
+    if (store_.size() >= depth_) {
+      ++drops_;
+    } else {
+      store_.push_back(din.read());
+      ++pushes_;
+      max_occupancy_ = std::max(max_occupancy_, store_.size());
+    }
+  }
+  refresh_outputs();
+}
+
+void SyncFifo::refresh_outputs() {
+  empty.write(rtl::from_bool(store_.empty()));
+  full.write(rtl::from_bool(store_.size() >= depth_));
+  occupancy.write_uint(store_.size());
+  if (!store_.empty()) {
+    dout.write(store_.front());
+  }
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,49 @@
+// Synchronous FIFO for wide words (cells, or cells + routing tag).
+//
+// Head is continuously visible on `dout` with `empty` low — the "queueing"
+// capability of the node domain realized in hardware.  Pushing into a full
+// FIFO drops the word and counts a loss, which is exactly the cell-loss
+// behaviour switch buffers exhibit under overload.
+#pragma once
+
+#include <deque>
+
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class SyncFifo : public rtl::Module {
+ public:
+  SyncFifo(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+           rtl::Signal rst, std::size_t width, std::size_t depth);
+
+  rtl::Bus din;
+  rtl::Signal push;
+  rtl::Signal pop;
+  rtl::Bus dout;       ///< head word, valid while !empty
+  rtl::Signal empty;   ///< '1' when no words stored
+  rtl::Signal full;    ///< '1' when at capacity
+  rtl::Bus occupancy;  ///< current fill level, 16 bits
+
+  std::size_t depth() const { return depth_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t pushes() const { return pushes_; }
+  std::uint64_t pops() const { return pops_; }
+  std::size_t max_occupancy() const { return max_occupancy_; }
+
+ private:
+  void on_clk();
+  void refresh_outputs();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  std::size_t width_;
+  std::size_t depth_;
+  std::deque<rtl::LogicVector> store_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::size_t max_occupancy_ = 0;
+};
+
+}  // namespace castanet::hw

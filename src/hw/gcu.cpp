@@ -1,0 +1,119 @@
+#include "src/hw/gcu.hpp"
+
+#include "src/core/error.hpp"
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+GcuDecision gcu_arbitrate(const GcuRequest* reqs, std::size_t nports,
+                          GcuCoreState& state) {
+  require(nports <= kMaxSwitchPorts, "gcu_arbitrate: too many ports");
+  GcuDecision d;
+  d.source_for_output.fill(-1);
+  for (std::size_t o = 0; o < nports; ++o) {
+    // Round-robin scan starting after the last granted input for output o.
+    for (std::size_t k = 0; k < nports; ++k) {
+      const std::size_t i = (state.rr_next[o] + k) % nports;
+      if (reqs[i].req && !reqs[i].inhibit && reqs[i].dest == o) {
+        d.grant[i] = true;
+        d.source_for_output[o] = static_cast<int>(i);
+        state.rr_next[o] = static_cast<std::uint8_t>((i + 1) % nports);
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+// --- event-driven RTL --------------------------------------------------------
+
+GlobalControlUnit::GlobalControlUnit(rtl::Simulator& sim, std::string name,
+                                     rtl::Signal clk, rtl::Signal rst,
+                                     std::vector<InputIf> inputs)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst),
+      inputs_(std::move(inputs)) {
+  require(!inputs_.empty() && inputs_.size() <= kMaxSwitchPorts,
+          "GlobalControlUnit: 1..16 ports");
+  switched_.resize(inputs_.size(), 0);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    grants_.push_back(
+        make_signal("grant" + std::to_string(i), rtl::Logic::L0));
+    out_cells_.push_back(make_bus("out_cell" + std::to_string(i), kCellBits));
+    out_valids_.push_back(
+        make_signal("out_valid" + std::to_string(i), rtl::Logic::L0));
+  }
+  clocked("arbiter", clk_, [this] { on_clk(); });
+}
+
+void GlobalControlUnit::on_clk() {
+  if (rst_.read_bool()) {
+    state_ = GcuCoreState{};
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      grants_[i].write(rtl::Logic::L0);
+      out_valids_[i].write(rtl::Logic::L0);
+    }
+    return;
+  }
+  const std::size_t n = inputs_.size();
+  GcuRequest reqs[kMaxSwitchPorts];
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].req = inputs_[i].req.read_bool();
+    // The port deasserts req one cycle after grant; inhibit bridges that
+    // cycle so the same head-of-line cell is never granted twice.
+    reqs[i].inhibit = grants_[i].read_bool();
+    if (reqs[i].req && !reqs[i].inhibit) {
+      const auto& dv = inputs_[i].dest.read();
+      if (dv.is_defined()) {
+        reqs[i].dest = static_cast<std::uint8_t>(dv.to_uint());
+      } else {
+        reqs[i].req = false;  // undefined destination: ignore request
+      }
+    }
+  }
+  const GcuDecision d = gcu_arbitrate(reqs, n, state_);
+  for (std::size_t i = 0; i < n; ++i) {
+    grants_[i].write(rtl::from_bool(d.grant[i]));
+  }
+  for (std::size_t o = 0; o < n; ++o) {
+    if (d.source_for_output[o] >= 0) {
+      const auto src = static_cast<std::size_t>(d.source_for_output[o]);
+      out_cells_[o].write(inputs_[src].cell.read());
+      out_valids_[o].write(rtl::Logic::L1);
+      ++switched_total_;
+      ++switched_[o];
+    } else {
+      out_valids_[o].write(rtl::Logic::L0);
+    }
+  }
+}
+
+// --- cycle-based -------------------------------------------------------------
+
+GcuCycleModel::GcuCycleModel(std::size_t nports) : nports_(nports) {
+  require(nports > 0 && nports <= kMaxSwitchPorts,
+          "GcuCycleModel: 1..16 ports");
+  in_req.resize(nports);
+  in_cell.resize(nports);
+  grant.resize(nports, false);
+  out_valid.resize(nports, false);
+  out_cell.resize(nports);
+}
+
+void GcuCycleModel::on_cycle() {
+  for (std::size_t i = 0; i < nports_; ++i) {
+    in_req[i].inhibit = grant[i];
+  }
+  const GcuDecision d = gcu_arbitrate(in_req.data(), nports_, state_);
+  for (std::size_t i = 0; i < nports_; ++i) grant[i] = d.grant[i];
+  for (std::size_t o = 0; o < nports_; ++o) {
+    if (d.source_for_output[o] >= 0) {
+      out_cell[o] = in_cell[static_cast<std::size_t>(d.source_for_output[o])];
+      out_valid[o] = true;
+      ++switched_;
+    } else {
+      out_valid[o] = false;
+    }
+  }
+}
+
+}  // namespace castanet::hw

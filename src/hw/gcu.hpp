@@ -1,0 +1,111 @@
+// Global control unit: the central arbiter of the 4-port ATM switch used in
+// the paper's speed evaluation (§2) and the DUT of experiment E1.
+//
+// Each input port presents one head-of-line request (cell + destination
+// port); the GCU grants per-output round-robin among competing inputs and
+// forwards the granted cell to the destination port's output stage, one cell
+// per clock per output.
+//
+// The arbitration core `gcu_arbitrate` is a pure function shared by this
+// event-driven RTL module and by the cycle-based GcuCycleModel (E7), so both
+// engines simulate bit-identical behaviour.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/hw/cell_port.hpp"
+#include "src/rtl/cycle.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+constexpr std::size_t kMaxSwitchPorts = 16;
+
+/// One input port's request as seen by the arbitration core.
+struct GcuRequest {
+  bool req = false;
+  std::uint8_t dest = 0;
+  bool inhibit = false;  ///< granted last cycle: skip this cycle
+};
+
+/// Round-robin pointers, one per output port.
+struct GcuCoreState {
+  std::array<std::uint8_t, kMaxSwitchPorts> rr_next{};
+};
+
+/// Per-cycle decision: grant[i] for inputs, source_for_output[o] = input
+/// index feeding output o this cycle, or -1.
+struct GcuDecision {
+  std::array<bool, kMaxSwitchPorts> grant{};
+  std::array<int, kMaxSwitchPorts> source_for_output{};
+};
+
+/// Pure combinational+state arbitration shared by both simulation engines.
+GcuDecision gcu_arbitrate(const GcuRequest* reqs, std::size_t nports,
+                          GcuCoreState& state);
+
+/// Event-driven RTL realization.
+class GlobalControlUnit : public rtl::Module {
+ public:
+  /// Request-side signals, driven by the port modules.
+  struct InputIf {
+    rtl::Signal req;
+    rtl::Bus dest;  ///< 4 bits
+    rtl::Bus cell;  ///< 424 bits
+  };
+
+  GlobalControlUnit(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                    rtl::Signal rst, std::vector<InputIf> inputs);
+
+  std::size_t ports() const { return inputs_.size(); }
+  rtl::Signal grant(std::size_t i) const { return grants_.at(i); }
+  rtl::Bus out_cell(std::size_t o) const { return out_cells_.at(o); }
+  rtl::Signal out_valid(std::size_t o) const { return out_valids_.at(o); }
+
+  std::uint64_t cells_switched() const { return switched_total_; }
+  std::uint64_t cells_switched(std::size_t o) const {
+    return switched_.at(o);
+  }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  std::vector<InputIf> inputs_;
+  std::vector<rtl::Signal> grants_;
+  std::vector<rtl::Bus> out_cells_;
+  std::vector<rtl::Signal> out_valids_;
+  GcuCoreState state_;
+  std::uint64_t switched_total_ = 0;
+  std::vector<std::uint64_t> switched_;
+};
+
+/// Cycle-based realization over plain data ports (experiment E7).  Inputs
+/// and outputs are public members the harness reads/writes around each
+/// on_cycle() call.
+class GcuCycleModel : public rtl::CycleModel {
+ public:
+  explicit GcuCycleModel(std::size_t nports);
+
+  void on_cycle() override;
+  const std::string& name() const override { return name_; }
+
+  // Port variables (index < nports):
+  std::vector<GcuRequest> in_req;
+  std::vector<atm::Cell> in_cell;
+  std::vector<bool> grant;
+  std::vector<bool> out_valid;
+  std::vector<atm::Cell> out_cell;
+
+  std::uint64_t cells_switched() const { return switched_; }
+
+ private:
+  std::string name_ = "gcu_cycle";
+  std::size_t nports_;
+  GcuCoreState state_;
+  std::uint64_t switched_ = 0;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,74 @@
+#include "src/hw/oam.hpp"
+
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+bool is_oam_loopback(const atm::Cell& c) {
+  return c.header.pti == kOamPti && c.payload[0] == kOamLoopbackType;
+}
+
+atm::Cell make_loopback_request(atm::VcId vc, std::uint32_t tag) {
+  atm::Cell c;
+  c.header.vpi = vc.vpi;
+  c.header.vci = vc.vci;
+  c.header.pti = kOamPti;
+  c.payload[0] = kOamLoopbackType;
+  c.payload[1] = 0x01;  // loopback indication: request
+  c.payload[2] = static_cast<std::uint8_t>(tag >> 24);
+  c.payload[3] = static_cast<std::uint8_t>(tag >> 16);
+  c.payload[4] = static_cast<std::uint8_t>(tag >> 8);
+  c.payload[5] = static_cast<std::uint8_t>(tag & 0xFF);
+  return c;
+}
+
+std::uint32_t loopback_tag(const atm::Cell& c) {
+  return static_cast<std::uint32_t>(c.payload[2]) << 24 |
+         static_cast<std::uint32_t>(c.payload[3]) << 16 |
+         static_cast<std::uint32_t>(c.payload[4]) << 8 |
+         static_cast<std::uint32_t>(c.payload[5]);
+}
+
+bool is_loopback_request(const atm::Cell& c) {
+  return is_oam_loopback(c) && (c.payload[1] & 1) != 0;
+}
+
+OamLoopbackResponder::OamLoopbackResponder(rtl::Simulator& sim,
+                                           std::string name, rtl::Signal clk,
+                                           rtl::Signal rst, rtl::Bus cell_in,
+                                           rtl::Signal in_valid)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), cell_in_(cell_in),
+      in_valid_(in_valid) {
+  cell_out = make_bus("cell_out", kCellBits);
+  out_valid = make_signal("out_valid", rtl::Logic::L0);
+  loop_out = make_bus("loop_out", kCellBits);
+  loop_valid = make_signal("loop_valid", rtl::Logic::L0);
+  clocked("oam", clk_, [this] { on_clk(); });
+}
+
+void OamLoopbackResponder::on_clk() {
+  if (rst_.read_bool()) {
+    out_valid.write(rtl::Logic::L0);
+    loop_valid.write(rtl::Logic::L0);
+    return;
+  }
+  out_valid.write(rtl::Logic::L0);
+  loop_valid.write(rtl::Logic::L0);
+  if (!in_valid_.read_bool()) return;
+
+  atm::Cell c = bits_to_cell(cell_in_.read(), false);
+  if (is_loopback_request(c)) {
+    // Turn the cell around: clear the indication, keep the tag.
+    c.payload[1] = static_cast<std::uint8_t>(c.payload[1] & ~1u);
+    loop_out.write(cell_to_bits(c));
+    loop_valid.write(rtl::Logic::L1);
+    ++answered_;
+    return;
+  }
+  if (is_oam_loopback(c)) ++responses_;
+  ++user_;
+  cell_out.write(cell_in_.read());
+  out_valid.write(rtl::Logic::L1);
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,67 @@
+// OAM F5 loopback responder (ITU-T I.610, simplified).
+//
+// Fault management on a virtual channel: an end point (or intermediate
+// point) receiving an OAM loopback cell with the loopback-indication flag
+// set must return the cell towards the originator with the flag cleared.
+// This is the standard in-service connectivity check of ATM networks; the
+// responder sits on the cell path like the accounting unit does.
+//
+// Encoding used here (a faithful subset of I.610):
+//   PTI = 0b101           end-to-end F5 OAM cell
+//   payload[0] = 0x18     OAM type/function: fault management / loopback
+//   payload[1] bit 0      loopback indication: 1 = request, 0 = response
+//   payload[2..5]         correlation tag (echoed verbatim)
+#pragma once
+
+#include <vector>
+
+#include "src/atm/cell.hpp"
+#include "src/atm/connection.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+constexpr std::uint8_t kOamPti = 0b101;
+constexpr std::uint8_t kOamLoopbackType = 0x18;
+
+/// Is `c` an OAM F5 loopback cell (request or response)?
+bool is_oam_loopback(const atm::Cell& c);
+/// Builds a loopback request on `vc` with a correlation tag.
+atm::Cell make_loopback_request(atm::VcId vc, std::uint32_t tag);
+/// Extracts the correlation tag.
+std::uint32_t loopback_tag(const atm::Cell& c);
+/// Request (indication set) vs response?
+bool is_loopback_request(const atm::Cell& c);
+
+/// RTL responder: watches the incoming stream; user cells pass through on
+/// `cell_out`; loopback *requests* are turned around on `loop_out` with the
+/// indication cleared; loopback *responses* pass through (they are for the
+/// originator) and are also counted.
+class OamLoopbackResponder : public rtl::Module {
+ public:
+  OamLoopbackResponder(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                       rtl::Signal rst, rtl::Bus cell_in,
+                       rtl::Signal in_valid);
+
+  rtl::Bus cell_out;        ///< pass-through path
+  rtl::Signal out_valid;
+  rtl::Bus loop_out;        ///< turned-around responses
+  rtl::Signal loop_valid;
+
+  std::uint64_t user_cells() const { return user_; }
+  std::uint64_t requests_answered() const { return answered_; }
+  std::uint64_t responses_seen() const { return responses_; }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  rtl::Bus cell_in_;
+  rtl::Signal in_valid_;
+  std::uint64_t user_ = 0;
+  std::uint64_t answered_ = 0;
+  std::uint64_t responses_ = 0;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,76 @@
+#include "src/hw/policer.hpp"
+
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+GcraPolicer::GcraPolicer(rtl::Simulator& sim, std::string name,
+                         rtl::Signal clk, rtl::Signal rst, rtl::Bus cell_in,
+                         rtl::Signal in_valid)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), cell_in_(cell_in),
+      in_valid_(in_valid) {
+  cell_out = make_bus("cell_out", kCellBits);
+  out_valid = make_signal("out_valid", rtl::Logic::L0);
+  discard = make_signal("discard", rtl::Logic::L0);
+  clocked("police", clk_, [this] { on_clk(); });
+}
+
+void GcraPolicer::configure(atm::VcId vc, VcConfig cfg) {
+  VcState st;
+  st.cfg = cfg;
+  vcs_[vc] = st;
+}
+
+void GcraPolicer::on_clk() {
+  if (rst_.read_bool()) {
+    tick_ = 0;
+    out_valid.write(rtl::Logic::L0);
+    discard.write(rtl::Logic::L0);
+    return;
+  }
+  ++tick_;
+  out_valid.write(rtl::Logic::L0);
+  discard.write(rtl::Logic::L0);
+  if (!in_valid_.read_bool()) return;
+
+  atm::Cell c = bits_to_cell(cell_in_.read(), false);
+  auto it = vcs_.find({c.header.vpi, c.header.vci});
+  if (it == vcs_.end()) {
+    // Unconfigured connections pass unpoliced.
+    ++passed_;
+    cell_out.write(cell_in_.read());
+    out_valid.write(rtl::Logic::L1);
+    return;
+  }
+  VcState& st = it->second;
+  bool conforming;
+  if (st.first) {
+    st.first = false;
+    st.tat = tick_ + st.cfg.increment_ticks;
+    conforming = true;
+  } else if (st.tat > st.cfg.limit_ticks &&
+             tick_ < st.tat - st.cfg.limit_ticks) {
+    conforming = false;
+  } else {
+    st.tat = (tick_ > st.tat ? tick_ : st.tat) + st.cfg.increment_ticks;
+    conforming = true;
+  }
+
+  if (conforming) {
+    ++passed_;
+    cell_out.write(cell_in_.read());
+    out_valid.write(rtl::Logic::L1);
+    return;
+  }
+  if (st.cfg.tag_instead_of_drop) {
+    ++tagged_;
+    c.header.clp = true;
+    cell_out.write(cell_to_bits(c));
+    out_valid.write(rtl::Logic::L1);
+    return;
+  }
+  ++dropped_;
+  discard.write(rtl::Logic::L1);
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,56 @@
+// Usage parameter control: per-VC GCRA policer in hardware.
+//
+// Implements the same virtual-scheduling GCRA as atm::Gcra but in integer
+// clock ticks, the way a real UPC circuit counts cell slots.  Non-conforming
+// cells are either discarded or CLP-tagged, per connection configuration.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/atm/connection.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class GcraPolicer : public rtl::Module {
+ public:
+  struct VcConfig {
+    std::uint64_t increment_ticks;  ///< T in clock cycles
+    std::uint64_t limit_ticks;      ///< tau in clock cycles
+    bool tag_instead_of_drop = false;
+  };
+
+  GcraPolicer(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+              rtl::Signal rst, rtl::Bus cell_in, rtl::Signal in_valid);
+
+  void configure(atm::VcId vc, VcConfig cfg);
+
+  rtl::Bus cell_out;
+  rtl::Signal out_valid;
+  rtl::Signal discard;  ///< pulse on a dropped non-conforming cell
+
+  std::uint64_t passed() const { return passed_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t tagged() const { return tagged_; }
+
+ private:
+  void on_clk();
+
+  struct VcState {
+    VcConfig cfg;
+    std::uint64_t tat = 0;
+    bool first = true;
+  };
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  rtl::Bus cell_in_;
+  rtl::Signal in_valid_;
+  std::unordered_map<atm::VcId, VcState, atm::VcIdHash> vcs_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t passed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t tagged_ = 0;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,120 @@
+#include "src/hw/port_module.hpp"
+
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+namespace {
+constexpr std::size_t kDestBits = 4;
+constexpr std::size_t kRxWord = kCellBits + kDestBits;
+}  // namespace
+
+PortModule::PortModule(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                       rtl::Signal rst, CellPort phys_in, CellPort phys_out,
+                       GlobalControlUnit::InputIf req_if, rtl::Signal grant,
+                       rtl::Bus fab_cell, rtl::Signal fab_valid, Config cfg)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), req_if_(req_if),
+      grant_(grant), fab_cell_(fab_cell), fab_valid_(fab_valid) {
+  rx_ = std::make_unique<CellReceiver>(sim, this->name() + ".rx", clk, rst,
+                                       phys_in);
+  translator_ = std::make_unique<HeaderTranslator>(
+      sim, this->name() + ".xlat", clk, rst, rx_->cell_out, rx_->cell_valid);
+  rx_fifo_ = std::make_unique<SyncFifo>(sim, this->name() + ".rxq", clk, rst,
+                                        kRxWord, cfg.rx_fifo_depth);
+  tx_fifo_ = std::make_unique<SyncFifo>(sim, this->name() + ".txq", clk, rst,
+                                        kCellBits, cfg.tx_fifo_depth);
+  tx_ = std::make_unique<CellTransmitter>(sim, this->name() + ".tx", clk, rst,
+                                          phys_out, cfg.insert_idle);
+
+  clocked("rx_push", clk_, [this] { on_clk_rx_push(); });
+  clocked("request", clk_, [this] { on_clk_request(); });
+  clocked("fab_capture", clk_, [this] { on_clk_fab_capture(); });
+  clocked("tx_feed", clk_, [this] { on_clk_tx_feed(); });
+}
+
+void PortModule::on_clk_rx_push() {
+  if (rst_.read_bool()) {
+    rx_fifo_->push.write(rtl::Logic::L0);
+    return;
+  }
+  if (translator_->out_valid.read_bool()) {
+    rtl::LogicVector word(kRxWord);
+    word.set_slice(0, translator_->cell_out.read());
+    word.set_slice(kCellBits, translator_->dest_port.read());
+    rx_fifo_->din.write(word);
+    rx_fifo_->push.write(rtl::Logic::L1);
+  } else {
+    rx_fifo_->push.write(rtl::Logic::L0);
+  }
+}
+
+void PortModule::on_clk_request() {
+  if (rst_.read_bool()) {
+    req_cooldown_ = 0;
+    req_if_.req.write(rtl::Logic::L0);
+    rx_fifo_->pop.write(rtl::Logic::L0);
+    return;
+  }
+  if (grant_.read_bool()) {
+    // Transfer accepted by the GCU: pop the head and back off until the
+    // FIFO head and flags have settled (pop is seen next edge, outputs the
+    // edge after).
+    rx_fifo_->pop.write(rtl::Logic::L1);
+    req_if_.req.write(rtl::Logic::L0);
+    req_cooldown_ = 3;
+    return;
+  }
+  rx_fifo_->pop.write(rtl::Logic::L0);
+  if (req_cooldown_ > 0) {
+    --req_cooldown_;
+    req_if_.req.write(rtl::Logic::L0);
+    return;
+  }
+  if (!rx_fifo_->empty.read_bool()) {
+    const rtl::LogicVector& word = rx_fifo_->dout.read();
+    req_if_.cell.write(word.slice(0, kCellBits));
+    req_if_.dest.write(word.slice(kCellBits, kDestBits));
+    req_if_.req.write(rtl::Logic::L1);
+  } else {
+    req_if_.req.write(rtl::Logic::L0);
+  }
+}
+
+void PortModule::on_clk_fab_capture() {
+  if (rst_.read_bool()) {
+    tx_fifo_->push.write(rtl::Logic::L0);
+    return;
+  }
+  if (fab_valid_.read_bool()) {
+    tx_fifo_->din.write(fab_cell_.read());
+    tx_fifo_->push.write(rtl::Logic::L1);
+  } else {
+    tx_fifo_->push.write(rtl::Logic::L0);
+  }
+}
+
+void PortModule::on_clk_tx_feed() {
+  if (rst_.read_bool()) {
+    feed_cooldown_ = 0;
+    tx_->send.write(rtl::Logic::L0);
+    tx_fifo_->pop.write(rtl::Logic::L0);
+    return;
+  }
+  if (feed_cooldown_ > 0) {
+    --feed_cooldown_;
+    tx_->send.write(rtl::Logic::L0);
+    tx_fifo_->pop.write(rtl::Logic::L0);
+    return;
+  }
+  if (!tx_fifo_->empty.read_bool() && tx_->ready.read_bool()) {
+    tx_->cell_in.write(tx_fifo_->dout.read());
+    tx_->send.write(rtl::Logic::L1);
+    tx_fifo_->pop.write(rtl::Logic::L1);
+    feed_cooldown_ = 3;
+  } else {
+    tx_->send.write(rtl::Logic::L0);
+    tx_fifo_->pop.write(rtl::Logic::L0);
+  }
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,68 @@
+// Port module: one of the four per-link datapaths of the switch (§2's
+// "four port modules, one global control unit").
+//
+// Datapath: serial receive -> HEC check -> VPI/VCI translation -> input FIFO
+// -> request/grant handshake with the GCU -> (fabric) -> output FIFO ->
+// serial transmit.  All stages are clocked processes communicating through
+// signals, so the module exhibits the event density of a real RTL model.
+#pragma once
+
+#include <memory>
+
+#include "src/hw/cell_rx.hpp"
+#include "src/hw/cell_tx.hpp"
+#include "src/hw/fifo.hpp"
+#include "src/hw/gcu.hpp"
+#include "src/hw/translator.hpp"
+
+namespace castanet::hw {
+
+class PortModule : public rtl::Module {
+ public:
+  struct Config {
+    std::size_t rx_fifo_depth = 32;
+    std::size_t tx_fifo_depth = 32;
+    bool insert_idle = false;
+  };
+
+  /// `req_if` are the request signals this port drives toward the GCU (the
+  /// switch top creates them); `grant`, `fab_cell`, `fab_valid` come back
+  /// from the GCU.
+  PortModule(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+             rtl::Signal rst, CellPort phys_in, CellPort phys_out,
+             GlobalControlUnit::InputIf req_if, rtl::Signal grant,
+             rtl::Bus fab_cell, rtl::Signal fab_valid, Config cfg);
+
+  /// Connection table of this port's translation stage.
+  atm::ConnectionTable& table() { return translator_->table(); }
+
+  const CellReceiver& rx() const { return *rx_; }
+  const CellTransmitter& tx() const { return *tx_; }
+  const SyncFifo& rx_fifo() const { return *rx_fifo_; }
+  const SyncFifo& tx_fifo() const { return *tx_fifo_; }
+  const HeaderTranslator& translator() const { return *translator_; }
+
+ private:
+  void on_clk_request();
+  void on_clk_rx_push();
+  void on_clk_fab_capture();
+  void on_clk_tx_feed();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  GlobalControlUnit::InputIf req_if_;
+  rtl::Signal grant_;
+  rtl::Bus fab_cell_;
+  rtl::Signal fab_valid_;
+
+  std::unique_ptr<CellReceiver> rx_;
+  std::unique_ptr<HeaderTranslator> translator_;
+  std::unique_ptr<SyncFifo> rx_fifo_;  ///< words: cell(424) ++ dest(4)
+  std::unique_ptr<SyncFifo> tx_fifo_;  ///< words: cell(424)
+  std::unique_ptr<CellTransmitter> tx_;
+
+  unsigned req_cooldown_ = 0;   ///< cycles to hold req low after a grant
+  unsigned feed_cooldown_ = 0;  ///< cycles to hold tx feed after a send
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,148 @@
+#include "src/hw/sar.hpp"
+
+#include "src/core/error.hpp"
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+// --- Aal5Segmenter -----------------------------------------------------------
+
+Aal5Segmenter::Aal5Segmenter(rtl::Simulator& sim, std::string name,
+                             rtl::Signal clk, rtl::Signal rst,
+                             unsigned cell_spacing_cycles)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst),
+      spacing_(cell_spacing_cycles) {
+  require(spacing_ >= 1, "Aal5Segmenter: spacing must be >= 1 cycle");
+  cell_out = make_bus("cell_out", kCellBits);
+  cell_valid = make_signal("cell_valid", rtl::Logic::L0);
+  busy = make_signal("busy", rtl::Logic::L0);
+  clocked("segment", clk_, [this] { on_clk(); });
+}
+
+void Aal5Segmenter::enqueue_frame(atm::VcId vc,
+                                  std::vector<std::uint8_t> frame) {
+  pending_.emplace_back(vc, std::move(frame));
+}
+
+void Aal5Segmenter::on_clk() {
+  if (rst_.read_bool()) {
+    train_.clear();
+    train_pos_ = 0;
+    countdown_ = 0;
+    cell_valid.write(rtl::Logic::L0);
+    busy.write(rtl::Logic::L0);
+    return;
+  }
+  cell_valid.write(rtl::Logic::L0);
+  if (countdown_ > 0) {
+    --countdown_;
+    return;
+  }
+  if (train_pos_ >= train_.size()) {
+    if (pending_.empty()) {
+      busy.write(rtl::Logic::L0);
+      return;
+    }
+    auto [vc, frame] = std::move(pending_.front());
+    pending_.pop_front();
+    train_ = atm::aal5_segment(frame, vc);
+    train_pos_ = 0;
+    busy.write(rtl::Logic::L1);
+  }
+  cell_out.write(cell_to_bits(train_[train_pos_]));
+  cell_valid.write(rtl::Logic::L1);
+  ++cells_;
+  ++train_pos_;
+  countdown_ = spacing_ - 1;
+  if (train_pos_ >= train_.size()) {
+    ++frames_;
+    train_.clear();
+    train_pos_ = 0;
+  }
+}
+
+// --- Aal5ReassemblerRtl -------------------------------------------------------
+
+Aal5ReassemblerRtl::Aal5ReassemblerRtl(rtl::Simulator& sim, std::string name,
+                                       rtl::Signal clk, rtl::Signal rst,
+                                       rtl::Bus cell_in, rtl::Signal in_valid,
+                                       std::size_t max_contexts,
+                                       std::size_t max_frame_bytes)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), cell_in_(cell_in),
+      in_valid_(in_valid), max_contexts_(max_contexts),
+      max_frame_bytes_(max_frame_bytes) {
+  require(max_contexts >= 1, "Aal5ReassemblerRtl: need >= 1 context");
+  frame_done = make_signal("frame_done", rtl::Logic::L0);
+  done_vci = make_bus("done_vci", 16, rtl::Logic::L0);
+  clocked("reassemble", clk_, [this] { on_clk(); });
+}
+
+void Aal5ReassemblerRtl::on_clk() {
+  if (rst_.read_bool()) {
+    contexts_.clear();
+    frame_done.write(rtl::Logic::L0);
+    return;
+  }
+  frame_done.write(rtl::Logic::L0);
+  if (!in_valid_.read_bool()) return;
+
+  const atm::Cell c = bits_to_cell(cell_in_.read(), false);
+  const atm::VcId vc{c.header.vpi, c.header.vci};
+  auto it = contexts_.find(vc);
+  if (it == contexts_.end()) {
+    if (contexts_.size() >= max_contexts_) {
+      ++context_drops_;
+      return;
+    }
+    it = contexts_.emplace(vc, Context{}).first;
+  }
+  Context& ctx = it->second;
+  if (ctx.discarding) {
+    // Drop everything until the end-of-PDU cell resynchronizes the VC.
+    if (c.header.pti & 1) contexts_.erase(it);
+    return;
+  }
+  ctx.buf.insert(ctx.buf.end(), c.payload.begin(), c.payload.end());
+  if (ctx.buf.size() > max_frame_bytes_ + 48 + 8) {
+    // Runaway PDU (lost end-of-frame): enter discard mode.
+    ++length_errors_;
+    ctx.buf.clear();
+    ctx.discarding = true;
+    return;
+  }
+  if ((c.header.pti & 1) == 0) return;  // more cells follow
+
+  // End of CPCS-PDU: verify trailer, deliver or count the failure.
+  const std::vector<std::uint8_t> pdu = std::move(ctx.buf);
+  contexts_.erase(it);
+  if (pdu.size() < 8) {
+    ++length_errors_;
+    return;
+  }
+  const std::size_t n = pdu.size();
+  const std::uint32_t got_crc = static_cast<std::uint32_t>(pdu[n - 4]) << 24 |
+                                static_cast<std::uint32_t>(pdu[n - 3]) << 16 |
+                                static_cast<std::uint32_t>(pdu[n - 2]) << 8 |
+                                static_cast<std::uint32_t>(pdu[n - 1]);
+  if (atm::aal5_crc32(pdu.data(), n - 4) != got_crc) {
+    ++crc_errors_;
+    return;
+  }
+  const std::size_t length = static_cast<std::size_t>(pdu[n - 6]) << 8 |
+                             static_cast<std::size_t>(pdu[n - 5]);
+  if (length > n - 8) {
+    ++length_errors_;
+    return;
+  }
+  ++frames_ok_;
+  done_vci.write_uint(vc.vci);
+  frame_done.write(rtl::Logic::L1);
+  if (callback_) {
+    std::vector<std::uint8_t> frame(pdu.begin(),
+                                    pdu.begin() + static_cast<std::ptrdiff_t>(
+                                                      length));
+    callback_(vc, frame);
+  }
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,104 @@
+// AAL5 segmentation-and-reassembly hardware.
+//
+// SAR devices were the workhorse ATM chips (the adaptation layer between
+// frame-based software and the cell stream); they are exactly the "hardware
+// for telecommunication networking components" CASTANET targets.  Two
+// units:
+//
+//   Aal5Segmenter — accepts frames (from the software side, like a host
+//   DMA queue), emits the AAL5 cell train on a parallel cell bus, pacing
+//   one cell per `cell_spacing_cycles` (the link cell slot), with the
+//   end-of-PDU marked in PTI and the CRC-32 trailer computed on the fly.
+//
+//   Aal5Reassembler — consumes a parallel cell stream, keeps one
+//   reassembly context per VC (bounded), and delivers completed, verified
+//   frames through a callback plus a `frame_done` pulse carrying the VC.
+//   CRC/length failures and context exhaustion are counted and dropped,
+//   as real SARs do.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atm/aal5.hpp"
+#include "src/atm/connection.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class Aal5Segmenter : public rtl::Module {
+ public:
+  Aal5Segmenter(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                rtl::Signal rst, unsigned cell_spacing_cycles = 53);
+
+  /// Queues a frame for transmission on `vc` (host-side handoff).
+  void enqueue_frame(atm::VcId vc, std::vector<std::uint8_t> frame);
+
+  rtl::Bus cell_out;       ///< 424 bits
+  rtl::Signal cell_valid;  ///< one-clock pulse per emitted cell
+  rtl::Signal busy;        ///< a PDU is in flight
+
+  std::uint64_t frames_sent() const { return frames_; }
+  std::uint64_t cells_sent() const { return cells_; }
+  std::size_t backlog() const { return pending_.size(); }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  unsigned spacing_;
+  unsigned countdown_ = 0;
+  std::deque<std::pair<atm::VcId, std::vector<std::uint8_t>>> pending_;
+  std::vector<atm::Cell> train_;  ///< current PDU's cells
+  std::size_t train_pos_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t cells_ = 0;
+};
+
+class Aal5ReassemblerRtl : public rtl::Module {
+ public:
+  Aal5ReassemblerRtl(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                     rtl::Signal rst, rtl::Bus cell_in, rtl::Signal in_valid,
+                     std::size_t max_contexts = 16,
+                     std::size_t max_frame_bytes = 65535);
+
+  using FrameCallback =
+      std::function<void(atm::VcId, const std::vector<std::uint8_t>&)>;
+  void set_callback(FrameCallback cb) { callback_ = std::move(cb); }
+
+  rtl::Signal frame_done;  ///< pulse on a completed good frame
+  rtl::Bus done_vci;       ///< VCI of the completed frame (16 bits)
+
+  std::uint64_t frames_ok() const { return frames_ok_; }
+  std::uint64_t crc_errors() const { return crc_errors_; }
+  std::uint64_t length_errors() const { return length_errors_; }
+  std::uint64_t context_drops() const { return context_drops_; }
+  std::size_t active_contexts() const { return contexts_.size(); }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  rtl::Bus cell_in_;
+  rtl::Signal in_valid_;
+  std::size_t max_contexts_;
+  std::size_t max_frame_bytes_;
+  struct Context {
+    std::vector<std::uint8_t> buf;
+    /// After an overflow the context discards until the end-of-PDU cell
+    /// resynchronizes it (standard SAR behaviour).
+    bool discarding = false;
+  };
+  std::unordered_map<atm::VcId, Context, atm::VcIdHash> contexts_;
+  FrameCallback callback_;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t crc_errors_ = 0;
+  std::uint64_t length_errors_ = 0;
+  std::uint64_t context_drops_ = 0;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,81 @@
+#include "src/hw/shaper.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+CellShaper::CellShaper(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                       rtl::Signal rst, rtl::Bus cell_in,
+                       rtl::Signal in_valid, std::size_t per_vc_depth)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), cell_in_(cell_in),
+      in_valid_(in_valid), per_vc_depth_(per_vc_depth) {
+  require(per_vc_depth >= 1, "CellShaper: per-VC depth must be >= 1");
+  cell_out = make_bus("cell_out", kCellBits);
+  out_valid = make_signal("out_valid", rtl::Logic::L0);
+  clocked("shape", clk_, [this] { on_clk(); });
+}
+
+void CellShaper::configure(atm::VcId vc, std::uint64_t increment_ticks) {
+  VcState& st = vcs_[vc];
+  st.increment = increment_ticks;
+  if (std::find(rr_order_.begin(), rr_order_.end(), vc) == rr_order_.end()) {
+    rr_order_.push_back(vc);
+  }
+}
+
+std::size_t CellShaper::backlog() const {
+  std::size_t n = 0;
+  for (const auto& [vc, st] : vcs_) n += st.queue.size();
+  return n;
+}
+
+void CellShaper::on_clk() {
+  if (rst_.read_bool()) {
+    tick_ = 0;
+    for (auto& [vc, st] : vcs_) {
+      st.queue.clear();
+      st.next_ok_tick = 0;
+    }
+    out_valid.write(rtl::Logic::L0);
+    return;
+  }
+  ++tick_;
+  out_valid.write(rtl::Logic::L0);
+
+  // Ingest at most one cell per clock.
+  if (in_valid_.read_bool()) {
+    const atm::Cell c = bits_to_cell(cell_in_.read(), false);
+    const atm::VcId vc{c.header.vpi, c.header.vci};
+    auto it = vcs_.find(vc);
+    if (it == vcs_.end()) {
+      it = vcs_.emplace(vc, VcState{}).first;
+      rr_order_.push_back(vc);
+    }
+    if (it->second.queue.size() >= per_vc_depth_) {
+      ++dropped_;
+    } else {
+      it->second.queue.push_back(c);
+      ++accepted_;
+    }
+  }
+
+  // Release at most one eligible cell, round-robin over VCs.
+  if (rr_order_.empty()) return;
+  for (std::size_t k = 0; k < rr_order_.size(); ++k) {
+    const std::size_t idx = (rr_next_ + k) % rr_order_.size();
+    VcState& st = vcs_[rr_order_[idx]];
+    if (st.queue.empty() || tick_ < st.next_ok_tick) continue;
+    cell_out.write(cell_to_bits(st.queue.front()));
+    out_valid.write(rtl::Logic::L1);
+    st.queue.pop_front();
+    st.next_ok_tick = tick_ + st.increment;
+    ++released_;
+    rr_next_ = (idx + 1) % rr_order_.size();
+    break;
+  }
+}
+
+}  // namespace castanet::hw

@@ -1,0 +1,63 @@
+// Per-VC traffic shaper (cell spacer).
+//
+// The dual of the GCRA policer: where UPC discards non-conforming cells at
+// the network ingress, a shaper *delays* cells at the source so the stream
+// leaves conforming.  Classic ATM traffic-management hardware ("especially
+// in [the] ATM traffic management sector", §4): per-VC queues plus a
+// virtual-scheduling spacer that releases at most one cell per clock, each
+// VC's cells no closer than its configured increment.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atm/connection.hpp"
+#include "src/atm/cell.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class CellShaper : public rtl::Module {
+ public:
+  CellShaper(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+             rtl::Signal rst, rtl::Bus cell_in, rtl::Signal in_valid,
+             std::size_t per_vc_depth = 32);
+
+  /// Configures a VC's spacing: consecutive cells leave >= increment_ticks
+  /// apart.  Unconfigured VCs pass through unshaped (but still serialized
+  /// to one cell per clock).
+  void configure(atm::VcId vc, std::uint64_t increment_ticks);
+
+  rtl::Bus cell_out;
+  rtl::Signal out_valid;
+
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t released() const { return released_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t backlog() const;
+
+ private:
+  void on_clk();
+
+  struct VcState {
+    std::uint64_t increment = 0;  ///< 0 = unshaped
+    std::uint64_t next_ok_tick = 0;
+    std::deque<atm::Cell> queue;
+  };
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  rtl::Bus cell_in_;
+  rtl::Signal in_valid_;
+  std::size_t per_vc_depth_;
+  std::unordered_map<atm::VcId, VcState, atm::VcIdHash> vcs_;
+  std::vector<atm::VcId> rr_order_;  ///< round-robin scan order
+  std::size_t rr_next_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t released_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace castanet::hw

@@ -1,0 +1,40 @@
+#include "src/hw/translator.hpp"
+
+#include "src/hw/cell_bits.hpp"
+
+namespace castanet::hw {
+
+HeaderTranslator::HeaderTranslator(rtl::Simulator& sim, std::string name,
+                                   rtl::Signal clk, rtl::Signal rst,
+                                   rtl::Bus cell_in, rtl::Signal in_valid)
+    : Module(sim, std::move(name)), clk_(clk), rst_(rst), cell_in_(cell_in),
+      in_valid_(in_valid) {
+  cell_out = make_bus("cell_out", kCellBits);
+  out_valid = make_signal("out_valid", rtl::Logic::L0);
+  dest_port = make_bus("dest_port", 4, rtl::Logic::L0);
+  clocked("translate", clk_, [this] { on_clk(); });
+}
+
+void HeaderTranslator::on_clk() {
+  if (rst_.read_bool()) {
+    out_valid.write(rtl::Logic::L0);
+    return;
+  }
+  out_valid.write(rtl::Logic::L0);
+  if (!in_valid_.read_bool()) return;
+
+  atm::Cell c = bits_to_cell(cell_in_.read(), false);
+  const auto route = table_.lookup({c.header.vpi, c.header.vci});
+  if (!route) {
+    ++misinserted_;
+    return;
+  }
+  c.header.vpi = route->out_vc.vpi;
+  c.header.vci = route->out_vc.vci;
+  ++translated_;
+  cell_out.write(cell_to_bits(c));
+  dest_port.write_uint(route->out_port);
+  out_valid.write(rtl::Logic::L1);
+}
+
+}  // namespace castanet::hw

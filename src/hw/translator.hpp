@@ -1,0 +1,44 @@
+// VPI/VCI header translation stage.
+//
+// Looks up each incoming cell's (VPI, VCI) in a software-loaded connection
+// table (modeling the CAM + context RAM of a real port controller), rewrites
+// the header with the outgoing identifiers and annotates the destination
+// switch port.  Unknown connections are discarded and counted as
+// misinserted.  One clock of pipeline latency.
+#pragma once
+
+#include "src/atm/connection.hpp"
+#include "src/hw/cell_port.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw {
+
+class HeaderTranslator : public rtl::Module {
+ public:
+  HeaderTranslator(rtl::Simulator& sim, std::string name, rtl::Signal clk,
+                   rtl::Signal rst, rtl::Bus cell_in, rtl::Signal in_valid);
+
+  /// Loads/updates the connection table (software access path; in silicon
+  /// this is the management interface writing the CAM).
+  atm::ConnectionTable& table() { return table_; }
+
+  rtl::Bus cell_out;       ///< translated cell, one clock after input
+  rtl::Signal out_valid;
+  rtl::Bus dest_port;      ///< 4 bits: destination switch port index
+
+  std::uint64_t translated() const { return translated_; }
+  std::uint64_t misinserted() const { return misinserted_; }
+
+ private:
+  void on_clk();
+
+  rtl::Signal clk_;
+  rtl::Signal rst_;
+  rtl::Bus cell_in_;
+  rtl::Signal in_valid_;
+  atm::ConnectionTable table_;
+  std::uint64_t translated_ = 0;
+  std::uint64_t misinserted_ = 0;
+};
+
+}  // namespace castanet::hw

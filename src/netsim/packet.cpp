@@ -1,0 +1,35 @@
+#include "src/netsim/packet.hpp"
+
+#include <sstream>
+
+#include "src/core/error.hpp"
+
+namespace castanet::netsim {
+
+const atm::Cell& Packet::cell() const {
+  if (!cell_) throw LogicError("Packet::cell: packet carries no ATM cell");
+  return *cell_;
+}
+
+atm::Cell& Packet::mutable_cell() {
+  if (!cell_) throw LogicError("Packet::cell: packet carries no ATM cell");
+  return *cell_;
+}
+
+double Packet::field(const std::string& name) const {
+  auto it = fields_.find(name);
+  if (it == fields_.end()) {
+    throw LogicError("Packet::field: no field '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string Packet::to_string() const {
+  std::ostringstream os;
+  os << "pkt#" << id_;
+  if (cell_) os << " " << cell_->to_string();
+  for (const auto& [k, v] : fields_) os << " " << k << "=" << v;
+  return os.str();
+}
+
+}  // namespace castanet::netsim

@@ -1,0 +1,69 @@
+#include "src/netsim/queue.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+#include "src/netsim/simulation.hpp"
+
+namespace castanet::netsim {
+
+QueueProcess::QueueProcess(Config cfg) : cfg_(cfg) {
+  require(cfg_.service_time > SimTime::zero(),
+          "QueueProcess: service time must be positive");
+  require(cfg_.capacity >= 1, "QueueProcess: capacity must be >= 1");
+  const int idle = add_state("idle", nullptr, false);
+  const int arrive = add_state(
+      "arrive", [this](const Interrupt& i) { on_arrival(i); }, true);
+  const int done = add_state(
+      "done", [this](const Interrupt& i) { on_service_done(i); }, true);
+  set_initial(idle);
+  add_transition(idle, arrive, [](const Interrupt& i) {
+    return i.kind == InterruptKind::kStream;
+  });
+  add_transition(idle, done, [](const Interrupt& i) {
+    return i.kind == InterruptKind::kSelf;
+  });
+  add_transition(arrive, idle, nullptr);
+  add_transition(done, idle, nullptr);
+}
+
+void QueueProcess::note_occupancy() {
+  occ_.set(now().seconds(), static_cast<double>(occupancy()));
+  max_occupancy_ = std::max(max_occupancy_, occupancy());
+}
+
+void QueueProcess::start_service(Packet p) {
+  busy_ = true;
+  in_service_ = std::move(p);
+  service_started_ = now();
+  schedule_self(cfg_.service_time, 0);
+}
+
+void QueueProcess::on_arrival(const Interrupt& intr) {
+  ++arrivals_;
+  if (occupancy() >= cfg_.capacity) {
+    ++drops_;
+    return;
+  }
+  if (!busy_) {
+    start_service(intr.packet);
+  } else {
+    queue_.push_back(intr.packet);
+  }
+  note_occupancy();
+}
+
+void QueueProcess::on_service_done(const Interrupt&) {
+  ++departures_;
+  delay_.record((now() - in_service_.creation_time()).seconds());
+  send(0, std::move(in_service_));
+  busy_ = false;
+  if (!queue_.empty()) {
+    Packet next = std::move(queue_.front());
+    queue_.pop_front();
+    start_service(std::move(next));
+  }
+  note_occupancy();
+}
+
+}  // namespace castanet::netsim

@@ -1,0 +1,56 @@
+// Queueing module for the node domain.
+//
+// "Within the node domain each node's capability is described in terms of
+// processing, queueing and communication interfaces" (§2).  QueueProcess is
+// the standard single-server FIFO building block: packets arriving on
+// stream 0 wait for a deterministic per-packet service time (one cell time
+// of the modeled link) and leave on stream 0; a finite buffer drops
+// arrivals when full.  Occupancy is recorded as a time-average statistic —
+// the quantity switch dimensioning studies read off the model.
+#pragma once
+
+#include <deque>
+
+#include "src/core/stats.hpp"
+#include "src/netsim/process.hpp"
+
+namespace castanet::netsim {
+
+class QueueProcess : public FsmProcess {
+ public:
+  struct Config {
+    SimTime service_time = SimTime::from_us(3);  ///< per packet
+    std::size_t capacity = 64;                   ///< waiting room incl. server
+  };
+
+  explicit QueueProcess(Config cfg);
+
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t departures() const { return departures_; }
+  std::uint64_t drops() const { return drops_; }
+  std::size_t occupancy() const { return queue_.size() + (busy_ ? 1 : 0); }
+  std::size_t max_occupancy() const { return max_occupancy_; }
+  /// Time-averaged occupancy up to `now`.
+  double mean_occupancy(SimTime now) const { return occ_.average(now.seconds()); }
+  double mean_delay_sec() const { return delay_.mean(); }
+
+ private:
+  void on_arrival(const Interrupt& intr);
+  void on_service_done(const Interrupt& intr);
+  void start_service(Packet p);
+  void note_occupancy();
+
+  Config cfg_;
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  Packet in_service_;
+  SimTime service_started_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t departures_ = 0;
+  std::uint64_t drops_ = 0;
+  std::size_t max_occupancy_ = 0;
+  TimeAverageStat occ_;
+  SampleStat delay_;
+};
+
+}  // namespace castanet::netsim

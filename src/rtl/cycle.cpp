@@ -1,0 +1,15 @@
+#include "src/rtl/cycle.hpp"
+
+namespace castanet::rtl {
+
+void CycleEngine::run_cycles(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (CycleModel* m : models_) {
+      m->on_cycle();
+      ++evaluations_;
+    }
+    ++cycles_;
+  }
+}
+
+}  // namespace castanet::rtl

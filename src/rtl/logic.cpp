@@ -1,0 +1,130 @@
+#include "src/rtl/logic.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "src/core/error.hpp"
+
+namespace castanet::rtl {
+
+namespace {
+constexpr std::uint8_t U = 0, X = 1, O = 2, I = 3, Z = 4, W = 5, L = 6, H = 7,
+                       D = 8;
+
+// IEEE 1164 resolution table.
+constexpr std::array<std::array<std::uint8_t, 9>, 9> kResolve = {{
+    //         U  X  0  1  Z  W  L  H  -
+    /* U */  {{U, U, U, U, U, U, U, U, U}},
+    /* X */  {{U, X, X, X, X, X, X, X, X}},
+    /* 0 */  {{U, X, O, X, O, O, O, O, X}},
+    /* 1 */  {{U, X, X, I, I, I, I, I, X}},
+    /* Z */  {{U, X, O, I, Z, W, L, H, X}},
+    /* W */  {{U, X, O, I, W, W, W, W, X}},
+    /* L */  {{U, X, O, I, L, W, L, W, X}},
+    /* H */  {{U, X, O, I, H, W, W, H, X}},
+    /* - */  {{U, X, X, X, X, X, X, X, X}},
+}};
+
+// IEEE 1164 "and" table.
+constexpr std::array<std::array<std::uint8_t, 9>, 9> kAnd = {{
+    //         U  X  0  1  Z  W  L  H  -
+    /* U */  {{U, U, O, U, U, U, O, U, U}},
+    /* X */  {{U, X, O, X, X, X, O, X, X}},
+    /* 0 */  {{O, O, O, O, O, O, O, O, O}},
+    /* 1 */  {{U, X, O, I, X, X, O, I, X}},
+    /* Z */  {{U, X, O, X, X, X, O, X, X}},
+    /* W */  {{U, X, O, X, X, X, O, X, X}},
+    /* L */  {{O, O, O, O, O, O, O, O, O}},
+    /* H */  {{U, X, O, I, X, X, O, I, X}},
+    /* - */  {{U, X, O, X, X, X, O, X, X}},
+}};
+
+// IEEE 1164 "or" table.
+constexpr std::array<std::array<std::uint8_t, 9>, 9> kOr = {{
+    //         U  X  0  1  Z  W  L  H  -
+    /* U */  {{U, U, U, I, U, U, U, I, U}},
+    /* X */  {{U, X, X, I, X, X, X, I, X}},
+    /* 0 */  {{U, X, O, I, X, X, O, I, X}},
+    /* 1 */  {{I, I, I, I, I, I, I, I, I}},
+    /* Z */  {{U, X, X, I, X, X, X, I, X}},
+    /* W */  {{U, X, X, I, X, X, X, I, X}},
+    /* L */  {{U, X, O, I, X, X, O, I, X}},
+    /* H */  {{I, I, I, I, I, I, I, I, I}},
+    /* - */  {{U, X, X, I, X, X, X, I, X}},
+}};
+
+// IEEE 1164 "xor" table.
+constexpr std::array<std::array<std::uint8_t, 9>, 9> kXor = {{
+    //         U  X  0  1  Z  W  L  H  -
+    /* U */  {{U, U, U, U, U, U, U, U, U}},
+    /* X */  {{U, X, X, X, X, X, X, X, X}},
+    /* 0 */  {{U, X, O, I, X, X, O, I, X}},
+    /* 1 */  {{U, X, I, O, X, X, I, O, X}},
+    /* Z */  {{U, X, X, X, X, X, X, X, X}},
+    /* W */  {{U, X, X, X, X, X, X, X, X}},
+    /* L */  {{U, X, O, I, X, X, O, I, X}},
+    /* H */  {{U, X, I, O, X, X, I, O, X}},
+    /* - */  {{U, X, X, X, X, X, X, X, X}},
+}};
+
+constexpr std::array<std::uint8_t, 9> kNot = {U, X, I, O, X, X, I, O, X};
+
+std::uint8_t idx(Logic v) { return static_cast<std::uint8_t>(v); }
+}  // namespace
+
+Logic resolve(Logic a, Logic b) {
+  return static_cast<Logic>(kResolve[idx(a)][idx(b)]);
+}
+Logic logic_and(Logic a, Logic b) {
+  return static_cast<Logic>(kAnd[idx(a)][idx(b)]);
+}
+Logic logic_or(Logic a, Logic b) {
+  return static_cast<Logic>(kOr[idx(a)][idx(b)]);
+}
+Logic logic_xor(Logic a, Logic b) {
+  return static_cast<Logic>(kXor[idx(a)][idx(b)]);
+}
+Logic logic_not(Logic a) { return static_cast<Logic>(kNot[idx(a)]); }
+
+bool to_bool(Logic v, bool fallback) {
+  switch (v) {
+    case Logic::L1:
+    case Logic::H:
+      return true;
+    case Logic::L0:
+    case Logic::L:
+      return false;
+    default:
+      return fallback;
+  }
+}
+
+bool is_01(Logic v) {
+  return v == Logic::L0 || v == Logic::L1 || v == Logic::L || v == Logic::H;
+}
+
+Logic from_bool(bool b) { return b ? Logic::L1 : Logic::L0; }
+
+char to_char(Logic v) {
+  static constexpr char kChars[] = {'U', 'X', '0', '1', 'Z', 'W', 'L', 'H',
+                                    '-'};
+  return kChars[idx(v)];
+}
+
+Logic from_char(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'U': return Logic::U;
+    case 'X': return Logic::X;
+    case '0': return Logic::L0;
+    case '1': return Logic::L1;
+    case 'Z': return Logic::Z;
+    case 'W': return Logic::W;
+    case 'L': return Logic::L;
+    case 'H': return Logic::H;
+    case '-': return Logic::DC;
+    default:
+      throw ConfigError(std::string("Logic: invalid character '") + c + "'");
+  }
+}
+
+}  // namespace castanet::rtl

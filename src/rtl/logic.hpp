@@ -1,0 +1,47 @@
+// IEEE 1164 nine-valued logic.
+//
+// The paper's DUTs are VHDL models simulated by Synopsys VSS; our HDL kernel
+// reproduces VHDL's std_logic semantics so that signal events, resolution of
+// multiply-driven nets (needed for the test board's bidirectional bus ports,
+// §3.3) and X-propagation behave as they would in VSS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace castanet::rtl {
+
+/// std_ulogic values, in IEEE 1164 declaration order.
+enum class Logic : std::uint8_t {
+  U = 0,  ///< uninitialized
+  X = 1,  ///< forcing unknown
+  L0 = 2, ///< forcing 0
+  L1 = 3, ///< forcing 1
+  Z = 4,  ///< high impedance
+  W = 5,  ///< weak unknown
+  L = 6,  ///< weak 0
+  H = 7,  ///< weak 1
+  DC = 8, ///< don't care ('-')
+};
+
+/// IEEE 1164 `resolved` function for two drivers.
+Logic resolve(Logic a, Logic b);
+
+/// IEEE 1164 logical operators (std_logic truth tables).
+Logic logic_and(Logic a, Logic b);
+Logic logic_or(Logic a, Logic b);
+Logic logic_xor(Logic a, Logic b);
+Logic logic_not(Logic a);
+
+/// '0'/'L' -> false, '1'/'H' -> true; everything else -> fallback.
+bool to_bool(Logic v, bool fallback = false);
+/// True for '0','1','L','H' (values with a defined boolean meaning).
+bool is_01(Logic v);
+Logic from_bool(bool b);
+
+char to_char(Logic v);
+/// Parses 'U','X','0','1','Z','W','L','H','-' (case-insensitive);
+/// throws ConfigError on anything else.
+Logic from_char(char c);
+
+}  // namespace castanet::rtl

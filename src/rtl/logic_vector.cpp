@@ -1,0 +1,101 @@
+#include "src/rtl/logic_vector.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::rtl {
+
+LogicVector::LogicVector(std::size_t width, Logic fill) : bits_(width, fill) {}
+
+LogicVector LogicVector::from_string(const std::string& s) {
+  LogicVector v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    // Leftmost char is the MSB.
+    v.bits_[s.size() - 1 - i] = from_char(s[i]);
+  }
+  return v;
+}
+
+LogicVector LogicVector::from_uint(std::uint64_t value, std::size_t width) {
+  require(width <= 64, "LogicVector::from_uint: width > 64");
+  LogicVector v(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    v.bits_[i] = from_bool((value >> i) & 1);
+  }
+  return v;
+}
+
+Logic LogicVector::bit(std::size_t i) const {
+  require(i < bits_.size(), "LogicVector::bit: index out of range");
+  return bits_[i];
+}
+
+void LogicVector::set_bit(std::size_t i, Logic v) {
+  require(i < bits_.size(), "LogicVector::set_bit: index out of range");
+  bits_[i] = v;
+}
+
+std::uint64_t LogicVector::to_uint() const {
+  require(bits_.size() <= 64, "LogicVector::to_uint: width > 64");
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (!is_01(bits_[i])) {
+      throw LogicError("LogicVector::to_uint: bit " + std::to_string(i) +
+                       " is '" + std::string(1, to_char(bits_[i])) +
+                       "' (no defined boolean value)");
+    }
+    if (to_bool(bits_[i])) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+bool LogicVector::is_defined() const {
+  return std::all_of(bits_.begin(), bits_.end(), is_01);
+}
+
+bool LogicVector::has_unknown() const {
+  return std::any_of(bits_.begin(), bits_.end(), [](Logic b) {
+    return b == Logic::U || b == Logic::X;
+  });
+}
+
+LogicVector LogicVector::slice(std::size_t lo, std::size_t len) const {
+  require(lo + len <= bits_.size(), "LogicVector::slice: out of range");
+  LogicVector v(len);
+  std::copy_n(bits_.begin() + static_cast<std::ptrdiff_t>(lo), len,
+              v.bits_.begin());
+  return v;
+}
+
+void LogicVector::set_slice(std::size_t lo, const LogicVector& v) {
+  require(lo + v.width() <= bits_.size(),
+          "LogicVector::set_slice: out of range");
+  std::copy(v.bits_.begin(), v.bits_.end(),
+            bits_.begin() + static_cast<std::ptrdiff_t>(lo));
+}
+
+std::string LogicVector::to_string() const {
+  std::string s(bits_.size(), '?');
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    s[bits_.size() - 1 - i] = to_char(bits_[i]);
+  }
+  return s;
+}
+
+LogicVector resolve(const LogicVector& a, const LogicVector& b) {
+  require(a.width() == b.width(), "resolve: width mismatch");
+  LogicVector out(a.width());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    out.bits_[i] = resolve(a.bits_[i], b.bits_[i]);
+  }
+  return out;
+}
+
+LogicVector scalar(Logic v) {
+  LogicVector out(1);
+  out.set_bit(0, v);
+  return out;
+}
+
+}  // namespace castanet::rtl

@@ -1,0 +1,63 @@
+// std_logic_vector equivalent.
+//
+// Bit order follows the VHDL "DOWNTO" convention used throughout the paper
+// (e.g. `atmdata : STD_LOGIC_VECTOR(7 DOWNTO 0)`, Fig. 4): index 0 is the
+// least-significant bit.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/rtl/logic.hpp"
+
+namespace castanet::rtl {
+
+class LogicVector {
+ public:
+  LogicVector() = default;
+  /// `width` bits, all set to `fill`.
+  explicit LogicVector(std::size_t width, Logic fill = Logic::U);
+  /// From a literal like "10ZX" — leftmost character is the MSB, as in VHDL.
+  static LogicVector from_string(const std::string& s);
+  /// Low `width` bits of `value`, bit 0 = LSB.
+  static LogicVector from_uint(std::uint64_t value, std::size_t width);
+
+  std::size_t width() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  Logic bit(std::size_t i) const;          ///< i = 0 is the LSB.
+  void set_bit(std::size_t i, Logic v);
+
+  /// Interprets '1'/'H' as 1 and '0'/'L' as 0.  Throws LogicError if any bit
+  /// lacks a defined boolean value (X/U/Z/W/-) — X-propagation must be
+  /// handled explicitly by the caller.
+  std::uint64_t to_uint() const;
+  /// True when every bit is 0/1/L/H.
+  bool is_defined() const;
+  /// True if any bit is U or X.
+  bool has_unknown() const;
+
+  /// Bits [lo, lo+len) as a new vector.
+  LogicVector slice(std::size_t lo, std::size_t len) const;
+  /// Overwrites bits [lo, lo+v.width()) with v.
+  void set_slice(std::size_t lo, const LogicVector& v);
+
+  /// MSB-first string, as in a VHDL waveform viewer.
+  std::string to_string() const;
+
+  bool operator==(const LogicVector& o) const = default;
+
+  /// Element-wise resolution of two equal-width vectors.
+  friend LogicVector resolve(const LogicVector& a, const LogicVector& b);
+
+ private:
+  std::vector<Logic> bits_;  // index 0 = LSB
+};
+
+/// A width-1 vector holding `v` (scalars travel as 1-bit vectors through the
+/// kernel so there is a single transaction type).
+LogicVector scalar(Logic v);
+
+}  // namespace castanet::rtl

@@ -1,0 +1,138 @@
+// Structural layer on top of the kernel: typed signal handles, modules with
+// named local signals, clocked-process helpers, and a free-running clock
+// generator.  Hardware models in src/hw are written against this API the way
+// the paper's DUTs are written as VHDL entities with processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/rtl/simulator.hpp"
+
+namespace castanet::rtl {
+
+/// Handle to a scalar (width-1) signal.
+class Signal {
+ public:
+  Signal() = default;
+  Signal(Simulator* sim, SignalId id) : sim_(sim), id_(id) {}
+
+  Logic read() const { return sim_->value(id_).bit(0); }
+  bool read_bool(bool fallback = false) const {
+    return to_bool(read(), fallback);
+  }
+  void write(Logic v, SimTime delay = SimTime::zero()) const {
+    sim_->schedule_write(id_, v, delay);
+  }
+  void write(bool b, SimTime delay = SimTime::zero()) const {
+    write(from_bool(b), delay);
+  }
+  bool event() const { return sim_->event(id_); }
+  bool rose() const { return sim_->rose(id_); }
+  bool fell() const { return sim_->fell(id_); }
+
+  SignalId id() const { return id_; }
+  bool valid() const { return sim_ != nullptr; }
+
+ private:
+  Simulator* sim_ = nullptr;
+  SignalId id_ = 0;
+};
+
+/// Handle to a vector signal.
+class Bus {
+ public:
+  Bus() = default;
+  Bus(Simulator* sim, SignalId id) : sim_(sim), id_(id) {}
+
+  const LogicVector& read() const { return sim_->value(id_); }
+  /// Throws LogicError when any bit is undefined (X-propagation guard).
+  std::uint64_t read_uint() const { return read().to_uint(); }
+  void write(const LogicVector& v, SimTime delay = SimTime::zero()) const {
+    sim_->schedule_write(id_, v, delay);
+  }
+  void write_uint(std::uint64_t v, SimTime delay = SimTime::zero()) const {
+    sim_->schedule_write(id_, LogicVector::from_uint(v, width()), delay);
+  }
+  /// Releases this process's contribution to a resolved bus (drives all-Z).
+  void release(SimTime delay = SimTime::zero()) const {
+    sim_->schedule_write(id_, LogicVector(width(), Logic::Z), delay);
+  }
+  bool event() const { return sim_->event(id_); }
+  std::size_t width() const { return sim_->width(id_); }
+
+  SignalId id() const { return id_; }
+  bool valid() const { return sim_ != nullptr; }
+
+ private:
+  Simulator* sim_ = nullptr;
+  SignalId id_ = 0;
+};
+
+/// Base class for hardware entities.  A Module creates its local signals and
+/// processes with hierarchical names ("switch.port0.rx_state").
+class Module {
+ public:
+  Module(Simulator& sim, std::string name)
+      : sim_(&sim), name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  Simulator& sim() const { return *sim_; }
+
+  Signal make_signal(const std::string& local, Logic init = Logic::U) {
+    return Signal(sim_, sim_->create_signal(name_ + "." + local, 1, init));
+  }
+  Bus make_bus(const std::string& local, std::size_t width,
+               Logic init = Logic::U) {
+    return Bus(sim_, sim_->create_signal(name_ + "." + local, width, init));
+  }
+
+  /// Registers a process sensitive to `sensitivity`.
+  ProcessId process(const std::string& local,
+                    std::vector<SignalId> sensitivity,
+                    std::function<void()> fn) {
+    return sim_->add_process(name_ + "." + local, std::move(sensitivity),
+                             std::move(fn));
+  }
+  /// Registers a process that runs `fn` on every rising edge of `clk`.
+  ProcessId clocked(const std::string& local, const Signal& clk,
+                    std::function<void()> fn) {
+    Signal c = clk;
+    return process(local, {clk.id()}, [c, fn = std::move(fn)] {
+      if (c.rose()) fn();
+    });
+  }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+};
+
+/// Free-running clock generator: rising edge at phase, period thereafter.
+class ClockGen {
+ public:
+  ClockGen(Simulator& sim, Signal clk, SimTime period,
+           SimTime phase = SimTime::zero());
+
+  std::uint64_t rising_edges() const { return edges_; }
+  SimTime period() const { return period_; }
+  void stop() { running_ = false; }
+
+ private:
+  void tick_high();
+  void tick_low();
+
+  Simulator* sim_;
+  Signal clk_;
+  SimTime period_;
+  std::uint64_t edges_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace castanet::rtl

@@ -1,0 +1,214 @@
+#include "src/rtl/simulator.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::rtl {
+
+SignalId Simulator::create_signal(std::string name, std::size_t width,
+                                  Logic init) {
+  require(width > 0, "create_signal: width must be > 0");
+  SignalState st;
+  st.name = std::move(name);
+  st.width = width;
+  st.effective = LogicVector(width, init);
+  st.previous = st.effective;
+  signals_.push_back(std::move(st));
+  return static_cast<SignalId>(signals_.size() - 1);
+}
+
+ProcessId Simulator::add_process(std::string name,
+                                 std::vector<SignalId> sensitivity,
+                                 std::function<void()> fn) {
+  if (processes_.empty()) {
+    processes_.push_back({"<external>", nullptr});  // reserve id 0
+  }
+  processes_.push_back({std::move(name), std::move(fn)});
+  const auto pid = static_cast<ProcessId>(processes_.size() - 1);
+  for (SignalId s : sensitivity) {
+    require(s < signals_.size(), "add_process: unknown signal in sensitivity");
+    signals_[s].sensitive.push_back(pid);
+  }
+  return pid;
+}
+
+const std::string& Simulator::signal_name(SignalId s) const {
+  require(s < signals_.size(), "signal_name: unknown signal");
+  return signals_[s].name;
+}
+
+std::size_t Simulator::width(SignalId s) const {
+  require(s < signals_.size(), "width: unknown signal");
+  return signals_[s].width;
+}
+
+const LogicVector& Simulator::value(SignalId s) const {
+  require(s < signals_.size(), "value: unknown signal");
+  return signals_[s].effective;
+}
+
+void Simulator::schedule_write(SignalId s, LogicVector v, SimTime delay) {
+  require(s < signals_.size(), "schedule_write: unknown signal");
+  require(v.width() == signals_[s].width,
+          "schedule_write: width mismatch on signal '" + signals_[s].name +
+              "'");
+  require(delay >= SimTime::zero(), "schedule_write: negative delay");
+  Transaction t{s, current_process_, std::move(v)};
+  if (delay == SimTime::zero()) {
+    next_delta_.push_back(std::move(t));
+  } else {
+    future_[now_ + delay].push_back(std::move(t));
+  }
+}
+
+void Simulator::schedule_write(SignalId s, Logic v, SimTime delay) {
+  schedule_write(s, scalar(v), delay);
+}
+
+bool Simulator::event(SignalId s) const {
+  require(s < signals_.size(), "event: unknown signal");
+  return signals_[s].changed_serial == delta_serial_;
+}
+
+bool Simulator::rose(SignalId s) const {
+  if (!event(s)) return false;
+  const SignalState& st = signals_[s];
+  return to_bool(st.effective.bit(0)) && !to_bool(st.previous.bit(0), false);
+}
+
+bool Simulator::fell(SignalId s) const {
+  if (!event(s)) return false;
+  const SignalState& st = signals_[s];
+  return !to_bool(st.effective.bit(0), true) && to_bool(st.previous.bit(0));
+}
+
+void Simulator::schedule_callback(SimTime delay, std::function<void()> fn) {
+  require(delay >= SimTime::zero(), "schedule_callback: negative delay");
+  callbacks_[now_ + delay].push_back(std::move(fn));
+}
+
+void Simulator::add_change_observer(ChangeObserver obs) {
+  observers_.push_back(std::move(obs));
+}
+
+LogicVector Simulator::resolved_value(const SignalState& st) const {
+  if (st.drivers.empty()) return st.effective;
+  LogicVector out = st.drivers.front().value;
+  for (std::size_t i = 1; i < st.drivers.size(); ++i) {
+    out = resolve(out, st.drivers[i].value);
+  }
+  return out;
+}
+
+void Simulator::apply(const Transaction& t, std::vector<ProcessId>& runnable) {
+  SignalState& st = signals_[t.sig];
+  auto it = std::find_if(st.drivers.begin(), st.drivers.end(),
+                         [&](const DriverSlot& d) { return d.pid == t.pid; });
+  if (it == st.drivers.end()) {
+    st.drivers.push_back({t.pid, t.value});
+  } else {
+    it->value = t.value;
+  }
+  ++stats_.transactions;
+  LogicVector next = resolved_value(st);
+  if (next != st.effective) {
+    st.previous = st.effective;
+    st.effective = std::move(next);
+    st.changed_serial = delta_serial_;
+    ++stats_.value_changes;
+    for (ProcessId p : st.sensitive) runnable.push_back(p);
+    for (const auto& obs : observers_) obs(t.sig, st.effective, now_);
+  }
+}
+
+void Simulator::run_delta_loop(std::vector<Transaction> first_batch,
+                               const std::vector<ProcessId>& preactivated) {
+  std::vector<Transaction> batch = std::move(first_batch);
+  std::vector<ProcessId> extra = preactivated;
+  bool first = true;
+  while (!batch.empty() || !next_delta_.empty() || (first && !extra.empty())) {
+    if (batch.empty()) {
+      batch = std::move(next_delta_);
+      next_delta_.clear();
+    }
+    ++delta_serial_;
+    ++stats_.delta_cycles;
+    std::vector<ProcessId> runnable;
+    for (const Transaction& t : batch) apply(t, runnable);
+    batch.clear();
+    if (first) {
+      runnable.insert(runnable.end(), extra.begin(), extra.end());
+      first = false;
+    }
+    // De-duplicate: a process runs once per delta regardless of how many of
+    // its sensitivity signals changed.
+    std::sort(runnable.begin(), runnable.end());
+    runnable.erase(std::unique(runnable.begin(), runnable.end()),
+                   runnable.end());
+    for (ProcessId p : runnable) {
+      current_process_ = p;
+      ++stats_.process_activations;
+      processes_[p].fn();
+    }
+    current_process_ = kExternalProcess;
+  }
+  // Close the simulation cycle: 'event (and rose/fell) are only true while
+  // the triggering delta executes, exactly as in VHDL.
+  ++delta_serial_;
+}
+
+void Simulator::initialize() {
+  if (initialized_) return;
+  initialized_ = true;
+  if (processes_.empty()) return;
+  std::vector<ProcessId> all;
+  for (ProcessId p = 1; p < processes_.size(); ++p) all.push_back(p);
+  run_delta_loop({}, all);
+}
+
+SimTime Simulator::next_activity() const {
+  SimTime t = SimTime::max();
+  if (!future_.empty()) t = std::min(t, future_.begin()->first);
+  if (!callbacks_.empty()) t = std::min(t, callbacks_.begin()->first);
+  if (!next_delta_.empty()) t = now_;
+  return t;
+}
+
+bool Simulator::quiescent() const {
+  return next_activity() == SimTime::max();
+}
+
+bool Simulator::step_time() {
+  initialize();
+  const SimTime t = next_activity();
+  if (t == SimTime::max()) return false;
+  now_ = t;
+  ++stats_.time_points;
+  // Callbacks first: stimulus generators may schedule zero-delay writes that
+  // then land in the first delta of this time point.
+  if (auto it = callbacks_.find(t); it != callbacks_.end()) {
+    auto fns = std::move(it->second);
+    callbacks_.erase(it);
+    for (auto& fn : fns) fn();
+  }
+  std::vector<Transaction> batch;
+  if (auto it = future_.find(t); it != future_.end()) {
+    batch = std::move(it->second);
+    future_.erase(it);
+  }
+  run_delta_loop(std::move(batch), {});
+  return true;
+}
+
+void Simulator::run_until(SimTime limit) {
+  initialize();
+  while (true) {
+    const SimTime t = next_activity();
+    if (t == SimTime::max() || t > limit) break;
+    step_time();
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+}  // namespace castanet::rtl

@@ -1,0 +1,142 @@
+#include "src/rtl/vcd_reader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/error.hpp"
+
+namespace castanet::rtl {
+
+VcdFile VcdFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("VcdFile::load: cannot open '" + path + "'");
+  VcdFile vcd;
+  std::string token;
+  std::int64_t tick = 0;
+  bool in_definitions = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    if (!(ls >> token)) continue;
+    if (in_definitions) {
+      if (token == "$timescale") {
+        std::string num, unit;
+        ls >> num >> unit;
+        try {
+          vcd.timescale_ps_ = std::stoll(num);
+        } catch (const std::exception&) {
+          throw IoError("VcdFile: bad timescale '" + num + "'");
+        }
+      } else if (token == "$var") {
+        std::string type, width_s, id, name, end;
+        if (!(ls >> type >> width_s >> id >> name)) {
+          throw IoError("VcdFile: malformed $var line: " + line);
+        }
+        Var v;
+        v.name = name;
+        v.width = std::stoul(width_s);
+        vcd.id_to_name_[id] = name;
+        vcd.vars_[name] = std::move(v);
+      } else if (token == "$enddefinitions") {
+        in_definitions = false;
+      }
+      continue;
+    }
+    if (token == "$dumpvars" || token == "$end") continue;
+    if (token[0] == '#') {
+      tick = std::stoll(token.substr(1));
+      continue;
+    }
+    if (token[0] == 'b' || token[0] == 'B') {
+      // Vector change: "b<value> <id>".
+      const std::string value = token.substr(1);
+      std::string id;
+      if (!(ls >> id)) throw IoError("VcdFile: vector change missing id");
+      auto it = vcd.id_to_name_.find(id);
+      if (it == vcd.id_to_name_.end()) {
+        throw IoError("VcdFile: unknown id '" + id + "'");
+      }
+      vcd.vars_[it->second].changes.push_back({tick, value});
+      continue;
+    }
+    // Scalar change: "<value-char><id>" with no space.
+    const std::string value(1, token[0]);
+    const std::string id = token.substr(1);
+    auto it = vcd.id_to_name_.find(id);
+    if (it == vcd.id_to_name_.end()) {
+      throw IoError("VcdFile: unknown id '" + id + "'");
+    }
+    vcd.vars_[it->second].changes.push_back({tick, value});
+  }
+  return vcd;
+}
+
+std::vector<std::string> VcdFile::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(vars_.size());
+  for (const auto& [name, var] : vars_) names.push_back(name);
+  return names;
+}
+
+bool VcdFile::has_signal(const std::string& name) const {
+  return vars_.contains(name);
+}
+
+std::size_t VcdFile::width(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) throw IoError("VcdFile: no signal '" + name + "'");
+  return it->second.width;
+}
+
+const std::vector<VcdFile::Change>& VcdFile::changes(
+    const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) throw IoError("VcdFile: no signal '" + name + "'");
+  return it->second.changes;
+}
+
+std::string VcdFile::value_at(const std::string& name,
+                              std::int64_t tick) const {
+  const auto& cs = changes(name);
+  std::string value = "x";
+  for (const Change& c : cs) {
+    if (c.tick > tick) break;
+    value = c.value;
+  }
+  return value;
+}
+
+bool VcdFile::signals_match(const VcdFile& a, const VcdFile& b,
+                            const std::string& name, std::int64_t until,
+                            std::string* diff) {
+  if (!a.has_signal(name) || !b.has_signal(name)) {
+    if (diff) *diff += "signal '" + name + "' missing in one file\n";
+    return false;
+  }
+  // Compare at every change tick of either file.
+  std::vector<std::int64_t> ticks;
+  for (const Change& c : a.changes(name)) {
+    if (c.tick <= until) ticks.push_back(c.tick);
+  }
+  for (const Change& c : b.changes(name)) {
+    if (c.tick <= until) ticks.push_back(c.tick);
+  }
+  std::sort(ticks.begin(), ticks.end());
+  ticks.erase(std::unique(ticks.begin(), ticks.end()), ticks.end());
+  bool ok = true;
+  for (const std::int64_t t : ticks) {
+    const std::string va = a.value_at(name, t);
+    const std::string vb = b.value_at(name, t);
+    if (va != vb) {
+      ok = false;
+      if (diff) {
+        *diff += name + " @" + std::to_string(t) + ": " + va + " vs " + vb +
+                 "\n";
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace castanet::rtl

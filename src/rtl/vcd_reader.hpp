@@ -1,0 +1,53 @@
+// VCD waveform reader — the inverse of VcdWriter.
+//
+// Beyond eyeballing waveforms in a viewer, a machine-readable VCD enables
+// *golden waveform regression*: dump a known-good run, then diff future
+// runs against it signal by signal.  The reader parses the subset VcdWriter
+// emits (one scope, wire vars, scalar and `b…` vector changes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace castanet::rtl {
+
+class VcdFile {
+ public:
+  struct Change {
+    std::int64_t tick;
+    std::string value;  ///< MSB-first logic characters, e.g. "10XZ" or "1"
+  };
+
+  /// Parses `path`; throws IoError on malformed input.
+  static VcdFile load(const std::string& path);
+
+  std::int64_t timescale_ps() const { return timescale_ps_; }
+  std::vector<std::string> signal_names() const;
+  bool has_signal(const std::string& name) const;
+  std::size_t width(const std::string& name) const;
+
+  /// All changes of a signal, in tick order (first entry: initial dump).
+  const std::vector<Change>& changes(const std::string& name) const;
+  /// Value of `name` at `tick` (the last change at or before it).
+  std::string value_at(const std::string& name, std::int64_t tick) const;
+
+  /// True when both files show identical values for `name` at every tick in
+  /// [0, until]; differences are appended to `diff` as text.
+  static bool signals_match(const VcdFile& a, const VcdFile& b,
+                            const std::string& name, std::int64_t until,
+                            std::string* diff = nullptr);
+
+ private:
+  struct Var {
+    std::string name;
+    std::size_t width = 1;
+    std::vector<Change> changes;
+  };
+  std::map<std::string, std::string> id_to_name_;  // VCD id code -> name
+  std::map<std::string, Var> vars_;
+  std::int64_t timescale_ps_ = 1;
+};
+
+}  // namespace castanet::rtl

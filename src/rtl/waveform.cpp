@@ -1,0 +1,88 @@
+#include "src/rtl/waveform.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::rtl {
+
+VcdWriter::VcdWriter(Simulator& sim, const std::string& path,
+                     std::int64_t timescale_ps)
+    : sim_(&sim), out_(path), timescale_ps_(timescale_ps) {
+  if (!out_) throw IoError("VcdWriter: cannot open '" + path + "'");
+  require(timescale_ps > 0, "VcdWriter: timescale must be positive");
+  sim_->add_change_observer(
+      [this](SignalId s, const LogicVector& v, SimTime t) {
+        on_change(s, v, t);
+      });
+}
+
+VcdWriter::~VcdWriter() { out_.flush(); }
+
+void VcdWriter::track(SignalId s) {
+  require(!header_written_, "VcdWriter: cannot track after simulation start");
+  if (index_of_.size() <= s) index_of_.resize(s + 1, -1);
+  if (index_of_[s] >= 0) return;
+  index_of_[s] = static_cast<std::int32_t>(tracked_.size());
+  tracked_.push_back(s);
+  initial_values_.push_back(sim_->value(s));
+}
+
+void VcdWriter::track_all() {
+  for (SignalId s = 0; s < sim_->signal_count(); ++s) track(s);
+}
+
+std::string VcdWriter::id_code(std::size_t index) const {
+  // Printable identifier alphabet per the VCD spec ('!' .. '~').
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+void VcdWriter::write_header() {
+  header_written_ = true;
+  out_ << "$version CASTANET rtl::VcdWriter $end\n";
+  out_ << "$timescale " << timescale_ps_ << " ps $end\n";
+  out_ << "$scope module top $end\n";
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    const SignalId s = tracked_[i];
+    std::string name = sim_->signal_name(s);
+    std::replace(name.begin(), name.end(), ' ', '_');
+    out_ << "$var wire " << sim_->width(s) << " " << id_code(i) << " " << name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  out_ << "$dumpvars\n";
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    const LogicVector& v = initial_values_[i];
+    if (v.width() == 1) {
+      out_ << to_char(v.bit(0)) << id_code(i) << "\n";
+    } else {
+      out_ << "b" << v.to_string() << " " << id_code(i) << "\n";
+    }
+  }
+  out_ << "$end\n";
+  last_tick_ = 0;
+}
+
+void VcdWriter::on_change(SignalId s, const LogicVector& v, SimTime t) {
+  if (!header_written_) write_header();
+  if (s >= index_of_.size() || index_of_[s] < 0) return;
+  const std::int64_t tick = t.ps() / timescale_ps_;
+  if (tick != last_tick_) {
+    out_ << "#" << tick << "\n";
+    last_tick_ = tick;
+  }
+  const auto idx = static_cast<std::size_t>(index_of_[s]);
+  if (v.width() == 1) {
+    out_ << to_char(v.bit(0)) << id_code(idx) << "\n";
+  } else {
+    out_ << "b" << v.to_string() << " " << id_code(idx) << "\n";
+  }
+  ++changes_;
+}
+
+}  // namespace castanet::rtl

@@ -1,0 +1,52 @@
+// VCD waveform dumping — the "VHDL debugger … depicting waveforms" analysis
+// capability the paper lists among the environment's advantages (§2).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/rtl/simulator.hpp"
+
+namespace castanet::rtl {
+
+/// Writes an IEEE 1364 VCD file tracking selected signals of a Simulator.
+/// Attach before running; the file is finalized on destruction.
+class VcdWriter {
+ public:
+  /// `timescale_ps` is the VCD tick in picoseconds (default 1 ps = exact).
+  VcdWriter(Simulator& sim, const std::string& path,
+            std::int64_t timescale_ps = 1);
+  ~VcdWriter();
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Adds a signal to the dump; call for all signals before the first
+  /// simulator step.
+  void track(SignalId s);
+  /// Tracks every signal currently elaborated in the simulator.
+  void track_all();
+
+  std::uint64_t changes_written() const { return changes_; }
+
+ private:
+  void write_header();
+  void on_change(SignalId s, const LogicVector& v, SimTime t);
+  std::string id_code(std::size_t index) const;
+
+  Simulator* sim_;
+  std::ofstream out_;
+  std::int64_t timescale_ps_;
+  bool header_written_ = false;
+  std::int64_t last_tick_ = -1;
+  std::uint64_t changes_ = 0;
+  std::vector<SignalId> tracked_;
+  /// Values snapshot at track() time: the $dumpvars section must show true
+  /// initial values even though the header is written lazily on the first
+  /// change (by which time that signal already carries its new value).
+  std::vector<LogicVector> initial_values_;
+  std::vector<std::int32_t> index_of_;  // SignalId -> tracked index or -1
+};
+
+}  // namespace castanet::rtl

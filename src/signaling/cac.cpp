@@ -1,0 +1,123 @@
+#include "src/signaling/cac.hpp"
+
+#include "src/core/error.hpp"
+#include "src/netsim/simulation.hpp"
+
+namespace castanet::signaling {
+
+CacAgent::CacAgent(Config cfg, InstallFn install, RemoveFn remove)
+    : cfg_(cfg), install_(std::move(install)), remove_(std::move(remove)),
+      load_(cfg.ports, 0.0), next_vci_(cfg.ports, cfg.vci_base),
+      free_vcis_(cfg.ports) {
+  require(cfg_.ports > 0, "CacAgent: need at least one port");
+  require(cfg_.link_capacity_cps > 0, "CacAgent: capacity must be positive");
+  const int idle = add_state("idle", nullptr, false);
+  const int setup = add_state(
+      "setup", [this](const Interrupt& i) { on_setup(i); }, true);
+  const int release = add_state(
+      "release", [this](const Interrupt& i) { on_release(i); }, true);
+  set_initial(idle);
+  add_transition(idle, setup, [](const Interrupt& i) {
+    return i.kind == netsim::InterruptKind::kStream &&
+           kind_of(i.packet) == SigKind::kSetup;
+  });
+  add_transition(idle, release, [](const Interrupt& i) {
+    return i.kind == netsim::InterruptKind::kStream &&
+           kind_of(i.packet) == SigKind::kRelease;
+  });
+  add_transition(setup, idle, nullptr);
+  add_transition(release, idle, nullptr);
+}
+
+double CacAgent::admitted_load(std::size_t out_port) const {
+  require(out_port < load_.size(), "CacAgent: bad port");
+  return load_[out_port];
+}
+
+void CacAgent::reply(unsigned stream, netsim::Packet p) {
+  send(stream, std::move(p));
+}
+
+void CacAgent::on_setup(const netsim::Interrupt& intr) {
+  ++offered_;
+  const auto call_id =
+      static_cast<std::uint64_t>(intr.packet.field(kFieldCallId));
+  const double pcr = intr.packet.field(kFieldPcr);
+  const auto in_port =
+      static_cast<std::size_t>(intr.packet.field(kFieldInPort));
+  const auto out_port =
+      static_cast<std::size_t>(intr.packet.field(kFieldOutPort));
+
+  netsim::Packet re = make_packet();
+  re.set_field(kFieldCallId, static_cast<double>(call_id));
+
+  if (in_port >= cfg_.ports || out_port >= cfg_.ports || pcr <= 0.0 ||
+      calls_.contains(call_id)) {
+    ++blocked_;
+    re.set_field(kFieldKind, static_cast<double>(SigKind::kReject));
+    re.set_field(kFieldCause, static_cast<double>(RejectCause::kBadRequest));
+    reply(intr.stream, std::move(re));
+    return;
+  }
+  if (load_[out_port] + pcr >
+      cfg_.link_capacity_cps * cfg_.overbooking) {
+    ++blocked_;
+    re.set_field(kFieldKind, static_cast<double>(SigKind::kReject));
+    re.set_field(kFieldCause, static_cast<double>(RejectCause::kNoCapacity));
+    reply(intr.stream, std::move(re));
+    return;
+  }
+  std::uint16_t vci;
+  if (!free_vcis_[out_port].empty()) {
+    vci = free_vcis_[out_port].back();
+    free_vcis_[out_port].pop_back();
+  } else if (next_vci_[out_port] < cfg_.vci_base + cfg_.vci_per_port) {
+    vci = next_vci_[out_port]++;
+  } else {
+    ++blocked_;
+    re.set_field(kFieldKind, static_cast<double>(SigKind::kReject));
+    re.set_field(kFieldCause,
+                 static_cast<double>(RejectCause::kNoVciAvailable));
+    reply(intr.stream, std::move(re));
+    return;
+  }
+
+  // Admit: allocate identifiers, install the translation route.
+  const atm::VcId in_vc{cfg_.vpi, vci};
+  const atm::VcId out_vc{static_cast<std::uint16_t>(cfg_.vpi + 1),
+                         in_vc.vci};
+  atm::Route route;
+  route.out_port = static_cast<std::uint8_t>(out_port);
+  route.out_vc = out_vc;
+  route.contract.pcr_increment = SimTime::from_seconds(1.0 / pcr);
+  install_(in_port, in_vc, route);
+  load_[out_port] += pcr;
+  calls_[call_id] = Call{in_port, out_port, pcr, in_vc};
+  ++admitted_;
+
+  re.set_field(kFieldKind, static_cast<double>(SigKind::kConnect));
+  re.set_field(kFieldVpi, in_vc.vpi);
+  re.set_field(kFieldVci, in_vc.vci);
+  reply(intr.stream, std::move(re));
+}
+
+void CacAgent::on_release(const netsim::Interrupt& intr) {
+  const auto call_id =
+      static_cast<std::uint64_t>(intr.packet.field(kFieldCallId));
+  netsim::Packet re = make_packet();
+  re.set_field(kFieldCallId, static_cast<double>(call_id));
+  re.set_field(kFieldKind,
+               static_cast<double>(SigKind::kReleaseComplete));
+  auto it = calls_.find(call_id);
+  if (it != calls_.end()) {
+    load_[it->second.out_port] -= it->second.pcr;
+    if (load_[it->second.out_port] < 0) load_[it->second.out_port] = 0;
+    remove_(it->second.in_port, it->second.in_vc);
+    free_vcis_[it->second.out_port].push_back(it->second.in_vc.vci);
+    calls_.erase(it);
+    ++released_;
+  }
+  reply(intr.stream, std::move(re));
+}
+
+}  // namespace castanet::signaling

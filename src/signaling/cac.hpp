@@ -1,0 +1,78 @@
+// Call admission control agent.
+//
+// Peak-rate allocation CAC: a new connection from switch input `in_port` to
+// output `out_port` with peak cell rate PCR is admitted iff the sum of
+// admitted PCRs on that output stays within capacity x overbooking.
+// Admission allocates a VCI from the output's pool and installs the
+// translation-table route (through caller-supplied callbacks, so the same
+// agent manages the cell-level reference switch and the RTL switch — that
+// is how the co-verification environment keeps both sides' configuration
+// consistent).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atm/connection.hpp"
+#include "src/netsim/process.hpp"
+#include "src/signaling/messages.hpp"
+
+namespace castanet::signaling {
+
+class CacAgent : public netsim::FsmProcess {
+ public:
+  struct Config {
+    std::size_t ports = 4;
+    double link_capacity_cps = 353'207.0;  ///< STM-1 cell rate
+    double overbooking = 1.0;              ///< >1 = statistical multiplexing
+    std::uint16_t vpi = 1;
+    std::uint16_t vci_base = 1000;
+    std::uint16_t vci_per_port = 256;
+    unsigned streams = 1;  ///< paired in/out signaling streams (callers)
+  };
+
+  /// Installs/removes a route on input port `in_port` (both reference and
+  /// RTL tables in a co-verification setup).
+  using InstallFn =
+      std::function<void(std::size_t in_port, atm::VcId, const atm::Route&)>;
+  using RemoveFn = std::function<void(std::size_t in_port, atm::VcId)>;
+
+  CacAgent(Config cfg, InstallFn install, RemoveFn remove);
+
+  std::uint64_t calls_offered() const { return offered_; }
+  std::uint64_t calls_admitted() const { return admitted_; }
+  std::uint64_t calls_blocked() const { return blocked_; }
+  std::uint64_t calls_released() const { return released_; }
+  /// Currently admitted load on an output port, in cells/s.
+  double admitted_load(std::size_t out_port) const;
+  std::size_t active_calls() const { return calls_.size(); }
+
+ private:
+  void on_setup(const netsim::Interrupt& intr);
+  void on_release(const netsim::Interrupt& intr);
+  void reply(unsigned stream, netsim::Packet p);
+
+  struct Call {
+    std::size_t in_port;
+    std::size_t out_port;
+    double pcr;
+    atm::VcId in_vc;
+  };
+
+  Config cfg_;
+  InstallFn install_;
+  RemoveFn remove_;
+  std::vector<double> load_;         ///< per output port, cells/s
+  std::vector<std::uint16_t> next_vci_;
+  /// VCIs returned by released calls, reused before fresh allocation.
+  std::vector<std::vector<std::uint16_t>> free_vcis_;
+  std::unordered_map<std::uint64_t, Call> calls_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace castanet::signaling

@@ -1,0 +1,100 @@
+#include "src/signaling/call_generator.hpp"
+
+#include "src/core/error.hpp"
+#include "src/netsim/simulation.hpp"
+
+namespace castanet::signaling {
+
+CallGenerator::CallGenerator(Config cfg) : cfg_(cfg) {
+  require(cfg_.calls_per_sec > 0 && cfg_.mean_holding_sec > 0,
+          "CallGenerator: rates must be positive");
+  // A single unforced hub ("idle") with no enter executive: entering it
+  // after a forced state must not re-arm the arrival timer, or every reply
+  // would spawn extra call arrivals.
+  const int boot = add_state(
+      "boot", [this](const Interrupt&) { next_arrival(); }, true);
+  const int idle = add_state("idle", nullptr, false);
+  const int arrival = add_state(
+      "arrival",
+      [this](const Interrupt&) {
+        place_call();
+        next_arrival();
+      },
+      true);
+  const int reply = add_state(
+      "reply", [this](const Interrupt& i) { on_reply(i); }, true);
+  const int timer = add_state(
+      "timer", [this](const Interrupt& i) { on_timer(i); }, true);
+  set_initial(boot);
+  add_transition(boot, idle, nullptr);
+  add_transition(idle, arrival, [](const Interrupt& i) {
+    return i.kind == netsim::InterruptKind::kSelf && i.code == kArrivalCode;
+  });
+  add_transition(idle, reply, [](const Interrupt& i) {
+    return i.kind == netsim::InterruptKind::kStream;
+  });
+  add_transition(idle, timer, [](const Interrupt& i) {
+    return i.kind == netsim::InterruptKind::kSelf && i.code != kArrivalCode;
+  });
+  add_transition(arrival, idle, nullptr);
+  add_transition(reply, idle, nullptr);
+  add_transition(timer, idle, nullptr);
+}
+
+void CallGenerator::set_call_hooks(CallUpFn up, CallDownFn down) {
+  on_up_ = std::move(up);
+  on_down_ = std::move(down);
+}
+
+void CallGenerator::next_arrival() {
+  if (cfg_.max_calls != 0 && offered_ >= cfg_.max_calls) return;
+  schedule_self(SimTime::from_seconds(
+                    rng().exponential(1.0 / cfg_.calls_per_sec)),
+                kArrivalCode);
+}
+
+void CallGenerator::place_call() {
+  const std::uint64_t id = next_call_id_++;
+  ++offered_;
+  send(0, make_setup(make_packet(), id, cfg_.pcr_cps, cfg_.in_port,
+                     cfg_.out_port));
+}
+
+void CallGenerator::on_reply(const netsim::Interrupt& intr) {
+  const SigKind kind = kind_of(intr.packet);
+  const auto id =
+      static_cast<std::uint64_t>(intr.packet.field(kFieldCallId));
+  switch (kind) {
+    case SigKind::kConnect: {
+      ++connected_;
+      const atm::VcId vc{
+          static_cast<std::uint16_t>(intr.packet.field(kFieldVpi)),
+          static_cast<std::uint16_t>(intr.packet.field(kFieldVci))};
+      active_[id] = vc;
+      if (on_up_) on_up_(id, vc);
+      schedule_self(
+          SimTime::from_seconds(rng().exponential(cfg_.mean_holding_sec)),
+          static_cast<int>(id) + 1);
+      break;
+    }
+    case SigKind::kReject:
+      ++blocked_;
+      break;
+    case SigKind::kReleaseComplete:
+      break;
+    default:
+      break;
+  }
+}
+
+void CallGenerator::on_timer(const netsim::Interrupt& intr) {
+  const auto id = static_cast<std::uint64_t>(intr.code - 1);
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  active_.erase(it);
+  ++completed_;
+  if (on_down_) on_down_(id);
+  send(0, make_release(make_packet(), id));
+}
+
+}  // namespace castanet::signaling

@@ -1,0 +1,61 @@
+// Call-level traffic: Poisson call arrivals with exponential holding times,
+// exercising the signaling/CAC control plane the way subscriber behaviour
+// would.  Blocking statistics follow the Erlang-B shape, which the CAC
+// example sweeps.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/atm/connection.hpp"
+#include "src/netsim/process.hpp"
+#include "src/signaling/messages.hpp"
+
+namespace castanet::signaling {
+
+class CallGenerator : public netsim::FsmProcess {
+ public:
+  struct Config {
+    double calls_per_sec = 10.0;
+    double mean_holding_sec = 0.5;
+    double pcr_cps = 50'000.0;   ///< requested peak rate per call
+    std::size_t in_port = 0;
+    std::size_t out_port = 1;
+    std::uint64_t max_calls = 0; ///< 0 = unbounded
+  };
+
+  explicit CallGenerator(Config cfg);
+
+  /// Invoked when a call is admitted / ends, with the assigned VC — hooks
+  /// for attaching bearer traffic.
+  using CallUpFn = std::function<void(std::uint64_t call_id, atm::VcId vc)>;
+  using CallDownFn = std::function<void(std::uint64_t call_id)>;
+  void set_call_hooks(CallUpFn up, CallDownFn down);
+
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t connected() const { return connected_; }
+  std::uint64_t blocked() const { return blocked_; }
+  std::uint64_t completed() const { return completed_; }
+  std::size_t active() const { return active_.size(); }
+
+ private:
+  void next_arrival();
+  void place_call();
+  void on_reply(const netsim::Interrupt& intr);
+  void on_timer(const netsim::Interrupt& intr);
+
+  Config cfg_;
+  std::uint64_t next_call_id_ = 1;
+  std::uint64_t offered_ = 0;
+  std::uint64_t connected_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t completed_ = 0;
+  std::unordered_map<std::uint64_t, atm::VcId> active_;
+  CallUpFn on_up_;
+  CallDownFn on_down_;
+
+  static constexpr int kArrivalCode = 0;
+  // Self codes >= 1 encode "release call id (code - 1)".
+};
+
+}  // namespace castanet::signaling

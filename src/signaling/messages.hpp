@@ -1,0 +1,65 @@
+// Signaling message encoding over netsim packets.
+//
+// The paper's introduction places ATM's hardware functions against "the
+// complexity of embedded control software, that implements higher-layer
+// functionality, such as call admission control agents and signaling
+// protocols".  This library models that software side at the algorithmic
+// level: a Q.2931-flavoured connection-control exchange (SETUP / CONNECT /
+// REJECT / RELEASE / RELEASE COMPLETE) carried as packet fields.
+#pragma once
+
+#include <cstdint>
+
+#include "src/netsim/packet.hpp"
+#include "src/netsim/process.hpp"
+
+namespace castanet::signaling {
+
+using netsim::Interrupt;
+
+enum class SigKind : int {
+  kSetup = 1,
+  kConnect = 2,
+  kReject = 3,
+  kRelease = 4,
+  kReleaseComplete = 5,
+};
+
+inline constexpr const char* kFieldKind = "sig.kind";
+inline constexpr const char* kFieldCallId = "sig.call_id";
+inline constexpr const char* kFieldPcr = "sig.pcr_cps";
+inline constexpr const char* kFieldInPort = "sig.in_port";
+inline constexpr const char* kFieldOutPort = "sig.out_port";
+inline constexpr const char* kFieldVpi = "sig.vpi";
+inline constexpr const char* kFieldVci = "sig.vci";
+inline constexpr const char* kFieldCause = "sig.cause";
+
+/// Cause codes carried on REJECT.
+enum class RejectCause : int {
+  kNoCapacity = 1,
+  kNoVciAvailable = 2,
+  kBadRequest = 3,
+};
+
+inline SigKind kind_of(const netsim::Packet& p) {
+  return static_cast<SigKind>(static_cast<int>(p.field(kFieldKind)));
+}
+
+inline netsim::Packet make_setup(netsim::Packet p, std::uint64_t call_id,
+                                 double pcr_cps, std::size_t in_port,
+                                 std::size_t out_port) {
+  p.set_field(kFieldKind, static_cast<double>(SigKind::kSetup));
+  p.set_field(kFieldCallId, static_cast<double>(call_id));
+  p.set_field(kFieldPcr, pcr_cps);
+  p.set_field(kFieldInPort, static_cast<double>(in_port));
+  p.set_field(kFieldOutPort, static_cast<double>(out_port));
+  return p;
+}
+
+inline netsim::Packet make_release(netsim::Packet p, std::uint64_t call_id) {
+  p.set_field(kFieldKind, static_cast<double>(SigKind::kRelease));
+  p.set_field(kFieldCallId, static_cast<double>(call_id));
+  return p;
+}
+
+}  // namespace castanet::signaling

@@ -1,0 +1,64 @@
+#include "src/traffic/mpeg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/error.hpp"
+
+namespace castanet::traffic {
+
+MpegSource::MpegSource(atm::VcId vc, std::uint8_t tag, MpegParams params,
+                       Rng rng)
+    : CellSource(vc, tag), p_(std::move(params)), rng_(rng) {
+  require(!p_.gop_pattern.empty(), "MpegSource: empty GoP pattern");
+  require(p_.frames_per_sec > 0.0, "MpegSource: frame rate must be positive");
+  for (char c : p_.gop_pattern) {
+    require(c == 'I' || c == 'P' || c == 'B',
+            "MpegSource: GoP pattern may only contain I/P/B");
+  }
+}
+
+void MpegSource::emit_next_frame() {
+  const char type = p_.gop_pattern[gop_pos_];
+  gop_pos_ = (gop_pos_ + 1) % p_.gop_pattern.size();
+
+  double mu = p_.b_mu, sigma = p_.b_sigma;
+  if (type == 'I') {
+    mu = p_.i_mu;
+    sigma = p_.i_sigma;
+  } else if (type == 'P') {
+    mu = p_.p_mu;
+    sigma = p_.p_sigma;
+  }
+  const auto frame_bytes = static_cast<std::size_t>(
+      std::max(1.0, std::min(65000.0, rng_.lognormal(mu, sigma))));
+
+  // The frame's payload content is synthetic; what matters for the hardware
+  // is the cell count and burst timing.  Sequence numbers still come from
+  // make_cell() so loss detection works, but AAL5 segmentation defines the
+  // cell count, so we segment a dummy frame and then stamp our sequence
+  // numbers over the first payload bytes of each cell except the last
+  // (which carries the AAL5 trailer; its sequence rides in bytes 40..43).
+  std::vector<std::uint8_t> frame(frame_bytes, 0xA5);
+  auto cells = atm::aal5_segment(frame, vc_);
+  SimTime t = frame_time_;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    atm::Cell stamped = make_cell();
+    // Preserve the AAL5 PTI marking and payload layout of the segmented
+    // cell, but keep the sequence/tag bytes for the comparator.
+    stamped.header.pti = cells[i].header.pti;
+    queue_.push_back({t, stamped});
+    t += p_.link_cell_period;
+  }
+  ++frames_;
+  frame_time_ += SimTime::from_seconds(1.0 / p_.frames_per_sec);
+}
+
+CellArrival MpegSource::next() {
+  while (queue_.empty()) emit_next_frame();
+  CellArrival a = queue_.front();
+  queue_.pop_front();
+  return a;
+}
+
+}  // namespace castanet::traffic

@@ -1,0 +1,53 @@
+// Synthetic MPEG video source.
+//
+// The paper stimulates the hardware with "simulated real-world traces, for
+// example MPEG traces" (§2).  Real traces are not available offline, so this
+// model synthesizes a GoP-structured elementary stream: a repeating frame
+// pattern (default IBBPBBPBB) at a fixed frame rate, with per-frame-type
+// lognormal size distributions calibrated to published MPEG-1 trace
+// statistics.  Each frame is AAL5-segmented and its cells emitted
+// back-to-back at the link cell rate — reproducing the frame-scale burstiness
+// that makes video traffic a hard test for switch buffers and policers.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "src/atm/aal5.hpp"
+#include "src/traffic/sources.hpp"
+
+namespace castanet::traffic {
+
+struct MpegParams {
+  std::string gop_pattern = "IBBPBBPBB";
+  double frames_per_sec = 25.0;
+  /// Lognormal (mu, sigma) of frame size in *bytes* per frame type;
+  /// defaults approximate the Bellcore "Star Wars" MPEG-1 trace statistics.
+  double i_mu = 9.6, i_sigma = 0.25;   // median ~ 14.8 kB
+  double p_mu = 8.8, p_sigma = 0.35;   // median ~  6.6 kB
+  double b_mu = 8.1, b_sigma = 0.40;   // median ~  3.3 kB
+  /// Cell spacing on the link while a frame drains (155.52 Mb/s STM-1 by
+  /// default: one cell every ~2.73 us).
+  SimTime link_cell_period = SimTime::from_ps(2'726'000);
+};
+
+class MpegSource : public CellSource {
+ public:
+  MpegSource(atm::VcId vc, std::uint8_t tag, MpegParams params, Rng rng);
+
+  CellArrival next() override;
+
+  std::uint64_t frames_emitted() const { return frames_; }
+
+ private:
+  void emit_next_frame();
+
+  MpegParams p_;
+  Rng rng_;
+  std::size_t gop_pos_ = 0;
+  std::uint64_t frames_ = 0;
+  SimTime frame_time_ = SimTime::zero();
+  std::deque<CellArrival> queue_;
+};
+
+}  // namespace castanet::traffic

@@ -1,0 +1,156 @@
+#include "src/traffic/sources.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::traffic {
+
+atm::Cell CellSource::make_cell() {
+  atm::Cell c;
+  c.header.vpi = vc_.vpi;
+  c.header.vci = vc_.vci;
+  c.payload[0] = static_cast<std::uint8_t>(seq_ >> 24);
+  c.payload[1] = static_cast<std::uint8_t>(seq_ >> 16);
+  c.payload[2] = static_cast<std::uint8_t>(seq_ >> 8);
+  c.payload[3] = static_cast<std::uint8_t>(seq_ & 0xFF);
+  c.payload[4] = tag_;
+  ++seq_;
+  return c;
+}
+
+std::uint32_t cell_sequence(const atm::Cell& c) {
+  return static_cast<std::uint32_t>(c.payload[0]) << 24 |
+         static_cast<std::uint32_t>(c.payload[1]) << 16 |
+         static_cast<std::uint32_t>(c.payload[2]) << 8 |
+         static_cast<std::uint32_t>(c.payload[3]);
+}
+
+std::uint8_t cell_tag(const atm::Cell& c) { return c.payload[4]; }
+
+// --- CBR -------------------------------------------------------------------
+
+CbrSource::CbrSource(atm::VcId vc, std::uint8_t tag, SimTime period,
+                     SimTime start)
+    : CellSource(vc, tag), period_(period), next_time_(start) {
+  require(period > SimTime::zero(), "CbrSource: period must be positive");
+}
+
+CellArrival CbrSource::next() {
+  CellArrival a{next_time_, make_cell()};
+  next_time_ += period_;
+  return a;
+}
+
+// --- Poisson ----------------------------------------------------------------
+
+PoissonSource::PoissonSource(atm::VcId vc, std::uint8_t tag,
+                             double cells_per_sec, Rng rng)
+    : CellSource(vc, tag), mean_gap_sec_(1.0 / cells_per_sec), rng_(rng) {
+  require(cells_per_sec > 0.0, "PoissonSource: rate must be positive");
+}
+
+CellArrival PoissonSource::next() {
+  time_ += SimTime::from_seconds(rng_.exponential(mean_gap_sec_));
+  return {time_, make_cell()};
+}
+
+// --- On/Off -----------------------------------------------------------------
+
+OnOffSource::OnOffSource(atm::VcId vc, std::uint8_t tag, Params p, Rng rng)
+    : CellSource(vc, tag), p_(p), rng_(rng) {
+  require(p.peak_period > SimTime::zero(),
+          "OnOffSource: peak period must be positive");
+  require(p.mean_on_sec > 0.0 && p.mean_off_sec > 0.0,
+          "OnOffSource: mean durations must be positive");
+}
+
+double OnOffSource::draw_duration(double mean) {
+  if (p_.pareto) {
+    // Pareto with the requested mean: xm = mean * (shape-1)/shape.
+    const double xm = mean * (p_.pareto_shape - 1.0) / p_.pareto_shape;
+    return rng_.pareto(p_.pareto_shape, xm);
+  }
+  return rng_.exponential(mean);
+}
+
+CellArrival OnOffSource::next() {
+  for (;;) {
+    if (!in_burst_) {
+      time_ += SimTime::from_seconds(draw_duration(p_.mean_off_sec));
+      burst_end_ = time_ + SimTime::from_seconds(draw_duration(p_.mean_on_sec));
+      in_burst_ = true;
+    }
+    if (time_ < burst_end_) {
+      CellArrival a{time_, make_cell()};
+      time_ += p_.peak_period;
+      return a;
+    }
+    in_burst_ = false;
+  }
+}
+
+// --- MMPP -------------------------------------------------------------------
+
+MmppSource::MmppSource(atm::VcId vc, std::uint8_t tag,
+                       std::vector<double> rates,
+                       std::vector<double> holding_sec, Rng rng)
+    : CellSource(vc, tag), rates_(std::move(rates)),
+      holding_sec_(std::move(holding_sec)), rng_(rng) {
+  require(!rates_.empty() && rates_.size() == holding_sec_.size(),
+          "MmppSource: rates and holding times must match and be non-empty");
+  for (double r : rates_) {
+    require(r >= 0.0, "MmppSource: negative rate");
+  }
+}
+
+CellArrival MmppSource::next() {
+  for (;;) {
+    if (!state_initialized_) {
+      state_end_ = time_ + SimTime::from_seconds(
+                               rng_.exponential(holding_sec_[state_]));
+      state_initialized_ = true;
+    }
+    const double rate = rates_[state_];
+    if (rate > 0.0) {
+      const SimTime candidate =
+          time_ + SimTime::from_seconds(rng_.exponential(1.0 / rate));
+      if (candidate < state_end_) {
+        time_ = candidate;
+        return {time_, make_cell()};
+      }
+    }
+    // Hold time expired (or silent state): jump to a uniformly random other
+    // state.
+    time_ = state_end_;
+    if (rates_.size() > 1) {
+      std::size_t nxt = static_cast<std::size_t>(
+          rng_.uniform_int(0, rates_.size() - 2));
+      if (nxt >= state_) ++nxt;
+      state_ = nxt;
+    }
+    state_initialized_ = false;
+  }
+}
+
+// --- Merge -------------------------------------------------------------------
+
+MergedSource::MergedSource(std::vector<std::unique_ptr<CellSource>> inputs)
+    : CellSource(atm::VcId{0, 0}, 0), inputs_(std::move(inputs)) {
+  require(!inputs_.empty(), "MergedSource: need at least one input");
+  for (auto& in : inputs_) {
+    pending_.push_back({in->next(), in.get()});
+  }
+}
+
+CellArrival MergedSource::next() {
+  auto it = std::min_element(pending_.begin(), pending_.end(),
+                             [](const Pending& a, const Pending& b) {
+                               return a.arrival.time < b.arrival.time;
+                             });
+  CellArrival out = it->arrival;
+  it->arrival = it->source->next();
+  return out;
+}
+
+}  // namespace castanet::traffic

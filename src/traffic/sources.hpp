@@ -1,0 +1,140 @@
+// Stochastic traffic models (the "Traffic Models" box of Fig. 1).
+//
+// Network simulators are "optimized to support the modeling of traffic
+// sources" (§2); CASTANET's whole point is reusing these models as hardware
+// stimuli.  Every source produces a monotone stream of time-stamped ATM
+// cells on one virtual connection; the same source object drives the
+// system-level simulation, the RTL co-simulation and the hardware test
+// board.
+//
+// Payload convention: bytes 0..3 carry a big-endian per-source sequence
+// number, byte 4 the source tag — the response comparator uses these to
+// detect loss, reordering and corruption.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/atm/cell.hpp"
+#include "src/atm/connection.hpp"
+#include "src/core/rng.hpp"
+#include "src/dsim/time.hpp"
+
+namespace castanet::traffic {
+
+struct CellArrival {
+  SimTime time;
+  atm::Cell cell;
+};
+
+/// Abstract generator of time-stamped cells with nondecreasing time stamps.
+class CellSource {
+ public:
+  virtual ~CellSource() = default;
+  /// Produces the next cell.  Implementations never run dry; callers bound
+  /// generation by count or time.
+  virtual CellArrival next() = 0;
+  const atm::VcId& vc() const { return vc_; }
+  std::uint8_t tag() const { return tag_; }
+
+ protected:
+  CellSource(atm::VcId vc, std::uint8_t tag) : vc_(vc), tag_(tag) {}
+  /// Builds the cell carrying sequence number `seq_`, then increments it.
+  atm::Cell make_cell();
+
+  atm::VcId vc_;
+  std::uint8_t tag_;
+  std::uint32_t seq_ = 0;
+};
+
+/// Extracts the sequence number a source wrote into `c`.
+std::uint32_t cell_sequence(const atm::Cell& c);
+/// Extracts the source tag a source wrote into `c`.
+std::uint8_t cell_tag(const atm::Cell& c);
+
+/// Constant bit rate: one cell every `period`.
+class CbrSource : public CellSource {
+ public:
+  CbrSource(atm::VcId vc, std::uint8_t tag, SimTime period,
+            SimTime start = SimTime::zero());
+  CellArrival next() override;
+
+ private:
+  SimTime period_;
+  SimTime next_time_;
+};
+
+/// Poisson arrivals with mean rate `cells_per_sec`.
+class PoissonSource : public CellSource {
+ public:
+  PoissonSource(atm::VcId vc, std::uint8_t tag, double cells_per_sec,
+                Rng rng);
+  CellArrival next() override;
+
+ private:
+  double mean_gap_sec_;
+  Rng rng_;
+  SimTime time_ = SimTime::zero();
+};
+
+/// Interrupted Poisson / on-off source: exponential (or Pareto, for
+/// self-similar aggregates) ON and OFF durations; during ON, cells at the
+/// peak rate.
+class OnOffSource : public CellSource {
+ public:
+  struct Params {
+    SimTime peak_period;     ///< cell spacing while ON
+    double mean_on_sec;      ///< mean ON duration
+    double mean_off_sec;     ///< mean OFF duration
+    bool pareto = false;     ///< heavy-tailed ON/OFF durations
+    double pareto_shape = 1.5;
+  };
+  OnOffSource(atm::VcId vc, std::uint8_t tag, Params p, Rng rng);
+  CellArrival next() override;
+
+ private:
+  double draw_duration(double mean);
+  Params p_;
+  Rng rng_;
+  SimTime time_ = SimTime::zero();
+  SimTime burst_end_ = SimTime::zero();
+  bool in_burst_ = false;
+};
+
+/// Markov-modulated Poisson process: `rates[i]` cells/s in state i, with
+/// exponential state holding times of mean `holding_sec[i]` and uniform
+/// choice of next state.
+class MmppSource : public CellSource {
+ public:
+  MmppSource(atm::VcId vc, std::uint8_t tag, std::vector<double> rates,
+             std::vector<double> holding_sec, Rng rng);
+  CellArrival next() override;
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> holding_sec_;
+  Rng rng_;
+  std::size_t state_ = 0;
+  SimTime time_ = SimTime::zero();
+  SimTime state_end_ = SimTime::zero();
+  bool state_initialized_ = false;
+};
+
+/// Merges several sources into one time-ordered stream (an ATM multiplexer
+/// feeding one physical link).
+class MergedSource : public CellSource {
+ public:
+  explicit MergedSource(std::vector<std::unique_ptr<CellSource>> inputs);
+  CellArrival next() override;
+
+ private:
+  struct Pending {
+    CellArrival arrival;
+    CellSource* source;
+  };
+  std::vector<std::unique_ptr<CellSource>> inputs_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace castanet::traffic

@@ -1,0 +1,104 @@
+#include "src/traffic/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/error.hpp"
+
+namespace castanet::traffic {
+
+namespace {
+constexpr char kMagic[] = "castanet-trace v1";
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw IoError("CellTrace: invalid hex digit");
+}
+}  // namespace
+
+void CellTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("CellTrace::save: cannot open '" + path + "'");
+  out << kMagic << "\n";
+  for (const CellArrival& a : arrivals_) {
+    out << a.time.ps() << " " << a.cell.header.vpi << " " << a.cell.header.vci
+        << " " << static_cast<int>(a.cell.header.pti) << " "
+        << (a.cell.header.clp ? 1 : 0) << " ";
+    char hex[3];
+    for (std::uint8_t b : a.cell.payload) {
+      std::snprintf(hex, sizeof hex, "%02x", b);
+      out << hex;
+    }
+    out << "\n";
+  }
+  if (!out) throw IoError("CellTrace::save: write failed for '" + path + "'");
+}
+
+CellTrace CellTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("CellTrace::load: cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw IoError("CellTrace::load: '" + path + "' is not a v1 cell trace");
+  }
+  CellTrace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::int64_t ps;
+    unsigned vpi, vci, pti, clp;
+    std::string payload_hex;
+    if (!(ls >> ps >> vpi >> vci >> pti >> clp >> payload_hex) ||
+        payload_hex.size() != 2 * atm::kPayloadBytes) {
+      throw IoError("CellTrace::load: malformed line in '" + path + "'");
+    }
+    CellArrival a;
+    a.time = SimTime::from_ps(ps);
+    a.cell.header.vpi = static_cast<std::uint16_t>(vpi);
+    a.cell.header.vci = static_cast<std::uint16_t>(vci);
+    a.cell.header.pti = static_cast<std::uint8_t>(pti);
+    a.cell.header.clp = clp != 0;
+    for (std::size_t i = 0; i < atm::kPayloadBytes; ++i) {
+      a.cell.payload[i] = static_cast<std::uint8_t>(
+          hex_val(payload_hex[2 * i]) * 16 + hex_val(payload_hex[2 * i + 1]));
+    }
+    trace.arrivals_.push_back(a);
+  }
+  return trace;
+}
+
+CellTrace CellTrace::record(CellSource& src, std::size_t n) {
+  CellTrace trace;
+  for (std::size_t i = 0; i < n; ++i) trace.append(src.next());
+  return trace;
+}
+
+bool CellTrace::operator==(const CellTrace& o) const {
+  if (arrivals_.size() != o.arrivals_.size()) return false;
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    if (arrivals_[i].time != o.arrivals_[i].time ||
+        !(arrivals_[i].cell == o.arrivals_[i].cell)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TraceSource::TraceSource(CellTrace trace)
+    : CellSource(trace.empty() ? atm::VcId{0, 0}
+                               : atm::VcId{trace.arrivals()[0].cell.header.vpi,
+                                           trace.arrivals()[0].cell.header.vci},
+                 0),
+      trace_(std::move(trace)) {}
+
+CellArrival TraceSource::next() {
+  if (pos_ >= trace_.size()) {
+    throw LogicError("TraceSource: replayed past end of trace");
+  }
+  return trace_.arrivals()[pos_++];
+}
+
+}  // namespace castanet::traffic

@@ -1,0 +1,51 @@
+// Cell trace recording and replay.
+//
+// §3 of the paper: "it is possible to run the simulation in the background
+// while dumping the output data into a file and to re-run previously
+// generated test vectors."  A CellTrace is the on-disk test-vector format;
+// TraceSource replays one as a CellSource, so recorded stimuli are
+// interchangeable with live traffic models everywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/traffic/sources.hpp"
+
+namespace castanet::traffic {
+
+class CellTrace {
+ public:
+  void append(const CellArrival& a) { arrivals_.push_back(a); }
+  const std::vector<CellArrival>& arrivals() const { return arrivals_; }
+  std::size_t size() const { return arrivals_.size(); }
+  bool empty() const { return arrivals_.empty(); }
+
+  /// Text format, one cell per line:
+  ///   <time_ps> <vpi> <vci> <pti> <clp> <96 hex chars of payload>
+  /// with a "castanet-trace v1" header line.
+  void save(const std::string& path) const;
+  static CellTrace load(const std::string& path);
+
+  /// Captures the first `n` cells of `src`.
+  static CellTrace record(CellSource& src, std::size_t n);
+
+  bool operator==(const CellTrace& o) const;
+
+ private:
+  std::vector<CellArrival> arrivals_;
+};
+
+/// Replays a trace; `next()` past the end throws LogicError (use size()).
+class TraceSource : public CellSource {
+ public:
+  explicit TraceSource(CellTrace trace);
+  CellArrival next() override;
+  std::size_t remaining() const { return trace_.size() - pos_; }
+
+ private:
+  CellTrace trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace castanet::traffic

@@ -1,0 +1,119 @@
+#include "src/atm/aal5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/error.hpp"
+
+namespace castanet::atm {
+namespace {
+
+std::vector<std::uint8_t> make_frame(std::size_t n) {
+  std::vector<std::uint8_t> f(n);
+  std::iota(f.begin(), f.end(), 0);
+  return f;
+}
+
+TEST(Aal5, Crc32KnownVector) {
+  // AAL5 processes octets MSB-first (no reflection), i.e. the CRC-32/BZIP2
+  // form of the 802.3 polynomial: check value for "123456789" is
+  // 0xFC891918 (the reflected Ethernet form would be 0xCBF43926).
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(aal5_crc32(msg, sizeof msg), 0xFC891918u);
+}
+
+TEST(Aal5, SmallFrameFitsOneCell) {
+  // 40 bytes + 8 trailer = 48: exactly one cell.
+  const auto cells = aal5_segment(make_frame(40), {1, 42});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].header.pti & 1, 1);
+  EXPECT_EQ(cells[0].header.vci, 42);
+}
+
+TEST(Aal5, BoundaryNeedsExtraCell) {
+  // 41 bytes + 8 trailer = 49 > 48: two cells.
+  const auto cells = aal5_segment(make_frame(41), {1, 42});
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].header.pti & 1, 0);
+  EXPECT_EQ(cells[1].header.pti & 1, 1);
+}
+
+TEST(Aal5, OnlyLastCellMarked) {
+  const auto cells = aal5_segment(make_frame(500), {1, 1});
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].header.pti & 1, 0) << i;
+  }
+  EXPECT_EQ(cells.back().header.pti & 1, 1);
+}
+
+class Aal5RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Aal5RoundTrip, SegmentThenReassembleIsIdentity) {
+  const auto frame = make_frame(GetParam());
+  Aal5Reassembler r;
+  const auto cells = aal5_segment(frame, {3, 77});
+  std::optional<std::vector<std::uint8_t>> out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out = r.push(cells[i]);
+    if (i + 1 < cells.size()) {
+      EXPECT_FALSE(out.has_value());
+    }
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+  EXPECT_EQ(r.frames_ok(), 1u);
+  EXPECT_EQ(r.crc_errors(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, Aal5RoundTrip,
+                         ::testing::Values(0, 1, 39, 40, 41, 47, 48, 95, 96,
+                                           100, 1000, 9180, 65000));
+
+TEST(Aal5, BackToBackFrames) {
+  Aal5Reassembler r;
+  const auto f1 = make_frame(100);
+  const auto f2 = make_frame(200);
+  for (const Cell& c : aal5_segment(f1, {1, 1})) r.push(c);
+  std::optional<std::vector<std::uint8_t>> out;
+  for (const Cell& c : aal5_segment(f2, {1, 1})) out = r.push(c);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, f2);
+  EXPECT_EQ(r.frames_ok(), 2u);
+}
+
+TEST(Aal5, CorruptedPayloadFailsCrc) {
+  Aal5Reassembler r;
+  auto cells = aal5_segment(make_frame(100), {1, 1});
+  cells[0].payload[10] ^= 0x01;
+  std::optional<std::vector<std::uint8_t>> out;
+  for (const Cell& c : cells) out = r.push(c);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(r.crc_errors(), 1u);
+  EXPECT_EQ(r.frames_ok(), 0u);
+}
+
+TEST(Aal5, LostLastCellMergesFramesAndFailsCrc) {
+  Aal5Reassembler r;
+  auto first = aal5_segment(make_frame(100), {1, 1});
+  first.pop_back();  // lose the end-of-frame cell
+  for (const Cell& c : first) r.push(c);
+  std::optional<std::vector<std::uint8_t>> out;
+  for (const Cell& c : aal5_segment(make_frame(50), {1, 1})) out = r.push(c);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_GE(r.crc_errors() + r.length_errors(), 1u);
+}
+
+TEST(Aal5, OversizedFrameRejected) {
+  EXPECT_THROW(aal5_segment(make_frame(65536), {1, 1}), ConfigError);
+}
+
+TEST(Aal5, CellCountIsCeilOfPduOver48) {
+  for (std::size_t n : {0u, 1u, 40u, 41u, 88u, 89u, 1000u}) {
+    const auto cells = aal5_segment(make_frame(n), {1, 1});
+    EXPECT_EQ(cells.size(), (n + 8 + 47) / 48) << n;
+  }
+}
+
+}  // namespace
+}  // namespace castanet::atm

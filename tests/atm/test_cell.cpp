@@ -1,0 +1,118 @@
+#include "src/atm/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/atm/hec.hpp"
+#include "src/core/error.hpp"
+
+namespace castanet::atm {
+namespace {
+
+Cell sample_cell() {
+  Cell c;
+  c.header = {0x5, 0xA7, 0x1234, 0x3, true};
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    c.payload[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  return c;
+}
+
+TEST(Cell, SizesMatchI361) {
+  EXPECT_EQ(kCellBytes, 53u);
+  EXPECT_EQ(kHeaderBytes, 5u);
+  EXPECT_EQ(kPayloadBytes, 48u);
+}
+
+TEST(Cell, ByteRoundTrip) {
+  const Cell c = sample_cell();
+  const auto bytes = c.to_bytes();
+  const Cell back = Cell::from_bytes(bytes.data());
+  EXPECT_EQ(back, c);
+}
+
+TEST(Cell, HeaderFieldPacking) {
+  Cell c;
+  c.header = {0xF, 0xFF, 0xFFFF, 0x7, true};
+  const auto h = c.header_bytes();
+  EXPECT_EQ(h[0], 0xFF);
+  EXPECT_EQ(h[1], 0xFF);
+  EXPECT_EQ(h[2], 0xFF);
+  EXPECT_EQ(h[3], 0xFF);
+}
+
+TEST(Cell, GfcOccupiesTopNibble) {
+  Cell c;
+  c.header = {0xA, 0, 0, 0, false};
+  EXPECT_EQ(c.header_bytes()[0], 0xA0);
+}
+
+TEST(Cell, VciStraddlesThreeOctets) {
+  Cell c;
+  c.header = {0, 0, 0xABCD, 0, false};
+  const auto h = c.header_bytes();
+  EXPECT_EQ(h[1] & 0x0F, 0xA);
+  EXPECT_EQ(h[2], 0xBC);
+  EXPECT_EQ(h[3] >> 4, 0xD);
+}
+
+TEST(Cell, SerializedHecIsValid) {
+  const auto bytes = sample_cell().to_bytes();
+  EXPECT_EQ(bytes[4], compute_hec(bytes.data()));
+}
+
+TEST(Cell, FieldRangeChecksOnSerialize) {
+  Cell c;
+  c.header.gfc = 0x10;
+  EXPECT_THROW(c.to_bytes(), LogicError);
+  c.header.gfc = 0;
+  c.header.vpi = 0x100;
+  EXPECT_THROW(c.to_bytes(), LogicError);
+  c.header.vpi = 0;
+  c.header.pti = 8;
+  EXPECT_THROW(c.to_bytes(), LogicError);
+}
+
+TEST(Cell, HecCheckedOnParse) {
+  auto bytes = sample_cell().to_bytes();
+  bytes[4] ^= 0xFF;  // destroy the HEC beyond single-bit repair
+  // Flipping all 8 HEC bits is an 8-bit error: must not parse clean.
+  EXPECT_THROW((void)Cell::from_bytes(bytes.data(), true), ProtocolError);
+  // With checking disabled the payload parse still succeeds.
+  EXPECT_NO_THROW((void)Cell::from_bytes(bytes.data(), false));
+}
+
+TEST(Cell, SingleBitHeaderErrorRepairedOnParse) {
+  auto bytes = sample_cell().to_bytes();
+  bytes[1] ^= 0x08;
+  const Cell repaired = Cell::from_bytes(bytes.data(), true);
+  EXPECT_EQ(repaired, sample_cell());
+}
+
+TEST(Cell, IdleCellShape) {
+  const Cell idle = make_idle_cell();
+  EXPECT_TRUE(is_idle_cell(idle));
+  EXPECT_EQ(idle.header.vpi, 0);
+  EXPECT_EQ(idle.header.vci, 0);
+  EXPECT_TRUE(idle.header.clp);
+  EXPECT_EQ(idle.payload[0], 0x6A);
+  EXPECT_EQ(idle.payload[47], 0x6A);
+}
+
+TEST(Cell, UnassignedIsNotIdle) {
+  EXPECT_FALSE(is_idle_cell(make_unassigned_cell()));
+  EXPECT_FALSE(is_idle_cell(sample_cell()));
+}
+
+TEST(Cell, IdleCellSurvivesRoundTrip) {
+  const auto bytes = make_idle_cell().to_bytes();
+  EXPECT_TRUE(is_idle_cell(Cell::from_bytes(bytes.data())));
+}
+
+TEST(Cell, ToStringMentionsIdentifiers) {
+  const std::string s = sample_cell().to_string();
+  EXPECT_NE(s.find("vpi=167"), std::string::npos);
+  EXPECT_NE(s.find("vci=4660"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace castanet::atm

@@ -1,0 +1,79 @@
+#include "src/atm/connection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace castanet::atm {
+namespace {
+
+TEST(ConnectionTable, InstallAndLookup) {
+  ConnectionTable t;
+  t.install({1, 100}, Route{2, {5, 500}, {}});
+  const auto r = t.lookup({1, 100});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->out_port, 2);
+  EXPECT_EQ(r->out_vc.vpi, 5);
+  EXPECT_EQ(r->out_vc.vci, 500);
+}
+
+TEST(ConnectionTable, UnknownVcIsNullopt) {
+  ConnectionTable t;
+  t.install({1, 100}, Route{});
+  EXPECT_FALSE(t.lookup({1, 101}).has_value());
+  EXPECT_FALSE(t.lookup({2, 100}).has_value());
+}
+
+TEST(ConnectionTable, InstallReplaces) {
+  ConnectionTable t;
+  t.install({1, 1}, Route{0, {0, 10}, {}});
+  t.install({1, 1}, Route{3, {0, 20}, {}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup({1, 1})->out_vc.vci, 20);
+}
+
+TEST(ConnectionTable, Remove) {
+  ConnectionTable t;
+  t.install({1, 1}, Route{});
+  EXPECT_TRUE(t.remove({1, 1}));
+  EXPECT_FALSE(t.remove({1, 1}));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.lookup({1, 1}).has_value());
+}
+
+TEST(ConnectionTable, VpiAndVciBothKeyTheTable) {
+  ConnectionTable t;
+  t.install({1, 7}, Route{0, {0, 1}, {}});
+  t.install({2, 7}, Route{0, {0, 2}, {}});
+  t.install({1, 8}, Route{0, {0, 3}, {}});
+  EXPECT_EQ(t.lookup({1, 7})->out_vc.vci, 1);
+  EXPECT_EQ(t.lookup({2, 7})->out_vc.vci, 2);
+  EXPECT_EQ(t.lookup({1, 8})->out_vc.vci, 3);
+}
+
+TEST(ConnectionTable, EntriesEnumeration) {
+  ConnectionTable t;
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    t.install({1, i}, Route{static_cast<std::uint8_t>(i % 4), {1, i}, {}});
+  }
+  const auto entries = t.entries();
+  EXPECT_EQ(entries.size(), 50u);
+}
+
+TEST(ConnectionTable, ContractTravelsWithRoute) {
+  ConnectionTable t;
+  TrafficContract contract;
+  contract.pcr_increment = SimTime::from_us(10);
+  contract.tariff_class = 3;
+  t.install({9, 9}, Route{1, {9, 10}, contract});
+  const auto r = t.lookup({9, 9});
+  EXPECT_EQ(r->contract.pcr_increment, SimTime::from_us(10));
+  EXPECT_EQ(r->contract.tariff_class, 3);
+}
+
+TEST(VcIdHashT, DistinctIdsDistinctHashesMostly) {
+  VcIdHash h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+  EXPECT_EQ(h({1, 2}), h({1, 2}));
+}
+
+}  // namespace
+}  // namespace castanet::atm

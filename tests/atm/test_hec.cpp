@@ -1,0 +1,82 @@
+#include "src/atm/hec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace castanet::atm {
+namespace {
+
+TEST(Hec, Crc8KnownVector) {
+  // CRC-8 with poly 0x07, init 0: classic check value for "123456789".
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(msg, sizeof msg), 0xF4);
+}
+
+TEST(Hec, Crc8EmptyIsZero) { EXPECT_EQ(crc8(nullptr, 0), 0); }
+
+TEST(Hec, ComputeIncludesCoset) {
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  // CRC of zeros is 0, so HEC = coset 0x55 (this is the idle-cell HEC
+  // before the CLP bit: actual idle cell has octet 4 = 0x01).
+  EXPECT_EQ(compute_hec(zeros), 0x55);
+}
+
+TEST(Hec, CleanHeaderPasses) {
+  std::uint8_t h[5] = {0x12, 0x34, 0x56, 0x78, 0};
+  h[4] = compute_hec(h);
+  EXPECT_EQ(check_and_correct(h), HecResult::kOk);
+}
+
+TEST(Hec, EverySingleBitErrorIsCorrected) {
+  // Property: the I.432 correction-mode receiver repairs any 1-bit error in
+  // any of the 40 header bits.
+  for (int bit = 0; bit < 40; ++bit) {
+    std::uint8_t h[5] = {0xA5, 0x3C, 0x7E, 0x01, 0};
+    h[4] = compute_hec(h);
+    std::uint8_t corrupted[5];
+    std::memcpy(corrupted, h, 5);
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_EQ(check_and_correct(corrupted), HecResult::kCorrected)
+        << "bit " << bit;
+    EXPECT_EQ(0, std::memcmp(corrupted, h, 5)) << "bit " << bit;
+  }
+}
+
+TEST(Hec, DoubleBitErrorsAreNotSilentlyAccepted) {
+  // Property: no 2-bit error pattern may pass as kOk (the CRC has minimum
+  // distance 4 over 40 bits); most are kUncorrectable, some miscorrect,
+  // none must look clean.
+  std::uint8_t h[5] = {0x11, 0x22, 0x33, 0x44, 0};
+  h[4] = compute_hec(h);
+  for (int b1 = 0; b1 < 40; ++b1) {
+    for (int b2 = b1 + 1; b2 < 40; ++b2) {
+      std::uint8_t corrupted[5];
+      std::memcpy(corrupted, h, 5);
+      corrupted[b1 / 8] ^= static_cast<std::uint8_t>(1u << (b1 % 8));
+      corrupted[b2 / 8] ^= static_cast<std::uint8_t>(1u << (b2 % 8));
+      ASSERT_NE(check_and_correct(corrupted), HecResult::kOk)
+          << "bits " << b1 << "," << b2;
+    }
+  }
+}
+
+TEST(Hec, ErrorInHecOctetItselfCorrected) {
+  std::uint8_t h[5] = {0xDE, 0xAD, 0xBE, 0xEF, 0};
+  h[4] = compute_hec(h);
+  const std::uint8_t good_hec = h[4];
+  h[4] ^= 0x10;
+  EXPECT_EQ(check_and_correct(h), HecResult::kCorrected);
+  EXPECT_EQ(h[4], good_hec);
+}
+
+TEST(Hec, GarbageHeaderUncorrectable) {
+  std::uint8_t h[5] = {0xFF, 0x00, 0xFF, 0x00, 0x13};
+  // Overwhelmingly unlikely to be within distance 1 of a codeword.
+  const auto r = check_and_correct(h);
+  EXPECT_TRUE(r == HecResult::kUncorrectable || r == HecResult::kCorrected);
+  EXPECT_NE(r, HecResult::kOk);
+}
+
+}  // namespace
+}  // namespace castanet::atm

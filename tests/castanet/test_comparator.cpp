@@ -1,0 +1,129 @@
+#include "src/castanet/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace castanet::cosim {
+namespace {
+
+atm::Cell mk(std::uint16_t vci, std::uint8_t fill = 0) {
+  atm::Cell c;
+  c.header.vpi = 1;
+  c.header.vci = vci;
+  c.payload.fill(fill);
+  return c;
+}
+
+TEST(Comparator, IdenticalStreamsClean) {
+  ResponseComparator cmp;
+  for (int i = 0; i < 10; ++i) {
+    cmp.expect(mk(1, static_cast<std::uint8_t>(i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    cmp.actual(mk(1, static_cast<std::uint8_t>(i)));
+  }
+  cmp.finish();
+  EXPECT_TRUE(cmp.clean());
+  EXPECT_EQ(cmp.cells_matched(), 10u);
+}
+
+TEST(Comparator, InterleavingAcrossVcsAllowed) {
+  ResponseComparator cmp;
+  cmp.expect(mk(1, 0xA));
+  cmp.expect(mk(2, 0xB));
+  // DUT happens to emit VC2 first: legal, order only matters within a VC.
+  cmp.actual(mk(2, 0xB));
+  cmp.actual(mk(1, 0xA));
+  cmp.finish();
+  EXPECT_TRUE(cmp.clean());
+}
+
+TEST(Comparator, ReorderWithinVcDetected) {
+  ResponseComparator cmp;
+  cmp.expect(mk(1, 0xA));
+  cmp.expect(mk(1, 0xB));
+  cmp.actual(mk(1, 0xB));
+  cmp.actual(mk(1, 0xA));
+  cmp.finish();
+  EXPECT_FALSE(cmp.clean());
+  // Both slots mismatch on payload.
+  EXPECT_EQ(cmp.mismatches().size(), 2u);
+  EXPECT_EQ(cmp.mismatches()[0].kind, Mismatch::Kind::kPayload);
+}
+
+TEST(Comparator, HeaderCorruptionDistinguishedFromPayload) {
+  ResponseComparator cmp;
+  atm::Cell want = mk(5, 0x55);
+  want.header.pti = 1;
+  atm::Cell got = want;
+  got.header.pti = 0;  // header-only difference
+  cmp.expect(want);
+  // VC identity (vpi/vci) matches, so it lands in the same queue.
+  cmp.actual(got);
+  cmp.finish();
+  ASSERT_EQ(cmp.mismatches().size(), 1u);
+  EXPECT_EQ(cmp.mismatches()[0].kind, Mismatch::Kind::kHeader);
+}
+
+TEST(Comparator, MissingCellReported) {
+  ResponseComparator cmp;
+  cmp.expect(mk(1));
+  cmp.expect(mk(1));
+  cmp.actual(mk(1));
+  cmp.finish();
+  ASSERT_EQ(cmp.mismatches().size(), 1u);
+  EXPECT_EQ(cmp.mismatches()[0].kind, Mismatch::Kind::kMissing);
+}
+
+TEST(Comparator, ExtraCellReported) {
+  ResponseComparator cmp;
+  cmp.actual(mk(9));
+  cmp.finish();
+  ASSERT_EQ(cmp.mismatches().size(), 1u);
+  EXPECT_EQ(cmp.mismatches()[0].kind, Mismatch::Kind::kExtra);
+  EXPECT_EQ(cmp.mismatches()[0].vc.vci, 9);
+}
+
+TEST(Comparator, PayloadDiffLocatesFirstOctet) {
+  ResponseComparator cmp;
+  atm::Cell want = mk(1, 0x00);
+  atm::Cell got = want;
+  got.payload[17] = 0xFF;
+  cmp.expect(want);
+  cmp.actual(got);
+  cmp.finish();
+  ASSERT_EQ(cmp.mismatches().size(), 1u);
+  EXPECT_NE(cmp.mismatches()[0].detail.find("octet 17"), std::string::npos);
+}
+
+TEST(Comparator, ValueComparisons) {
+  ResponseComparator cmp;
+  cmp.compare_value(1, 100, 100, "count");
+  cmp.compare_value(2, 100, 99, "charge");
+  cmp.finish();
+  ASSERT_EQ(cmp.mismatches().size(), 1u);
+  EXPECT_EQ(cmp.mismatches()[0].kind, Mismatch::Kind::kValue);
+  EXPECT_NE(cmp.mismatches()[0].detail.find("charge"), std::string::npos);
+}
+
+TEST(Comparator, ReportSummarizes) {
+  ResponseComparator cmp;
+  cmp.expect(mk(1));
+  cmp.actual(mk(1));
+  cmp.finish();
+  const std::string r = cmp.report();
+  EXPECT_NE(r.find("1 matched"), std::string::npos);
+  EXPECT_NE(r.find("0 mismatches"), std::string::npos);
+}
+
+TEST(Comparator, CountersTrackVolume) {
+  ResponseComparator cmp;
+  for (int i = 0; i < 5; ++i) cmp.expect(mk(1, 1));
+  for (int i = 0; i < 3; ++i) cmp.actual(mk(1, 1));
+  EXPECT_EQ(cmp.cells_expected(), 5u);
+  EXPECT_EQ(cmp.cells_actual(), 3u);
+  cmp.finish();
+  EXPECT_EQ(cmp.mismatches().size(), 2u);  // two missing
+}
+
+}  // namespace
+}  // namespace castanet::cosim

@@ -1,0 +1,186 @@
+#include "src/castanet/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/core/error.hpp"
+#include "src/hw/accounting.hpp"
+#include "src/hw/cell_port.hpp"
+#include "src/hw/reference.hpp"
+#include "src/rtl/module.hpp"
+#include "src/traffic/sources.hpp"
+
+namespace castanet::cosim {
+namespace {
+
+traffic::CellTrace make_trace(std::uint16_t vci, std::size_t n,
+                              bool clp_every_third = false) {
+  traffic::CbrSource src({1, vci}, 1, SimTime::from_us(4));
+  traffic::CellTrace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    traffic::CellArrival a = src.next();
+    if (clp_every_third && i % 3 == 0) a.cell.header.clp = true;
+    t.append(a);
+  }
+  return t;
+}
+
+/// Reference binding: the trusted cell-level accounting model.
+RegressionSuite::DeviceBinding reference_binding() {
+  return [](const RegressionCase& c) {
+    hw::AccountingRef ref(4);
+    ref.set_tariff(0, hw::Tariff{3, 1});
+    ref.bind_connection({1, 100}, 0, 0);
+    for (const auto& a : c.stimulus.arrivals()) ref.observe(a.cell);
+    CaseResult r;
+    r.counters["count0"] = ref.count(0);
+    r.counters["clp1_0"] = ref.clp1_count(0);
+    r.counters["charge0"] = ref.charge(0);
+    return r;
+  };
+}
+
+/// RTL binding: a fresh simulator + RTL accounting unit per case (reset
+/// between cases is what makes it a regression).
+RegressionSuite::DeviceBinding rtl_binding(hw::AccountingFault fault) {
+  return [fault](const RegressionCase& c) {
+    rtl::Simulator hdl;
+    rtl::Signal clk(&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0));
+    rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
+    rtl::ClockGen clock(hdl, clk, SimTime::from_ns(50));
+    hw::CellPort snoop = hw::make_cell_port(hdl, "snoop");
+    hw::CellPortDriver drv(hdl, "drv", clk, snoop);
+    hw::AccountingUnit acct(hdl, "acct", clk, rst, snoop, 4);
+    acct.set_fault(fault);
+    acct.set_tariff(0, hw::Tariff{3, 1});
+    acct.bind_connection({1, 100}, 0, 0);
+    for (const auto& a : c.stimulus.arrivals()) drv.enqueue(a.cell);
+    hdl.run_until(SimTime::from_ns(
+        50 * (53 * static_cast<std::int64_t>(c.stimulus.size()) + 10)));
+    CaseResult r;
+    r.counters["count0"] = acct.count(0);
+    r.counters["clp1_0"] = acct.clp1_count(0);
+    r.counters["charge0"] = acct.charge(0);
+    return r;
+  };
+}
+
+RegressionSuite make_suite() {
+  RegressionSuite suite;
+  RegressionCase a;
+  a.name = "cbr_plain";
+  a.stimulus = make_trace(100, 20);
+  suite.add_case(std::move(a));
+  RegressionCase b;
+  b.name = "cbr_with_clp";
+  b.stimulus = make_trace(100, 30, true);
+  suite.add_case(std::move(b));
+  RegressionCase c;
+  c.name = "unknown_vc";
+  c.stimulus = make_trace(999, 10);
+  suite.add_case(std::move(c));
+  return suite;
+}
+
+TEST(RegressionSuite, GoldenRecordingThenCleanRtlPasses) {
+  RegressionSuite suite = make_suite();
+  suite.record_goldens(reference_binding());
+  const auto reports = suite.run(rtl_binding(hw::AccountingFault::kNone));
+  EXPECT_TRUE(RegressionSuite::all_passed(reports))
+      << RegressionSuite::summary(reports);
+  EXPECT_EQ(reports.size(), 3u);
+}
+
+TEST(RegressionSuite, FaultyRtlFailsExactlyTheSensitiveCases) {
+  RegressionSuite suite = make_suite();
+  suite.record_goldens(reference_binding());
+  const auto reports =
+      suite.run(rtl_binding(hw::AccountingFault::kIgnoreClp1));
+  ASSERT_EQ(reports.size(), 3u);
+  // Only the CLP-tagged case can expose the CLP1 bug.
+  EXPECT_TRUE(reports[0].passed) << reports[0].detail;   // cbr_plain
+  EXPECT_FALSE(reports[1].passed);                       // cbr_with_clp
+  EXPECT_TRUE(reports[2].passed) << reports[2].detail;   // unknown_vc
+  EXPECT_FALSE(RegressionSuite::all_passed(reports));
+  const std::string s = RegressionSuite::summary(reports);
+  EXPECT_NE(s.find("2/3 regression cases passed"), std::string::npos);
+  EXPECT_NE(s.find("[FAIL] cbr_with_clp"), std::string::npos);
+}
+
+TEST(RegressionSuite, SaveLoadRoundTrip) {
+  const std::string dir =
+      ::testing::TempDir() + "castanet_regression_suite";
+  std::filesystem::create_directories(dir);
+  RegressionSuite suite = make_suite();
+  suite.record_goldens(reference_binding());
+  suite.save(dir);
+
+  const RegressionSuite loaded = RegressionSuite::load(dir);
+  ASSERT_EQ(loaded.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(loaded.at(i).name, suite.at(i).name);
+    EXPECT_TRUE(loaded.at(i).stimulus == suite.at(i).stimulus);
+    EXPECT_EQ(loaded.at(i).golden_counters, suite.at(i).golden_counters);
+  }
+  // The loaded suite judges the DUT identically.
+  const auto reports = loaded.run(rtl_binding(hw::AccountingFault::kNone));
+  EXPECT_TRUE(RegressionSuite::all_passed(reports))
+      << RegressionSuite::summary(reports);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RegressionSuite, ThrowingBindingReportsFailure) {
+  RegressionSuite suite = make_suite();
+  const auto reports = suite.run([](const RegressionCase&) -> CaseResult {
+    throw ProtocolError("device exploded");
+  });
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.passed);
+    EXPECT_NE(r.detail.find("device exploded"), std::string::npos);
+  }
+}
+
+TEST(RegressionSuite, MissingCounterIsAMismatch) {
+  RegressionSuite suite;
+  RegressionCase c;
+  c.name = "case1";
+  c.stimulus = make_trace(100, 5);
+  c.golden_counters["count0"] = 5;
+  suite.add_case(std::move(c));
+  const auto reports = suite.run([](const RegressionCase&) {
+    return CaseResult{};  // device reports nothing at all
+  });
+  EXPECT_FALSE(reports[0].passed);
+}
+
+TEST(RegressionSuite, NamesValidated) {
+  RegressionSuite suite;
+  RegressionCase bad;
+  bad.name = "no spaces allowed";
+  EXPECT_THROW(suite.add_case(std::move(bad)), LogicError);
+  RegressionCase empty;
+  EXPECT_THROW(suite.add_case(std::move(empty)), LogicError);
+  RegressionCase a;
+  a.name = "dup";
+  suite.add_case(std::move(a));
+  RegressionCase b;
+  b.name = "dup";
+  EXPECT_THROW(suite.add_case(std::move(b)), LogicError);
+}
+
+TEST(RegressionSuite, LoadRejectsCorruptManifest) {
+  const std::string dir =
+      ::testing::TempDir() + "castanet_regression_bad";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream(dir + "/suite.manifest") << "wrong header\n";
+  }
+  EXPECT_THROW(RegressionSuite::load(dir), IoError);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace castanet::cosim

@@ -1,0 +1,31 @@
+#include "src/core/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace castanet {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "ok")); }
+
+TEST(Error, RequireThrowsLogicErrorWithMessage) {
+  try {
+    require(false, "precondition X failed");
+    FAIL() << "require(false) did not throw";
+  } catch (const LogicError& e) {
+    EXPECT_STREQ(e.what(), "precondition X failed");
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw ConfigError("c"), Error);
+  EXPECT_THROW(throw ProtocolError("p"), Error);
+  EXPECT_THROW(throw IoError("i"), Error);
+  EXPECT_THROW(throw LogicError("l"), Error);
+}
+
+TEST(Error, HierarchyIsCatchableAsStdException) {
+  EXPECT_THROW(throw ProtocolError("p"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace castanet

@@ -1,0 +1,154 @@
+#include "src/core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/error.hpp"
+
+namespace castanet {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.raw() == b.raw()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = r.uniform_int(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng r(1);
+  EXPECT_EQ(r.uniform_int(5, 5), 5u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_int(7, 3), LogicError);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(1);
+  EXPECT_THROW(r.exponential(0.0), LogicError);
+  EXPECT_THROW(r.exponential(-1.0), LogicError);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng r(17);
+  const int n = 100001;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = r.lognormal(2.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(2.0), std::exp(2.0) * 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanIsInverseP) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(0.25));
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneAlwaysOne) {
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.geometric(1.0), 1u);
+}
+
+TEST(Rng, ParetoRespectsScaleMinimum) {
+  Rng r(29);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(r.pareto(1.5, 2.0), 2.0);
+  }
+}
+
+TEST(Rng, ParetoMeanForShapeAboveOne) {
+  Rng r(31);
+  // mean = alpha*xm/(alpha-1) = 3*1/(2) = 1.5
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += r.pareto(3.0, 1.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.03);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng c1 = parent1.fork();
+  Rng c2 = parent2.fork();
+  // Same parent seed -> same child stream.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.raw(), c2.raw());
+  // Child differs from a fresh parent continuation.
+  Rng c3 = parent1.fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (c1.raw() == c3.raw()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace castanet

@@ -1,0 +1,116 @@
+#include "src/core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/error.hpp"
+
+namespace castanet {
+namespace {
+
+TEST(SampleStat, EmptyIsZero) {
+  SampleStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStat, SingleSample) {
+  SampleStat s;
+  s.record(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleStat, KnownMoments) {
+  SampleStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.record(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Unbiased sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SampleStat, NegativeValues) {
+  SampleStat s;
+  s.record(-3.0);
+  s.record(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(TimeAverageStat, ConstantValue) {
+  TimeAverageStat s;
+  s.set(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.average(10.0), 4.0);
+}
+
+TEST(TimeAverageStat, PiecewiseConstant) {
+  TimeAverageStat s;
+  s.set(0.0, 0.0);
+  s.set(2.0, 10.0);  // value 0 over [0,2)
+  s.set(4.0, 0.0);   // value 10 over [2,4)
+  // Over [0,10]: (0*2 + 10*2 + 0*6)/10 = 2.
+  EXPECT_DOUBLE_EQ(s.average(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.current(), 0.0);
+}
+
+TEST(TimeAverageStat, NeverSetIsZero) {
+  TimeAverageStat s;
+  EXPECT_DOUBLE_EQ(s.average(5.0), 0.0);
+}
+
+TEST(TimeAverageStat, QueryBeforeStartIsZero) {
+  TimeAverageStat s;
+  s.set(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.average(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.average(4.0), 0.0);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.record(0.0);   // bin 0
+  h.record(0.99);  // bin 0
+  h.record(5.0);   // bin 5
+  h.record(9.99);  // bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeSaturates) {
+  Histogram h(0.0, 10.0, 5);
+  h.record(-100.0);
+  h.record(1e9);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) + 0.5);
+  // Median should land near 50.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 10), LogicError);
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), LogicError);
+}
+
+TEST(Histogram, QuantileRangeChecked) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.quantile(-0.1), LogicError);
+  EXPECT_THROW(h.quantile(1.1), LogicError);
+}
+
+}  // namespace
+}  // namespace castanet

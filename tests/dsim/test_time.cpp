@@ -1,0 +1,55 @@
+#include "src/dsim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace castanet {
+namespace {
+
+TEST(SimTime, UnitConstructors) {
+  EXPECT_EQ(SimTime::from_ns(1).ps(), 1000);
+  EXPECT_EQ(SimTime::from_us(1).ps(), 1'000'000);
+  EXPECT_EQ(SimTime::from_ms(1).ps(), 1'000'000'000);
+  EXPECT_EQ(SimTime::from_sec(1).ps(), 1'000'000'000'000);
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds(1e-12).ps(), 1);
+  EXPECT_EQ(SimTime::from_seconds(2.5e-12).ps(), 3);  // llround: away from 0
+  EXPECT_EQ(SimTime::from_seconds(1.0).ps(), 1'000'000'000'000);
+}
+
+TEST(SimTime, SecondsRoundTrip) {
+  const SimTime t = SimTime::from_us(2726);  // one STM-1 cell time, ~2.7us
+  EXPECT_NEAR(t.seconds(), 2.726e-3 * 1e-3 * 1000, 1e-12);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::from_ns(1), SimTime::from_ns(2));
+  EXPECT_EQ(SimTime::from_ns(1000), SimTime::from_us(1));
+  EXPECT_GT(SimTime::max(), SimTime::from_sec(1'000'000));
+}
+
+TEST(SimTime, Arithmetic) {
+  SimTime t = SimTime::from_ns(10);
+  t += SimTime::from_ns(5);
+  EXPECT_EQ(t, SimTime::from_ns(15));
+  t -= SimTime::from_ns(10);
+  EXPECT_EQ(t, SimTime::from_ns(5));
+  EXPECT_EQ(t * 4, SimTime::from_ns(20));
+  EXPECT_EQ(SimTime::from_us(1) / SimTime::from_ns(300), 3);
+}
+
+TEST(SimTime, ClockPeriod) {
+  EXPECT_EQ(clock_period_hz(20'000'000), SimTime::from_ns(50));
+  EXPECT_EQ(clock_period_hz(1'000'000'000), SimTime::from_ns(1));
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::from_sec(3).to_string(), "3s");
+  EXPECT_EQ(SimTime::from_us(42).to_string(), "42us");
+  EXPECT_EQ(SimTime::from_ns(7).to_string(), "7ns");
+  EXPECT_EQ(SimTime::from_ps(13).to_string(), "13ps");
+}
+
+}  // namespace
+}  // namespace castanet

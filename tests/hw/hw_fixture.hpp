@@ -1,0 +1,45 @@
+// Shared fixture for clock-driven RTL tests: a simulator, 20 MHz clock,
+// synchronous reset, and cycle-stepping helpers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/rtl/module.hpp"
+
+namespace castanet::hw::testing {
+
+class ClockedTest : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kPeriodNs = 50;  // 20 MHz
+
+  rtl::Simulator sim;
+  rtl::Signal clk{&sim, sim.create_signal("clk", 1, rtl::Logic::L0)};
+  rtl::Signal rst{&sim, sim.create_signal("rst", 1, rtl::Logic::L0)};
+
+  /// Runs `n` full clock cycles (call after elaborating modules).
+  void run_cycles(std::uint64_t n) {
+    if (!clock_) {
+      clock_ = std::make_unique<rtl::ClockGen>(sim, clk,
+                                               SimTime::from_ns(kPeriodNs));
+    }
+    const std::uint64_t target = clock_->rising_edges() + n;
+    while (clock_->rising_edges() < target) {
+      ASSERT_TRUE(sim.step_time()) << "clock stopped unexpectedly";
+    }
+    // Drain the remaining activity of the last edge's time point.
+    sim.run_until(sim.now());
+  }
+
+  /// Pulses reset for `cycles` clock cycles.
+  void pulse_reset(std::uint64_t cycles = 2) {
+    rst.write(rtl::Logic::L1);
+    run_cycles(cycles);
+    rst.write(rtl::Logic::L0);
+    run_cycles(1);
+  }
+
+ private:
+  std::unique_ptr<rtl::ClockGen> clock_;
+};
+
+}  // namespace castanet::hw::testing

@@ -1,0 +1,160 @@
+#include "src/hw/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/castanet/mapping.hpp"
+#include "tests/hw/hw_fixture.hpp"
+
+namespace castanet::hw {
+namespace {
+
+using testing::ClockedTest;
+
+class AccountingTest : public ClockedTest {
+ protected:
+  CellPort snoop = make_cell_port(sim, "snoop");
+  CellPortDriver driver{sim, "drv", clk, snoop};
+  AccountingUnit acct{sim, "acct", clk, rst, snoop, 16};
+  cosim::BusMaster bus{sim, "bus", clk, acct.addr, acct.data, acct.cs,
+                       acct.rw};
+
+  void SetUp() override {
+    acct.set_tariff(0, Tariff{1, 0});
+    acct.set_tariff(1, Tariff{5, 2});
+    acct.bind_connection({1, 100}, 0, 0);
+    acct.bind_connection({1, 200}, 1, 1);
+  }
+
+  atm::Cell cell(std::uint16_t vci, bool clp = false) {
+    atm::Cell c;
+    c.header.vpi = 1;
+    c.header.vci = vci;
+    c.header.clp = clp;
+    return c;
+  }
+
+  void drive_cells(std::uint16_t vci, int n, bool clp = false) {
+    for (int i = 0; i < n; ++i) driver.enqueue(cell(vci, clp));
+    run_cycles(static_cast<std::uint64_t>(n) * 53 + 10);
+  }
+
+  std::uint16_t read_reg(std::uint8_t addr) {
+    std::uint16_t value = 0;
+    bool done = false;
+    bus.read(addr, [&](std::uint16_t v) {
+      value = v;
+      done = true;
+    });
+    while (!done) run_cycles(1);
+    run_cycles(2);
+    return value;
+  }
+
+  void write_reg(std::uint8_t addr, std::uint16_t v) {
+    bus.write(addr, v);
+    while (!bus.idle()) run_cycles(1);
+    run_cycles(2);
+  }
+};
+
+TEST_F(AccountingTest, CountsCellsPerConnection) {
+  drive_cells(100, 7);
+  drive_cells(200, 3);
+  EXPECT_EQ(acct.count(0), 7u);
+  EXPECT_EQ(acct.count(1), 3u);
+  EXPECT_EQ(acct.cells_observed(), 10u);
+}
+
+TEST_F(AccountingTest, ClpCellsCountedSeparately) {
+  drive_cells(200, 4, /*clp=*/false);
+  drive_cells(200, 6, /*clp=*/true);
+  EXPECT_EQ(acct.count(1), 10u);
+  EXPECT_EQ(acct.clp1_count(1), 6u);
+}
+
+TEST_F(AccountingTest, ChargeFollowsTariff) {
+  // Tariff 1: CLP0 cells cost 5, CLP1 cells cost 2.
+  drive_cells(200, 4, false);
+  drive_cells(200, 6, true);
+  EXPECT_EQ(acct.charge(1), 4u * 5 + 6u * 2);
+}
+
+TEST_F(AccountingTest, UnknownVcFlagsStatus) {
+  drive_cells(999, 1);
+  EXPECT_TRUE(acct.unknown_vc_seen());
+  EXPECT_EQ(acct.count(0), 0u);
+}
+
+TEST_F(AccountingTest, RegisterReadback48BitCounter) {
+  drive_cells(100, 5);
+  write_reg(0x00, 0);  // select connection 0
+  EXPECT_EQ(read_reg(0x01), 5u);  // COUNT_LO
+  EXPECT_EQ(read_reg(0x02), 0u);  // COUNT_MID
+  EXPECT_EQ(read_reg(0x03), 0u);  // COUNT_HI
+}
+
+TEST_F(AccountingTest, RegisterReadbackChargeAndClp) {
+  drive_cells(200, 2, true);
+  write_reg(0x00, 1);
+  EXPECT_EQ(read_reg(0x04), 4u);  // charge = 2 cells * 2 units
+  EXPECT_EQ(read_reg(0x07), 2u);  // CLP1 count
+}
+
+TEST_F(AccountingTest, ClearResetsSelectedConnectionOnly) {
+  drive_cells(100, 3);
+  drive_cells(200, 4);
+  write_reg(0x00, 0);
+  write_reg(0x0F, 1);  // CLEAR
+  EXPECT_EQ(acct.count(0), 0u);
+  EXPECT_EQ(acct.count(1), 4u);
+}
+
+TEST_F(AccountingTest, StatusRegisterReflectsUnknownVc) {
+  write_reg(0x00, 0);
+  EXPECT_EQ(read_reg(0x0A), 0u);
+  drive_cells(999, 1);
+  EXPECT_EQ(read_reg(0x0A), 1u);
+}
+
+TEST_F(AccountingTest, UndefinedRegisterReadsSentinel) {
+  EXPECT_EQ(read_reg(0x30), 0xDEAD);
+}
+
+TEST_F(AccountingTest, BusReleasedWhenNotSelected) {
+  run_cycles(4);
+  EXPECT_EQ(acct.data.read().to_string(), std::string(16, 'Z'));
+}
+
+TEST_F(AccountingTest, FaultIgnoreClp1IsObservable) {
+  acct.set_fault(AccountingFault::kIgnoreClp1);
+  drive_cells(200, 5, true);
+  drive_cells(200, 5, false);
+  EXPECT_EQ(acct.count(1), 5u);       // CLP1 cells vanished
+  EXPECT_EQ(acct.clp1_count(1), 0u);
+}
+
+TEST_F(AccountingTest, FaultChargeWrapIsObservable) {
+  acct.set_fault(AccountingFault::kCharge16BitWrap);
+  acct.set_tariff(2, Tariff{5000, 0});
+  acct.bind_connection({1, 300}, 2, 2);
+  drive_cells(300, 14);  // 70000 > 65535: wraps
+  EXPECT_EQ(acct.charge(2), 70000u & 0xFFFF);
+}
+
+TEST_F(AccountingTest, FaultOffByOneClear) {
+  acct.set_fault(AccountingFault::kOffByOneClear);
+  drive_cells(100, 3);
+  write_reg(0x00, 0);
+  write_reg(0x0F, 1);
+  EXPECT_EQ(acct.count(0), 1u);  // injected bug leaves 1 behind
+}
+
+TEST_F(AccountingTest, CountersSurviveManyCells) {
+  drive_cells(100, 200);
+  EXPECT_EQ(acct.count(0), 200u);
+  write_reg(0x00, 0);
+  EXPECT_EQ(read_reg(0x01), 200u);
+}
+
+}  // namespace
+}  // namespace castanet::hw

@@ -1,0 +1,112 @@
+#include "src/hw/cell_port.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/error.hpp"
+
+#include "src/hw/cell_bits.hpp"
+#include "tests/hw/hw_fixture.hpp"
+
+namespace castanet::hw {
+namespace {
+
+using testing::ClockedTest;
+
+atm::Cell test_cell(std::uint16_t vci, std::uint8_t fill = 0x11) {
+  atm::Cell c;
+  c.header.vpi = 1;
+  c.header.vci = vci;
+  c.payload.fill(fill);
+  return c;
+}
+
+class CellPortTest : public ClockedTest {
+ protected:
+  CellPort port = make_cell_port(sim, "lane");
+  CellPortDriver driver{sim, "drv", clk, port};
+  CellPortMonitor monitor{sim, "mon", clk, port};
+};
+
+TEST_F(CellPortTest, DriverMonitorRoundTripOneCell) {
+  driver.enqueue(test_cell(100));
+  run_cycles(60);
+  ASSERT_EQ(monitor.cells().size(), 1u);
+  EXPECT_EQ(monitor.cells()[0], test_cell(100));
+  EXPECT_EQ(driver.cells_driven(), 1u);
+}
+
+TEST_F(CellPortTest, BackToBackCells) {
+  for (std::uint16_t i = 0; i < 5; ++i) driver.enqueue(test_cell(100 + i));
+  run_cycles(53 * 5 + 5);
+  ASSERT_EQ(monitor.cells().size(), 5u);
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(monitor.cells()[i].header.vci, 100 + i);
+  }
+}
+
+TEST_F(CellPortTest, GapsBetweenCellsHandled) {
+  driver.enqueue(test_cell(1));
+  run_cycles(100);  // drain plus idle gap
+  driver.enqueue(test_cell(2));
+  run_cycles(100);
+  ASSERT_EQ(monitor.cells().size(), 2u);
+  EXPECT_EQ(monitor.framing_errors(), 0u);
+}
+
+TEST_F(CellPortTest, TakesFiftyThreeCyclesPerCell) {
+  driver.enqueue(test_cell(1));
+  run_cycles(52);
+  EXPECT_TRUE(monitor.cells().empty());  // one octet still missing
+  run_cycles(2);
+  EXPECT_EQ(monitor.cells().size(), 1u);
+}
+
+TEST_F(CellPortTest, CallbackFiresPerCell) {
+  int called = 0;
+  monitor.set_callback([&](const atm::Cell&) { ++called; });
+  driver.enqueue(test_cell(1));
+  driver.enqueue(test_cell(2));
+  run_cycles(120);
+  EXPECT_EQ(called, 2);
+}
+
+TEST_F(CellPortTest, CorruptedHecCountedNotDelivered) {
+  auto bytes = test_cell(7).to_bytes();
+  bytes[2] ^= 0xFF;  // multi-bit header corruption
+  driver.enqueue_bytes(bytes);
+  driver.enqueue(test_cell(8));
+  run_cycles(120);
+  EXPECT_EQ(monitor.hec_discards(), 1u);
+  ASSERT_EQ(monitor.cells().size(), 1u);
+  EXPECT_EQ(monitor.cells()[0].header.vci, 8);
+}
+
+TEST(CellBits, CellVectorRoundTrip) {
+  atm::Cell c = test_cell(999, 0xAB);
+  const rtl::LogicVector v = cell_to_bits(c);
+  EXPECT_EQ(v.width(), kCellBits);
+  EXPECT_EQ(bits_to_cell(v), c);
+}
+
+TEST(CellBits, ByteLayoutMatchesSerialOrder) {
+  atm::Cell c = test_cell(5);
+  const auto bytes = c.to_bytes();
+  const rtl::LogicVector v = cell_to_bits(c);
+  for (std::size_t j = 0; j < atm::kCellBytes; ++j) {
+    EXPECT_EQ(v.slice(8 * j, 8).to_uint(), bytes[j]) << "byte " << j;
+  }
+}
+
+TEST(CellBits, UndefinedBitsRejected) {
+  rtl::LogicVector v(kCellBits, rtl::Logic::L0);
+  v.set_bit(100, rtl::Logic::X);
+  EXPECT_THROW(bits_to_cell(v), castanet::LogicError);
+}
+
+TEST(CellBits, WrongWidthRejected) {
+  EXPECT_THROW(bits_to_cell(rtl::LogicVector(100, rtl::Logic::L0)),
+               castanet::LogicError);
+}
+
+}  // namespace
+}  // namespace castanet::hw

@@ -1,0 +1,125 @@
+#include "src/hw/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/error.hpp"
+
+#include "tests/hw/hw_fixture.hpp"
+
+namespace castanet::hw {
+namespace {
+
+using testing::ClockedTest;
+
+class FifoTest : public ClockedTest {
+ protected:
+  SyncFifo fifo{sim, "q", clk, rst, 16, 4};
+
+  void push_word(std::uint64_t v) {
+    fifo.din.write_uint(v);
+    fifo.push.write(rtl::Logic::L1);
+    run_cycles(1);
+    fifo.push.write(rtl::Logic::L0);
+    run_cycles(1);
+  }
+
+  std::uint64_t pop_word() {
+    const std::uint64_t v = fifo.dout.read_uint();
+    fifo.pop.write(rtl::Logic::L1);
+    run_cycles(1);
+    fifo.pop.write(rtl::Logic::L0);
+    run_cycles(1);
+    return v;
+  }
+};
+
+TEST_F(FifoTest, StartsEmpty) {
+  run_cycles(1);
+  EXPECT_TRUE(fifo.empty.read_bool());
+  EXPECT_FALSE(fifo.full.read_bool());
+  EXPECT_EQ(fifo.occupancy.read_uint(), 0u);
+}
+
+TEST_F(FifoTest, FifoOrderPreserved) {
+  push_word(11);
+  push_word(22);
+  push_word(33);
+  EXPECT_FALSE(fifo.empty.read_bool());
+  EXPECT_EQ(fifo.occupancy.read_uint(), 3u);
+  EXPECT_EQ(pop_word(), 11u);
+  EXPECT_EQ(pop_word(), 22u);
+  EXPECT_EQ(pop_word(), 33u);
+  EXPECT_TRUE(fifo.empty.read_bool());
+}
+
+TEST_F(FifoTest, FullAssertedAtCapacity) {
+  for (std::uint64_t i = 0; i < 4; ++i) push_word(i);
+  EXPECT_TRUE(fifo.full.read_bool());
+  EXPECT_EQ(fifo.occupancy.read_uint(), 4u);
+}
+
+TEST_F(FifoTest, OverflowDropsAndCounts) {
+  for (std::uint64_t i = 0; i < 6; ++i) push_word(i);
+  EXPECT_EQ(fifo.drops(), 2u);
+  EXPECT_EQ(fifo.pushes(), 4u);
+  // Content must be the first 4 words.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(pop_word(), i);
+}
+
+TEST_F(FifoTest, SimultaneousPushPopOnFullSucceeds) {
+  for (std::uint64_t i = 0; i < 4; ++i) push_word(i);
+  // Assert push and pop in the same cycle while full.
+  fifo.din.write_uint(99);
+  fifo.push.write(rtl::Logic::L1);
+  fifo.pop.write(rtl::Logic::L1);
+  run_cycles(1);
+  fifo.push.write(rtl::Logic::L0);
+  fifo.pop.write(rtl::Logic::L0);
+  run_cycles(1);
+  EXPECT_EQ(fifo.drops(), 0u);
+  EXPECT_EQ(fifo.occupancy.read_uint(), 4u);
+  EXPECT_EQ(pop_word(), 1u);  // 0 was popped in the combined cycle
+}
+
+TEST_F(FifoTest, PopOnEmptyIsNoop) {
+  fifo.pop.write(rtl::Logic::L1);
+  run_cycles(2);
+  fifo.pop.write(rtl::Logic::L0);
+  run_cycles(1);
+  EXPECT_TRUE(fifo.empty.read_bool());
+  EXPECT_EQ(fifo.pops(), 0u);
+}
+
+TEST_F(FifoTest, ResetFlushes) {
+  push_word(1);
+  push_word(2);
+  pulse_reset();
+  EXPECT_TRUE(fifo.empty.read_bool());
+  EXPECT_EQ(fifo.occupancy.read_uint(), 0u);
+}
+
+TEST_F(FifoTest, MaxOccupancyHighWaterMark) {
+  for (std::uint64_t i = 0; i < 3; ++i) push_word(i);
+  pop_word();
+  pop_word();
+  push_word(9);
+  EXPECT_EQ(fifo.max_occupancy(), 3u);
+}
+
+TEST_F(FifoTest, HeadVisibleWithoutPop) {
+  push_word(0xABCD);
+  EXPECT_EQ(fifo.dout.read_uint(), 0xABCDu);
+  run_cycles(5);
+  EXPECT_EQ(fifo.dout.read_uint(), 0xABCDu);  // non-destructive
+  EXPECT_EQ(fifo.occupancy.read_uint(), 1u);
+}
+
+TEST(FifoConfig, ZeroDepthRejected) {
+  rtl::Simulator sim;
+  rtl::Signal clk(&sim, sim.create_signal("clk", 1));
+  rtl::Signal rst(&sim, sim.create_signal("rst", 1));
+  EXPECT_THROW(SyncFifo(sim, "bad", clk, rst, 8, 0), castanet::LogicError);
+}
+
+}  // namespace
+}  // namespace castanet::hw

@@ -1,0 +1,125 @@
+#include "src/hw/policer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cell_bits.hpp"
+#include "tests/hw/hw_fixture.hpp"
+
+namespace castanet::hw {
+namespace {
+
+using testing::ClockedTest;
+
+class PolicerTest : public ClockedTest {
+ protected:
+  rtl::Bus cell_in{&sim, sim.create_signal("cell_in", kCellBits)};
+  rtl::Signal in_valid{&sim, sim.create_signal("in_valid", 1, rtl::Logic::L0)};
+  GcraPolicer upc{sim, "upc", clk, rst, cell_in, in_valid};
+  std::vector<atm::Cell> passed;
+  int discards = 0;
+
+  void SetUp() override {
+    sim.add_process("cap", {upc.out_valid.id(), upc.discard.id()}, [this] {
+      if (upc.out_valid.rose()) {
+        passed.push_back(bits_to_cell(upc.cell_out.read(), false));
+      }
+      if (upc.discard.rose()) ++discards;
+    });
+  }
+
+  /// Presents a cell for exactly one clock at the current cycle.
+  void feed(std::uint16_t vci, bool clp = false) {
+    atm::Cell c;
+    c.header.vpi = 1;
+    c.header.vci = vci;
+    c.header.clp = clp;
+    cell_in.write(cell_to_bits(c));
+    in_valid.write(rtl::Logic::L1);
+    run_cycles(1);
+    in_valid.write(rtl::Logic::L0);
+  }
+
+  void idle(std::uint64_t cycles) { run_cycles(cycles); }
+};
+
+TEST_F(PolicerTest, UnconfiguredVcPassesUnpoliced) {
+  for (int i = 0; i < 5; ++i) feed(9);
+  run_cycles(2);
+  EXPECT_EQ(passed.size(), 5u);
+  EXPECT_EQ(upc.dropped(), 0u);
+}
+
+TEST_F(PolicerTest, ConformingCbrPasses) {
+  upc.configure({1, 1}, {100, 0, false});
+  for (int i = 0; i < 10; ++i) {
+    feed(1);
+    idle(99);  // spacing = 100 cycles = increment
+  }
+  run_cycles(2);
+  EXPECT_EQ(passed.size(), 10u);
+  EXPECT_EQ(upc.dropped(), 0u);
+}
+
+TEST_F(PolicerTest, BackToBackBeyondToleranceDropped) {
+  upc.configure({1, 1}, {100, 0, false});
+  feed(1);
+  feed(1);  // immediately after: way inside the increment
+  run_cycles(2);
+  EXPECT_EQ(passed.size(), 1u);
+  EXPECT_EQ(upc.dropped(), 1u);
+  EXPECT_EQ(discards, 1);
+}
+
+TEST_F(PolicerTest, ToleranceAdmitsBurst) {
+  // tau = 3 increments: burst of 4 admitted, 5th dropped.
+  upc.configure({1, 1}, {100, 300, false});
+  for (int i = 0; i < 5; ++i) feed(1);
+  run_cycles(2);
+  EXPECT_EQ(passed.size(), 4u);
+  EXPECT_EQ(upc.dropped(), 1u);
+}
+
+TEST_F(PolicerTest, TaggingModeSetsClpInsteadOfDropping) {
+  upc.configure({1, 1}, {100, 0, true});
+  feed(1);
+  feed(1);
+  run_cycles(2);
+  ASSERT_EQ(passed.size(), 2u);
+  EXPECT_FALSE(passed[0].header.clp);
+  EXPECT_TRUE(passed[1].header.clp);
+  EXPECT_EQ(upc.tagged(), 1u);
+  EXPECT_EQ(upc.dropped(), 0u);
+}
+
+TEST_F(PolicerTest, IndependentStatePerVc) {
+  upc.configure({1, 1}, {100, 0, false});
+  upc.configure({1, 2}, {100, 0, false});
+  feed(1);
+  feed(2);  // different VC: its own first cell, conforms
+  run_cycles(2);
+  EXPECT_EQ(passed.size(), 2u);
+  EXPECT_EQ(upc.dropped(), 0u);
+}
+
+TEST_F(PolicerTest, NonConformingCellDoesNotAdvanceTat) {
+  upc.configure({1, 1}, {100, 0, false});
+  feed(1);          // TAT = t+100
+  feed(1);          // dropped
+  idle(99);         // now at TAT of the first cell
+  feed(1);          // conforms again
+  run_cycles(2);
+  EXPECT_EQ(passed.size(), 2u);
+  EXPECT_EQ(upc.dropped(), 1u);
+}
+
+TEST_F(PolicerTest, CreditRestoredAfterIdle) {
+  upc.configure({1, 1}, {50, 0, false});
+  feed(1);
+  idle(500);
+  feed(1);
+  run_cycles(2);
+  EXPECT_EQ(upc.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace castanet::hw

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/cell_bits.hpp"
+#include "src/hw/oam.hpp"
+#include "src/hw/policer.hpp"
+#include "src/hw/shaper.hpp"
+#include "tests/hw/hw_fixture.hpp"
+
+namespace castanet::hw {
+namespace {
+
+using testing::ClockedTest;
+
+class ShaperTest : public ClockedTest {
+ protected:
+  rtl::Bus cell_in{&sim, sim.create_signal("cell_in", kCellBits)};
+  rtl::Signal in_valid{&sim, sim.create_signal("in_valid", 1, rtl::Logic::L0)};
+  CellShaper shaper{sim, "shaper", clk, rst, cell_in, in_valid};
+  std::vector<std::pair<std::uint64_t, atm::Cell>> out;  // (tick, cell)
+  std::uint64_t tick = 0;
+
+  void SetUp() override {
+    sim.add_process("cap", {shaper.out_valid.id()}, [this] {
+      if (shaper.out_valid.rose()) {
+        out.emplace_back(tick, bits_to_cell(shaper.cell_out.read(), false));
+      }
+    });
+  }
+
+  void feed(std::uint16_t vci, int n) {
+    atm::Cell c;
+    c.header.vpi = 1;
+    c.header.vci = vci;
+    for (int i = 0; i < n; ++i) {
+      c.payload[0] = static_cast<std::uint8_t>(i);
+      cell_in.write(cell_to_bits(c));
+      in_valid.write(rtl::Logic::L1);
+      step();
+    }
+    in_valid.write(rtl::Logic::L0);
+  }
+
+  void step(std::uint64_t n = 1) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      run_cycles(1);
+      ++tick;
+    }
+  }
+};
+
+TEST_F(ShaperTest, BurstLeavesWithConfiguredSpacing) {
+  shaper.configure({1, 5}, 10);
+  feed(5, 4);           // back-to-back burst
+  step(50);             // drain
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i].first - out[i - 1].first, 10u) << "gap " << i;
+  }
+  EXPECT_EQ(shaper.released(), 4u);
+}
+
+TEST_F(ShaperTest, ShapedStreamConformsToMatchingPolicer) {
+  // The defining property: shaper(GCRA params) output always passes a
+  // policer with the same contract.
+  shaper.configure({1, 9}, 20);
+  GcraPolicer upc(sim, "upc", clk, rst, shaper.cell_out, shaper.out_valid);
+  upc.configure({1, 9}, {20, 0, false});
+  feed(9, 10);  // aggressively bursty input
+  step(250);
+  EXPECT_EQ(upc.passed(), 10u);
+  EXPECT_EQ(upc.dropped(), 0u);
+}
+
+TEST_F(ShaperTest, OrderPreservedPerVc) {
+  shaper.configure({1, 5}, 7);
+  feed(5, 6);
+  step(60);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].second.payload[0], static_cast<int>(i));
+  }
+}
+
+TEST_F(ShaperTest, VcsShapedIndependently) {
+  shaper.configure({1, 1}, 30);
+  shaper.configure({1, 2}, 3);
+  feed(1, 3);
+  feed(2, 3);
+  step(120);
+  // VC 2's three cells leave quickly; VC 1's take >= 60 ticks.
+  std::vector<std::uint64_t> t1, t2;
+  for (const auto& [t, c] : out) {
+    (c.header.vci == 1 ? t1 : t2).push_back(t);
+  }
+  ASSERT_EQ(t1.size(), 3u);
+  ASSERT_EQ(t2.size(), 3u);
+  EXPECT_GE(t1.back() - t1.front(), 60u);
+  EXPECT_LE(t2.back() - t2.front(), 20u);
+}
+
+TEST_F(ShaperTest, OverflowDropsAndCounts) {
+  CellShaper tiny(sim, "tiny", clk, rst, cell_in, in_valid, /*depth=*/2);
+  tiny.configure({1, 4}, 1000);  // effectively frozen
+  feed(4, 5);
+  step(3);
+  EXPECT_EQ(tiny.dropped(), 2u);   // 1 released or queued... depth 2
+  EXPECT_LE(tiny.backlog(), 2u);
+}
+
+TEST_F(ShaperTest, UnconfiguredVcPassesUnshaped) {
+  feed(77, 3);
+  step(5);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(ShaperTest, ResetFlushesQueues) {
+  shaper.configure({1, 5}, 100);
+  feed(5, 4);
+  pulse_reset();
+  tick += 3;  // pulse_reset ran 3 cycles
+  step(120);
+  // Only cells released before the reset survive; queues were flushed.
+  EXPECT_LT(out.size(), 4u);
+  EXPECT_EQ(shaper.backlog(), 0u);
+}
+
+// --- OAM ---------------------------------------------------------------------
+
+class OamTest : public ClockedTest {
+ protected:
+  rtl::Bus cell_in{&sim, sim.create_signal("cell_in", kCellBits)};
+  rtl::Signal in_valid{&sim, sim.create_signal("in_valid", 1, rtl::Logic::L0)};
+  OamLoopbackResponder oam{sim, "oam", clk, rst, cell_in, in_valid};
+  std::vector<atm::Cell> passed, looped;
+
+  void SetUp() override {
+    sim.add_process("cap", {oam.out_valid.id(), oam.loop_valid.id()}, [this] {
+      if (oam.out_valid.rose()) {
+        passed.push_back(bits_to_cell(oam.cell_out.read(), false));
+      }
+      if (oam.loop_valid.rose()) {
+        looped.push_back(bits_to_cell(oam.loop_out.read(), false));
+      }
+    });
+  }
+
+  void feed(const atm::Cell& c) {
+    cell_in.write(cell_to_bits(c));
+    in_valid.write(rtl::Logic::L1);
+    run_cycles(1);
+    in_valid.write(rtl::Logic::L0);
+    run_cycles(1);
+  }
+};
+
+TEST_F(OamTest, HelpersEncodeAndDecode) {
+  const atm::Cell req = make_loopback_request({1, 40}, 0xDEADBEEF);
+  EXPECT_TRUE(is_oam_loopback(req));
+  EXPECT_TRUE(is_loopback_request(req));
+  EXPECT_EQ(loopback_tag(req), 0xDEADBEEFu);
+  atm::Cell user;
+  user.header.vci = 40;
+  EXPECT_FALSE(is_oam_loopback(user));
+}
+
+TEST_F(OamTest, RequestTurnedAroundWithIndicationCleared) {
+  feed(make_loopback_request({1, 40}, 0x1234));
+  ASSERT_EQ(looped.size(), 1u);
+  EXPECT_TRUE(passed.empty());
+  EXPECT_FALSE(is_loopback_request(looped[0]));
+  EXPECT_TRUE(is_oam_loopback(looped[0]));
+  EXPECT_EQ(loopback_tag(looped[0]), 0x1234u);
+  EXPECT_EQ(looped[0].header.vci, 40);
+  EXPECT_EQ(oam.requests_answered(), 1u);
+}
+
+TEST_F(OamTest, UserCellsPassThroughUntouched) {
+  atm::Cell user;
+  user.header.vpi = 1;
+  user.header.vci = 40;
+  user.payload[0] = 0x42;
+  feed(user);
+  ASSERT_EQ(passed.size(), 1u);
+  EXPECT_EQ(passed[0], user);
+  EXPECT_TRUE(looped.empty());
+}
+
+TEST_F(OamTest, ResponsesPassThroughAndAreCounted) {
+  atm::Cell resp = make_loopback_request({1, 40}, 7);
+  resp.payload[1] = 0;  // already a response
+  feed(resp);
+  EXPECT_EQ(passed.size(), 1u);
+  EXPECT_TRUE(looped.empty());
+  EXPECT_EQ(oam.responses_seen(), 1u);
+}
+
+TEST_F(OamTest, EndToEndPingThroughTwoResponders) {
+  // Originator -> responder: the response comes back with the same tag —
+  // the in-service connectivity check.
+  feed(make_loopback_request({3, 300}, 0xCAFE));
+  ASSERT_EQ(looped.size(), 1u);
+  // Feed the response into the responder again: passes through to the
+  // "originator" side.
+  feed(looped[0]);
+  ASSERT_EQ(passed.size(), 1u);
+  EXPECT_EQ(loopback_tag(passed[0]), 0xCAFEu);
+  EXPECT_EQ(oam.responses_seen(), 1u);
+  EXPECT_EQ(oam.requests_answered(), 1u);
+}
+
+}  // namespace
+}  // namespace castanet::hw

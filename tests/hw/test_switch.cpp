@@ -1,0 +1,173 @@
+#include "src/hw/atm_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/rng.hpp"
+#include "src/hw/reference.hpp"
+#include "src/traffic/sources.hpp"
+#include "tests/hw/hw_fixture.hpp"
+
+namespace castanet::hw {
+namespace {
+
+using testing::ClockedTest;
+
+class SwitchTest : public ClockedTest {
+ protected:
+  static constexpr std::size_t kPorts = 4;
+  std::unique_ptr<AtmSwitch> sw;
+  std::vector<std::unique_ptr<CellPortDriver>> drivers;
+  std::vector<std::unique_ptr<CellPortMonitor>> monitors;
+
+  void SetUp() override {
+    AtmSwitch::Config cfg;
+    cfg.ports = kPorts;
+    sw = std::make_unique<AtmSwitch>(sim, "sw", clk, rst, cfg);
+    for (std::size_t i = 0; i < kPorts; ++i) {
+      drivers.push_back(std::make_unique<CellPortDriver>(
+          sim, "drv" + std::to_string(i), clk, sw->phys_in(i)));
+      monitors.push_back(std::make_unique<CellPortMonitor>(
+          sim, "mon" + std::to_string(i), clk, sw->phys_out(i)));
+    }
+  }
+
+  atm::Cell cell_on(std::uint16_t vpi, std::uint16_t vci, std::uint32_t seq) {
+    atm::Cell c;
+    c.header.vpi = vpi;
+    c.header.vci = vci;
+    c.payload[0] = static_cast<std::uint8_t>(seq >> 8);
+    c.payload[1] = static_cast<std::uint8_t>(seq & 0xFF);
+    return c;
+  }
+};
+
+TEST_F(SwitchTest, RoutesSingleCellWithTranslation) {
+  sw->install_route(0, {1, 100}, atm::Route{2, {9, 900}, {}});
+  drivers[0]->enqueue(cell_on(1, 100, 1));
+  run_cycles(200);
+  ASSERT_EQ(monitors[2]->cells().size(), 1u);
+  EXPECT_EQ(monitors[2]->cells()[0].header.vpi, 9);
+  EXPECT_EQ(monitors[2]->cells()[0].header.vci, 900);
+  for (std::size_t p : {0u, 1u, 3u}) {
+    EXPECT_TRUE(monitors[p]->cells().empty()) << "port " << p;
+  }
+}
+
+TEST_F(SwitchTest, OrderPreservedPerConnection) {
+  sw->install_route(1, {1, 7}, atm::Route{0, {1, 7}, {}});
+  for (std::uint32_t i = 0; i < 8; ++i) drivers[1]->enqueue(cell_on(1, 7, i));
+  run_cycles(53 * 8 + 300);
+  ASSERT_EQ(monitors[0]->cells().size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto& c = monitors[0]->cells()[i];
+    EXPECT_EQ((c.payload[0] << 8 | c.payload[1]), static_cast<int>(i));
+  }
+}
+
+TEST_F(SwitchTest, AllPortsSimultaneouslyNoLoss) {
+  // Port i sends to port (i+1)%4 -- no output contention.
+  for (std::size_t i = 0; i < kPorts; ++i) {
+    sw->install_route(i, {1, static_cast<std::uint16_t>(10 + i)},
+                      atm::Route{static_cast<std::uint8_t>((i + 1) % kPorts),
+                                 {2, static_cast<std::uint16_t>(20 + i)},
+                                 {}});
+    for (std::uint32_t s = 0; s < 5; ++s) {
+      drivers[i]->enqueue(cell_on(1, static_cast<std::uint16_t>(10 + i), s));
+    }
+  }
+  run_cycles(53 * 5 + 400);
+  for (std::size_t i = 0; i < kPorts; ++i) {
+    const std::size_t out = (i + 1) % kPorts;
+    ASSERT_EQ(monitors[out]->cells().size(), 5u) << "output " << out;
+    for (const atm::Cell& c : monitors[out]->cells()) {
+      EXPECT_EQ(c.header.vci, 20 + i);
+    }
+  }
+  EXPECT_EQ(sw->gcu().cells_switched(), 20u);
+}
+
+TEST_F(SwitchTest, OutputContentionSerializedWithoutLossWhenBuffersSuffice) {
+  // All four inputs converge on output 0.
+  for (std::size_t i = 0; i < kPorts; ++i) {
+    sw->install_route(i, {1, static_cast<std::uint16_t>(30 + i)},
+                      atm::Route{0, {3, static_cast<std::uint16_t>(40 + i)},
+                                 {}});
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      drivers[i]->enqueue(cell_on(1, static_cast<std::uint16_t>(30 + i), s));
+    }
+  }
+  run_cycles(53 * 12 + 800);
+  EXPECT_EQ(monitors[0]->cells().size(), 12u);
+  // Per-VC order must hold even under contention.
+  std::map<std::uint16_t, int> last_seq;
+  for (const atm::Cell& c : monitors[0]->cells()) {
+    const int seq = c.payload[0] << 8 | c.payload[1];
+    auto it = last_seq.find(c.header.vci);
+    if (it != last_seq.end()) {
+      EXPECT_GT(seq, it->second);
+    }
+    last_seq[c.header.vci] = seq;
+  }
+  EXPECT_EQ(last_seq.size(), 4u);
+}
+
+TEST_F(SwitchTest, UnknownVcDiscarded) {
+  drivers[0]->enqueue(cell_on(5, 555, 0));
+  run_cycles(200);
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    EXPECT_TRUE(monitors[p]->cells().empty());
+  }
+  EXPECT_EQ(sw->port(0).translator().misinserted(), 1u);
+}
+
+TEST_F(SwitchTest, MatchesReferenceModelOnRandomWorkload) {
+  // The Fig. 1 check: RTL switch output == algorithmic reference output,
+  // compared per VC.
+  SwitchRef ref(kPorts);
+  Rng rng(77);
+  for (std::size_t i = 0; i < kPorts; ++i) {
+    for (std::uint16_t v = 0; v < 4; ++v) {
+      const atm::VcId in{1, static_cast<std::uint16_t>(100 + 10 * i + v)};
+      const atm::Route route{
+          static_cast<std::uint8_t>(rng.uniform_int(0, kPorts - 1)),
+          {2, static_cast<std::uint16_t>(500 + 10 * i + v)},
+          {}};
+      sw->install_route(i, in, route);
+      ref.table(i).install(in, route);
+    }
+  }
+  // Random cells, spaced a full cell time apart per input port so no
+  // buffer overflows; reference sees the same sequence.
+  std::vector<std::vector<atm::Cell>> expected_per_port(kPorts);
+  for (int n = 0; n < 40; ++n) {
+    const auto port = static_cast<std::size_t>(rng.uniform_int(0, kPorts - 1));
+    const auto vc = static_cast<std::uint16_t>(
+        100 + 10 * port + rng.uniform_int(0, 3));
+    const atm::Cell c = cell_on(1, vc, static_cast<std::uint32_t>(n));
+    drivers[port]->enqueue(c);
+    const auto routed = ref.route(port, c);
+    ASSERT_TRUE(routed.has_value());
+    expected_per_port[routed->out_port].push_back(routed->cell);
+  }
+  run_cycles(53 * 45 + 1500);
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    ASSERT_EQ(monitors[p]->cells().size(), expected_per_port[p].size())
+        << "port " << p;
+    // Compare per-VC subsequences (inter-VC interleaving may differ).
+    std::map<std::uint16_t, std::vector<atm::Cell>> got, want;
+    for (const auto& c : monitors[p]->cells()) got[c.header.vci].push_back(c);
+    for (const auto& c : expected_per_port[p]) want[c.header.vci].push_back(c);
+    EXPECT_EQ(got.size(), want.size());
+    for (const auto& [vc, cells] : want) {
+      ASSERT_EQ(got[vc].size(), cells.size()) << "vc " << vc;
+      for (std::size_t k = 0; k < cells.size(); ++k) {
+        EXPECT_EQ(got[vc][k], cells[k]) << "vc " << vc << " cell " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace castanet::hw

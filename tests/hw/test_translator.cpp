@@ -1,0 +1,121 @@
+#include "src/hw/translator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cell_bits.hpp"
+#include "tests/hw/hw_fixture.hpp"
+
+namespace castanet::hw {
+namespace {
+
+using testing::ClockedTest;
+
+class TranslatorTest : public ClockedTest {
+ protected:
+  rtl::Bus cell_in{&sim, sim.create_signal("cell_in", kCellBits)};
+  rtl::Signal in_valid{&sim, sim.create_signal("in_valid", 1, rtl::Logic::L0)};
+  HeaderTranslator xlat{sim, "xlat", clk, rst, cell_in, in_valid};
+
+  struct Out {
+    atm::Cell cell;
+    std::uint64_t dest;
+  };
+  std::vector<Out> outputs;
+
+  void SetUp() override {
+    xlat.table().install({1, 100}, atm::Route{2, {7, 700}, {}});
+    xlat.table().install({1, 101}, atm::Route{3, {8, 800}, {}});
+    sim.add_process("cap", {xlat.out_valid.id()}, [this] {
+      if (xlat.out_valid.rose()) {
+        outputs.push_back({bits_to_cell(xlat.cell_out.read(), false),
+                           xlat.dest_port.read_uint()});
+      }
+    });
+  }
+
+  void feed(const atm::Cell& c) {
+    cell_in.write(cell_to_bits(c));
+    in_valid.write(rtl::Logic::L1);
+    run_cycles(1);
+    in_valid.write(rtl::Logic::L0);
+    run_cycles(2);
+  }
+};
+
+TEST_F(TranslatorTest, RewritesHeaderAndRoutes) {
+  atm::Cell c;
+  c.header.vpi = 1;
+  c.header.vci = 100;
+  c.payload.fill(0x42);
+  feed(c);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].cell.header.vpi, 7);
+  EXPECT_EQ(outputs[0].cell.header.vci, 700);
+  EXPECT_EQ(outputs[0].dest, 2u);
+  // Payload untouched.
+  EXPECT_EQ(outputs[0].cell.payload[0], 0x42);
+  EXPECT_EQ(xlat.translated(), 1u);
+}
+
+TEST_F(TranslatorTest, DistinctRoutesPerVc) {
+  atm::Cell a, b;
+  a.header = {0, 1, 100, 0, false};
+  b.header = {0, 1, 101, 0, false};
+  feed(a);
+  feed(b);
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0].dest, 2u);
+  EXPECT_EQ(outputs[1].dest, 3u);
+}
+
+TEST_F(TranslatorTest, UnknownVcDiscardedAndCounted) {
+  atm::Cell c;
+  c.header = {0, 9, 999, 0, false};
+  feed(c);
+  EXPECT_TRUE(outputs.empty());
+  EXPECT_EQ(xlat.misinserted(), 1u);
+}
+
+TEST_F(TranslatorTest, PtiAndClpPreserved) {
+  atm::Cell c;
+  c.header = {0, 1, 100, 5, true};
+  feed(c);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].cell.header.pti, 5);
+  EXPECT_TRUE(outputs[0].cell.header.clp);
+}
+
+TEST_F(TranslatorTest, OneCyclePipelineLatency) {
+  atm::Cell c;
+  c.header = {0, 1, 100, 0, false};
+  cell_in.write(cell_to_bits(c));
+  in_valid.write(rtl::Logic::L1);
+  run_cycles(1);
+  in_valid.write(rtl::Logic::L0);
+  // The output pulse appears on the cycle after the input was sampled.
+  EXPECT_TRUE(xlat.out_valid.read_bool());
+  run_cycles(1);
+  EXPECT_FALSE(xlat.out_valid.read_bool());
+}
+
+TEST_F(TranslatorTest, TableUpdateTakesEffect) {
+  atm::Cell c;
+  c.header = {0, 5, 50, 0, false};
+  feed(c);
+  EXPECT_EQ(xlat.misinserted(), 1u);
+  xlat.table().install({5, 50}, atm::Route{1, {5, 51}, {}});
+  feed(c);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].cell.header.vci, 51);
+}
+
+TEST_F(TranslatorTest, ResetSuppressesOutput) {
+  rst.write(rtl::Logic::L1);
+  atm::Cell c;
+  c.header = {0, 1, 100, 0, false};
+  feed(c);
+  EXPECT_TRUE(outputs.empty());
+}
+
+}  // namespace
+}  // namespace castanet::hw

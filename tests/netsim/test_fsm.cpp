@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/core/error.hpp"
+
+#include "src/netsim/simulation.hpp"
+
+namespace castanet::netsim {
+namespace {
+
+// A ping FSM: idle (unforced) -> respond (forced) -> idle, counting pings.
+class Ponger : public FsmProcess {
+ public:
+  Ponger() {
+    const int idle = add_state("idle", nullptr, false);
+    const int respond = add_state(
+        "respond",
+        [this](const Interrupt& i) {
+          ++pongs;
+          Packet reply = make_packet();
+          reply.set_field("re", static_cast<double>(i.packet.id()));
+          send(0, std::move(reply));
+        },
+        true);
+    set_initial(idle);
+    add_transition(idle, respond, [](const Interrupt& i) {
+      return i.kind == InterruptKind::kStream;
+    });
+    add_transition(respond, idle, nullptr);
+  }
+  int pongs = 0;
+};
+
+class Pinger : public FsmProcess {
+ public:
+  explicit Pinger(int count) : remaining_(count) {
+    const int start = add_state(
+        "start", [this](const Interrupt&) { schedule_self(SimTime::from_ms(1), 0); },
+        false);
+    const int ping = add_state(
+        "ping",
+        [this](const Interrupt&) {
+          send(0, make_packet());
+          --remaining_;
+          if (remaining_ > 0) schedule_self(SimTime::from_ms(1), 0);
+        },
+        true);
+    const int wait_pong = add_state("wait", nullptr, false);
+    set_initial(start);
+    add_transition(start, ping, [](const Interrupt& i) {
+      return i.kind == InterruptKind::kSelf;
+    });
+    add_transition(ping, wait_pong, nullptr);
+    add_transition(wait_pong, ping, [](const Interrupt& i) {
+      return i.kind == InterruptKind::kSelf;
+    });
+    wait_state = wait_pong;
+  }
+  int remaining_;
+  int wait_state;
+  int pongs_received = 0;
+};
+
+class PongCounter : public FsmProcess {
+ public:
+  PongCounter() {
+    const int s = add_state("count", nullptr, false);
+    const int c = add_state(
+        "got", [this](const Interrupt&) { ++count; }, true);
+    set_initial(s);
+    add_transition(s, c, [](const Interrupt& i) {
+      return i.kind == InterruptKind::kStream;
+    });
+    add_transition(c, s, nullptr);
+  }
+  int count = 0;
+};
+
+TEST(Fsm, PingPongExchange) {
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  auto& pinger = n.add_process<Pinger>("pinger", 5);
+  auto& ponger = n.add_process<Ponger>("ponger");
+  auto& counter = n.add_process<PongCounter>("counter");
+  sim.connect(pinger, 0, ponger, 0);
+  sim.connect(ponger, 0, counter, 0);
+  sim.run();
+  EXPECT_EQ(ponger.pongs, 5);
+  EXPECT_EQ(counter.count, 5);
+  EXPECT_GT(pinger.transitions_taken(), 0u);
+}
+
+TEST(Fsm, InitialStateRequired) {
+  class Bad : public FsmProcess {
+   public:
+    Bad() { add_state("only", nullptr, false); }
+  };
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  n.add_process<Bad>("bad");
+  EXPECT_THROW(sim.start(), castanet::LogicError);
+}
+
+TEST(Fsm, TransitionOrderIsRegistrationOrder) {
+  class TwoWay : public FsmProcess {
+   public:
+    TwoWay() {
+      const int a = add_state("a", nullptr, false);
+      const int b = add_state(
+          "b", [this](const Interrupt&) { taken = "first"; }, false);
+      const int c = add_state(
+          "c", [this](const Interrupt&) { taken = "second"; }, false);
+      set_initial(a);
+      // Both guards true: the first registered must win.
+      add_transition(a, b, [](const Interrupt&) { return true; });
+      add_transition(a, c, [](const Interrupt&) { return true; });
+    }
+    std::string taken;
+  };
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  auto& p = n.add_process<TwoWay>("p");
+  sim.start();
+  Interrupt i;
+  i.kind = InterruptKind::kSelf;
+  p.handle_interrupt(i);
+  EXPECT_EQ(p.taken, "first");
+}
+
+TEST(Fsm, UnmatchedInterruptStaysInState) {
+  class Stubborn : public FsmProcess {
+   public:
+    Stubborn() {
+      const int a = add_state("a", nullptr, false);
+      const int b = add_state("b", nullptr, false);
+      set_initial(a);
+      add_transition(a, b, [](const Interrupt& i) {
+        return i.kind == InterruptKind::kStream;
+      });
+    }
+  };
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  auto& p = n.add_process<Stubborn>("p");
+  sim.start();
+  const int before = p.current_state();
+  Interrupt i;
+  i.kind = InterruptKind::kSelf;
+  p.handle_interrupt(i);
+  EXPECT_EQ(p.current_state(), before);
+}
+
+TEST(Fsm, ForcedStateChainsInOneInterrupt) {
+  class Chain : public FsmProcess {
+   public:
+    Chain() {
+      const int a = add_state("a", nullptr, false);
+      const int b = add_state(
+          "b", [this](const Interrupt&) { trace += "b"; }, true);
+      const int c = add_state(
+          "c", [this](const Interrupt&) { trace += "c"; }, true);
+      const int d = add_state(
+          "d", [this](const Interrupt&) { trace += "d"; }, false);
+      set_initial(a);
+      add_transition(a, b, nullptr);
+      add_transition(b, c, nullptr);
+      add_transition(c, d, nullptr);
+    }
+    std::string trace;
+  };
+  Simulation sim;
+  Node& n = sim.add_node("n");
+  auto& p = n.add_process<Chain>("p");
+  sim.start();
+  Interrupt i;
+  i.kind = InterruptKind::kSelf;
+  p.handle_interrupt(i);
+  EXPECT_EQ(p.trace, "bcd");
+  EXPECT_EQ(p.state_name(p.current_state()), "d");
+}
+
+TEST(Fsm, StateNamesExposed) {
+  Ponger p;
+  EXPECT_EQ(p.state_name(0), "idle");
+  EXPECT_EQ(p.state_name(1), "respond");
+  EXPECT_THROW(p.state_name(7), castanet::LogicError);
+}
+
+}  // namespace
+}  // namespace castanet::netsim

@@ -1,0 +1,151 @@
+#include "src/rtl/logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/error.hpp"
+
+namespace castanet::rtl {
+namespace {
+
+const Logic kAll[] = {Logic::U, Logic::X, Logic::L0, Logic::L1, Logic::Z,
+                      Logic::W, Logic::L, Logic::H, Logic::DC};
+
+TEST(Logic, CharRoundTrip) {
+  for (Logic v : kAll) {
+    EXPECT_EQ(from_char(to_char(v)), v);
+  }
+  EXPECT_EQ(from_char('x'), Logic::X);  // case-insensitive
+  EXPECT_EQ(from_char('h'), Logic::H);
+  EXPECT_THROW(from_char('q'), ConfigError);
+}
+
+TEST(Logic, ToBoolSemantics) {
+  EXPECT_TRUE(to_bool(Logic::L1));
+  EXPECT_TRUE(to_bool(Logic::H));
+  EXPECT_FALSE(to_bool(Logic::L0));
+  EXPECT_FALSE(to_bool(Logic::L));
+  EXPECT_FALSE(to_bool(Logic::X));
+  EXPECT_TRUE(to_bool(Logic::X, true));  // fallback honored
+}
+
+TEST(Logic, Is01) {
+  EXPECT_TRUE(is_01(Logic::L0));
+  EXPECT_TRUE(is_01(Logic::L1));
+  EXPECT_TRUE(is_01(Logic::L));
+  EXPECT_TRUE(is_01(Logic::H));
+  EXPECT_FALSE(is_01(Logic::U));
+  EXPECT_FALSE(is_01(Logic::X));
+  EXPECT_FALSE(is_01(Logic::Z));
+  EXPECT_FALSE(is_01(Logic::W));
+  EXPECT_FALSE(is_01(Logic::DC));
+}
+
+// --- IEEE 1164 resolution: spot values + algebraic properties --------------
+
+TEST(LogicResolve, SpotValues) {
+  EXPECT_EQ(resolve(Logic::L0, Logic::L1), Logic::X);  // driver fight
+  EXPECT_EQ(resolve(Logic::Z, Logic::L1), Logic::L1);  // Z yields
+  EXPECT_EQ(resolve(Logic::Z, Logic::Z), Logic::Z);
+  EXPECT_EQ(resolve(Logic::L, Logic::H), Logic::W);    // weak fight
+  EXPECT_EQ(resolve(Logic::L, Logic::L1), Logic::L1);  // strong beats weak
+  EXPECT_EQ(resolve(Logic::H, Logic::L0), Logic::L0);
+  EXPECT_EQ(resolve(Logic::U, Logic::L1), Logic::U);   // U dominates
+  EXPECT_EQ(resolve(Logic::DC, Logic::Z), Logic::X);
+}
+
+TEST(LogicResolve, Commutative) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(resolve(a, b), resolve(b, a));
+    }
+  }
+}
+
+TEST(LogicResolve, IdempotentExceptDontCare) {
+  for (Logic a : kAll) {
+    if (a == Logic::DC) continue;  // resolve('-','-') = 'X' per IEEE 1164
+    EXPECT_EQ(resolve(a, a), a);
+  }
+  EXPECT_EQ(resolve(Logic::DC, Logic::DC), Logic::X);
+}
+
+TEST(LogicResolve, Associative) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      for (Logic c : kAll) {
+        EXPECT_EQ(resolve(resolve(a, b), c), resolve(a, resolve(b, c)));
+      }
+    }
+  }
+}
+
+TEST(LogicResolve, ZIsIdentityExceptDontCare) {
+  for (Logic a : kAll) {
+    if (a == Logic::DC) continue;  // resolve('-','Z') = 'X' per IEEE 1164
+    EXPECT_EQ(resolve(a, Logic::Z), a);
+  }
+  EXPECT_EQ(resolve(Logic::DC, Logic::Z), Logic::X);
+}
+
+TEST(LogicResolve, UIsAbsorbing) {
+  for (Logic a : kAll) {
+    EXPECT_EQ(resolve(a, Logic::U), Logic::U);
+  }
+}
+
+// --- logic operators ---------------------------------------------------------
+
+TEST(LogicOps, AndTruthTableCore) {
+  EXPECT_EQ(logic_and(Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_and(Logic::L1, Logic::L0), Logic::L0);
+  EXPECT_EQ(logic_and(Logic::L0, Logic::X), Logic::L0);  // 0 dominates
+  EXPECT_EQ(logic_and(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logic_and(Logic::L, Logic::U), Logic::L0);   // weak 0 dominates
+  EXPECT_EQ(logic_and(Logic::H, Logic::L1), Logic::L1);
+}
+
+TEST(LogicOps, OrTruthTableCore) {
+  EXPECT_EQ(logic_or(Logic::L0, Logic::L0), Logic::L0);
+  EXPECT_EQ(logic_or(Logic::L1, Logic::X), Logic::L1);  // 1 dominates
+  EXPECT_EQ(logic_or(Logic::L0, Logic::X), Logic::X);
+  EXPECT_EQ(logic_or(Logic::H, Logic::U), Logic::L1);
+}
+
+TEST(LogicOps, XorTruthTableCore) {
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::L1), Logic::L0);
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_xor(Logic::X, Logic::L0), Logic::X);  // X propagates
+  EXPECT_EQ(logic_xor(Logic::H, Logic::L), Logic::L1);
+}
+
+TEST(LogicOps, NotTable) {
+  EXPECT_EQ(logic_not(Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_not(Logic::L1), Logic::L0);
+  EXPECT_EQ(logic_not(Logic::L), Logic::L1);
+  EXPECT_EQ(logic_not(Logic::H), Logic::L0);
+  EXPECT_EQ(logic_not(Logic::U), Logic::U);
+  EXPECT_EQ(logic_not(Logic::Z), Logic::X);
+}
+
+TEST(LogicOps, CommutativeAndOr) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(logic_and(a, b), logic_and(b, a));
+      EXPECT_EQ(logic_or(a, b), logic_or(b, a));
+      EXPECT_EQ(logic_xor(a, b), logic_xor(b, a));
+    }
+  }
+}
+
+TEST(LogicOps, DeMorganOn01Subset) {
+  const Logic vals01[] = {Logic::L0, Logic::L1, Logic::L, Logic::H};
+  for (Logic a : vals01) {
+    for (Logic b : vals01) {
+      EXPECT_EQ(to_bool(logic_not(logic_and(a, b))),
+                to_bool(logic_or(logic_not(a), logic_not(b))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace castanet::rtl

@@ -1,0 +1,228 @@
+#include "src/rtl/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/error.hpp"
+
+namespace castanet::rtl {
+namespace {
+
+TEST(RtlSimulator, SignalCreationAndInitialValue) {
+  Simulator sim;
+  const SignalId s = sim.create_signal("s", 8, Logic::L0);
+  EXPECT_EQ(sim.width(s), 8u);
+  EXPECT_EQ(sim.signal_name(s), "s");
+  EXPECT_EQ(sim.value(s).to_uint(), 0u);
+  const SignalId u = sim.create_signal("u", 1);
+  EXPECT_EQ(sim.value(u).bit(0), Logic::U);
+}
+
+TEST(RtlSimulator, ZeroDelayWriteLandsInNextDelta) {
+  Simulator sim;
+  const SignalId s = sim.create_signal("s", 1, Logic::L0);
+  sim.schedule_write(s, Logic::L1);
+  // Not yet applied.
+  EXPECT_EQ(sim.value(s).bit(0), Logic::L0);
+  sim.step_time();
+  EXPECT_EQ(sim.value(s).bit(0), Logic::L1);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(RtlSimulator, DelayedWriteLandsAtTime) {
+  Simulator sim;
+  const SignalId s = sim.create_signal("s", 1, Logic::L0);
+  sim.schedule_write(s, Logic::L1, SimTime::from_ns(10));
+  sim.run_until(SimTime::from_ns(9));
+  EXPECT_EQ(sim.value(s).bit(0), Logic::L0);
+  sim.run_until(SimTime::from_ns(10));
+  EXPECT_EQ(sim.value(s).bit(0), Logic::L1);
+}
+
+TEST(RtlSimulator, ProcessTriggersOnSensitivity) {
+  Simulator sim;
+  const SignalId a = sim.create_signal("a", 1, Logic::L0);
+  const SignalId b = sim.create_signal("b", 1, Logic::L0);
+  int runs = 0;
+  sim.add_process("p", {a}, [&] { ++runs; });
+  sim.initialize();  // all processes run once at elaboration
+  EXPECT_EQ(runs, 1);
+  sim.schedule_write(b, Logic::L1);  // not in sensitivity list
+  sim.step_time();
+  EXPECT_EQ(runs, 1);
+  sim.schedule_write(a, Logic::L1);
+  sim.step_time();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(RtlSimulator, NoEventOnSameValueWrite) {
+  Simulator sim;
+  const SignalId a = sim.create_signal("a", 1, Logic::L0);
+  int runs = 0;
+  sim.add_process("p", {a}, [&] { ++runs; });
+  sim.initialize();
+  runs = 0;
+  sim.schedule_write(a, Logic::L0);  // same value: transaction, no event
+  sim.step_time();
+  EXPECT_EQ(runs, 0);
+  EXPECT_EQ(sim.stats().transactions, 1u);
+  EXPECT_EQ(sim.stats().value_changes, 0u);
+}
+
+TEST(RtlSimulator, DeltaCycleChainResolvesInZeroTime) {
+  // a -> inverter -> b -> inverter -> c: a change ripples through two delta
+  // cycles without advancing time.
+  Simulator sim;
+  const SignalId a = sim.create_signal("a", 1, Logic::L0);
+  const SignalId b = sim.create_signal("b", 1);
+  const SignalId c = sim.create_signal("c", 1);
+  sim.add_process("inv1", {a}, [&] {
+    sim.schedule_write(b, logic_not(sim.value(a).bit(0)));
+  });
+  sim.add_process("inv2", {b}, [&] {
+    sim.schedule_write(c, logic_not(sim.value(b).bit(0)));
+  });
+  sim.initialize();
+  sim.step_time();  // drain initialization deltas if any remain
+  EXPECT_EQ(sim.value(b).bit(0), Logic::L1);
+  EXPECT_EQ(sim.value(c).bit(0), Logic::L0);
+  sim.schedule_write(a, Logic::L1, SimTime::from_ns(1));
+  sim.run_until(SimTime::from_ns(1));
+  EXPECT_EQ(sim.value(b).bit(0), Logic::L0);
+  EXPECT_EQ(sim.value(c).bit(0), Logic::L1);
+  EXPECT_EQ(sim.now(), SimTime::from_ns(1));
+}
+
+TEST(RtlSimulator, RoseAndFellDetection) {
+  Simulator sim;
+  const SignalId clk = sim.create_signal("clk", 1, Logic::L0);
+  int rises = 0, falls = 0;
+  sim.add_process("edge", {clk}, [&] {
+    if (sim.rose(clk)) ++rises;
+    if (sim.fell(clk)) ++falls;
+  });
+  sim.initialize();
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule_write(clk, Logic::L1, SimTime::from_ns(1));
+    sim.run_until(sim.now() + SimTime::from_ns(1));
+    sim.schedule_write(clk, Logic::L0, SimTime::from_ns(1));
+    sim.run_until(sim.now() + SimTime::from_ns(1));
+  }
+  EXPECT_EQ(rises, 3);
+  EXPECT_EQ(falls, 3);
+}
+
+TEST(RtlSimulator, MultipleDriversResolve) {
+  Simulator sim;
+  const SignalId bus = sim.create_signal("bus", 1, Logic::Z);
+  const SignalId trigger = sim.create_signal("t", 1, Logic::L0);
+  // Two processes drive the bus; initially both Z.
+  sim.add_process("d1", {trigger}, [&] {
+    sim.schedule_write(bus, sim.value(trigger).bit(0) == Logic::L1
+                                ? Logic::L1
+                                : Logic::Z);
+  });
+  sim.add_process("d2", {trigger}, [&] { sim.schedule_write(bus, Logic::Z); });
+  sim.initialize();
+  sim.step_time();
+  EXPECT_EQ(sim.value(bus).bit(0), Logic::Z);
+  sim.schedule_write(trigger, Logic::L1, SimTime::from_ns(1));
+  sim.run_until(SimTime::from_ns(1));
+  EXPECT_EQ(sim.value(bus).bit(0), Logic::L1);  // Z resolves under '1'
+}
+
+TEST(RtlSimulator, DriverFightYieldsX) {
+  Simulator sim;
+  const SignalId bus = sim.create_signal("bus", 1, Logic::Z);
+  const SignalId go = sim.create_signal("go", 1, Logic::L0);
+  sim.add_process("d1", {go}, [&] { sim.schedule_write(bus, Logic::L1); });
+  sim.add_process("d2", {go}, [&] { sim.schedule_write(bus, Logic::L0); });
+  sim.initialize();
+  sim.step_time();
+  EXPECT_EQ(sim.value(bus).bit(0), Logic::X);
+}
+
+TEST(RtlSimulator, ProcessRunsOncePerDeltaEvenWithTwoTriggers) {
+  Simulator sim;
+  const SignalId a = sim.create_signal("a", 1, Logic::L0);
+  const SignalId b = sim.create_signal("b", 1, Logic::L0);
+  int runs = 0;
+  sim.add_process("p", {a, b}, [&] { ++runs; });
+  sim.initialize();
+  runs = 0;
+  sim.schedule_write(a, Logic::L1);
+  sim.schedule_write(b, Logic::L1);
+  sim.step_time();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(RtlSimulator, WidthMismatchRejected) {
+  Simulator sim;
+  const SignalId s = sim.create_signal("s", 8);
+  EXPECT_THROW(sim.schedule_write(s, LogicVector(4, Logic::L0)), LogicError);
+}
+
+TEST(RtlSimulator, CallbacksRunBeforeDeltas) {
+  Simulator sim;
+  const SignalId s = sim.create_signal("s", 1, Logic::L0);
+  Logic seen = Logic::U;
+  sim.schedule_callback(SimTime::from_ns(5), [&] {
+    seen = sim.value(s).bit(0);  // callback sees pre-update value
+    sim.schedule_write(s, Logic::L1);
+  });
+  sim.run_until(SimTime::from_ns(5));
+  EXPECT_EQ(seen, Logic::L0);
+  EXPECT_EQ(sim.value(s).bit(0), Logic::L1);
+}
+
+TEST(RtlSimulator, StatsCountDeltasAndActivations) {
+  Simulator sim;
+  const SignalId a = sim.create_signal("a", 1, Logic::L0);
+  const SignalId b = sim.create_signal("b", 1);
+  sim.add_process("p", {a}, [&] {
+    sim.schedule_write(b, sim.value(a).bit(0));
+  });
+  sim.initialize();
+  const auto base = sim.stats();
+  sim.schedule_write(a, Logic::L1, SimTime::from_ns(1));
+  sim.run_until(SimTime::from_ns(1));
+  const auto after = sim.stats();
+  EXPECT_GT(after.delta_cycles, base.delta_cycles);
+  EXPECT_EQ(after.process_activations, base.process_activations + 1);
+  EXPECT_GE(after.value_changes, base.value_changes + 2);  // a and b
+}
+
+TEST(RtlSimulator, QuiescentWhenIdle) {
+  Simulator sim;
+  sim.create_signal("s", 1);
+  sim.initialize();
+  EXPECT_TRUE(sim.quiescent());
+  EXPECT_FALSE(sim.step_time());
+}
+
+TEST(RtlSimulator, RunUntilAdvancesTimeWithoutActivity) {
+  Simulator sim;
+  sim.initialize();
+  sim.run_until(SimTime::from_us(3));
+  EXPECT_EQ(sim.now(), SimTime::from_us(3));
+}
+
+TEST(RtlSimulator, ChangeObserverSeesAllChanges) {
+  Simulator sim;
+  const SignalId s = sim.create_signal("s", 4, Logic::L0);
+  std::vector<std::uint64_t> seen;
+  sim.add_change_observer(
+      [&](SignalId id, const LogicVector& v, SimTime) {
+        if (id == s) seen.push_back(v.to_uint());
+      });
+  for (int i = 1; i <= 3; ++i) {
+    sim.schedule_write(s, LogicVector::from_uint(static_cast<unsigned>(i), 4),
+                       SimTime::from_ns(i));
+  }
+  sim.run_until(SimTime::from_ns(5));
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace castanet::rtl

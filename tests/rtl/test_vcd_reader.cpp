@@ -1,0 +1,127 @@
+#include "src/rtl/vcd_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/error.hpp"
+#include "src/rtl/waveform.hpp"
+
+namespace castanet::rtl {
+namespace {
+
+struct VcdRoundTrip : public ::testing::Test {
+  std::string path = ::testing::TempDir() + "castanet_vcd_reader.vcd";
+  std::string path2 = ::testing::TempDir() + "castanet_vcd_reader2.vcd";
+  void TearDown() override {
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+  }
+
+  /// A counter run dumped to `out`; `freq_div` perturbs the waveform.
+  void dump_run(const std::string& out, int toggles, std::int64_t step_ns) {
+    Simulator sim;
+    const SignalId clk = sim.create_signal("clk", 1, Logic::L0);
+    const SignalId cnt = sim.create_signal("cnt", 4, Logic::L0);
+    VcdWriter vcd(sim, out, /*timescale_ps=*/1000);
+    vcd.track(clk);
+    vcd.track(cnt);
+    std::uint64_t value = 0;
+    for (int i = 0; i < toggles; ++i) {
+      sim.schedule_write(clk, i % 2 == 0 ? Logic::L1 : Logic::L0,
+                         SimTime::from_ns(step_ns));
+      if (i % 2 == 0) {
+        ++value;
+        sim.schedule_write(cnt, LogicVector::from_uint(value & 0xF, 4),
+                           SimTime::from_ns(step_ns));
+      }
+      sim.run_until(sim.now() + SimTime::from_ns(step_ns));
+    }
+  }
+};
+
+TEST_F(VcdRoundTrip, WriterOutputParses) {
+  dump_run(path, 10, 5);
+  const VcdFile vcd = VcdFile::load(path);
+  EXPECT_EQ(vcd.timescale_ps(), 1000);
+  ASSERT_TRUE(vcd.has_signal("clk"));
+  ASSERT_TRUE(vcd.has_signal("cnt"));
+  EXPECT_EQ(vcd.width("clk"), 1u);
+  EXPECT_EQ(vcd.width("cnt"), 4u);
+  EXPECT_EQ(vcd.signal_names().size(), 2u);
+}
+
+TEST_F(VcdRoundTrip, ValuesAtTicksMatchSimulation) {
+  dump_run(path, 10, 5);
+  const VcdFile vcd = VcdFile::load(path);
+  // clk toggles every 5 ns (= 5 ticks at 1 ns timescale): high at 5..9,
+  // low at 10..14, ...
+  EXPECT_EQ(vcd.value_at("clk", 5), "1");
+  EXPECT_EQ(vcd.value_at("clk", 9), "1");
+  EXPECT_EQ(vcd.value_at("clk", 10), "0");
+  // cnt increments on each rising edge: 1 after the first.
+  EXPECT_EQ(vcd.value_at("cnt", 5), "0001");
+  EXPECT_EQ(vcd.value_at("cnt", 15), "0010");
+}
+
+TEST_F(VcdRoundTrip, InitialDumpIsChangeZero) {
+  dump_run(path, 4, 5);
+  const VcdFile vcd = VcdFile::load(path);
+  const auto& cs = vcd.changes("clk");
+  ASSERT_FALSE(cs.empty());
+  EXPECT_EQ(cs.front().tick, 0);
+  EXPECT_EQ(cs.front().value, "0");
+}
+
+TEST_F(VcdRoundTrip, IdenticalRunsMatch) {
+  dump_run(path, 12, 5);
+  dump_run(path2, 12, 5);
+  const VcdFile a = VcdFile::load(path);
+  const VcdFile b = VcdFile::load(path2);
+  std::string diff;
+  EXPECT_TRUE(VcdFile::signals_match(a, b, "clk", 60, &diff)) << diff;
+  EXPECT_TRUE(VcdFile::signals_match(a, b, "cnt", 60, &diff)) << diff;
+}
+
+TEST_F(VcdRoundTrip, DivergentRunsReportDiff) {
+  dump_run(path, 12, 5);
+  dump_run(path2, 12, 7);  // different clock period
+  const VcdFile a = VcdFile::load(path);
+  const VcdFile b = VcdFile::load(path2);
+  std::string diff;
+  EXPECT_FALSE(VcdFile::signals_match(a, b, "clk", 60, &diff));
+  EXPECT_FALSE(diff.empty());
+  EXPECT_NE(diff.find("clk @"), std::string::npos);
+}
+
+TEST_F(VcdRoundTrip, MissingSignalIsAMismatch) {
+  dump_run(path, 4, 5);
+  const VcdFile a = VcdFile::load(path);
+  std::string diff;
+  EXPECT_FALSE(VcdFile::signals_match(a, a, "nope", 10, &diff));
+  EXPECT_NE(diff.find("missing"), std::string::npos);
+}
+
+TEST_F(VcdRoundTrip, UnknownSignalThrows) {
+  dump_run(path, 4, 5);
+  const VcdFile vcd = VcdFile::load(path);
+  EXPECT_THROW(vcd.changes("ghost"), IoError);
+  EXPECT_THROW(vcd.width("ghost"), IoError);
+}
+
+TEST_F(VcdRoundTrip, MissingFileThrows) {
+  EXPECT_THROW(VcdFile::load("/nonexistent.vcd"), IoError);
+}
+
+TEST_F(VcdRoundTrip, MalformedChangeRejected) {
+  std::ofstream(path) << "$timescale 1 ps $end\n"
+                      << "$var wire 1 ! clk $end\n"
+                      << "$enddefinitions $end\n"
+                      << "#5\n"
+                      << "1?\n";  // '?' id never declared
+  EXPECT_THROW(VcdFile::load(path), IoError);
+}
+
+}  // namespace
+}  // namespace castanet::rtl

@@ -1,0 +1,284 @@
+#include "src/signaling/cac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/netsim/simulation.hpp"
+#include "src/signaling/call_generator.hpp"
+
+namespace castanet::signaling {
+namespace {
+
+/// Direct driver for the agent: injects signaling packets and records
+/// replies, bypassing a generator for precise control.
+class SigDriver : public netsim::FsmProcess {
+ public:
+  SigDriver() {
+    const int idle = add_state("idle", nullptr, false);
+    const int got = add_state(
+        "got", [this](const Interrupt& i) { replies.push_back(i.packet); },
+        true);
+    set_initial(idle);
+    add_transition(idle, got, [](const Interrupt& i) {
+      return i.kind == netsim::InterruptKind::kStream;
+    });
+    add_transition(got, idle, nullptr);
+  }
+
+  void setup(std::uint64_t id, double pcr, std::size_t in, std::size_t out) {
+    send(0, make_setup(make_packet(), id, pcr, in, out));
+  }
+  void release(std::uint64_t id) {
+    send(0, make_release(make_packet(), id));
+  }
+
+  std::vector<netsim::Packet> replies;
+};
+
+struct CacFixture : public ::testing::Test {
+  netsim::Simulation sim;
+  netsim::Node& node = sim.add_node("ctrl");
+  std::map<std::pair<std::size_t, std::uint16_t>, atm::Route> installed;
+  SigDriver* drv = nullptr;
+  CacAgent* cac = nullptr;
+
+  void build(CacAgent::Config cfg) {
+    drv = &node.add_process<SigDriver>("drv");
+    cac = &node.add_process<CacAgent>(
+        "cac", cfg,
+        [this](std::size_t in, atm::VcId vc, const atm::Route& r) {
+          installed[{in, vc.vci}] = r;
+        },
+        [this](std::size_t in, atm::VcId vc) {
+          installed.erase({in, vc.vci});
+        });
+    sim.connect(*drv, 0, *cac, 0);
+    sim.connect(*cac, 0, *drv, 0);
+    sim.start();
+  }
+
+  SigKind last_reply_kind() {
+    EXPECT_FALSE(drv->replies.empty());
+    return kind_of(drv->replies.back());
+  }
+};
+
+TEST_F(CacFixture, AdmitsWithinCapacity) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 100'000;
+  build(cfg);
+  drv->setup(1, 60'000, 0, 1);
+  sim.run();
+  EXPECT_EQ(last_reply_kind(), SigKind::kConnect);
+  EXPECT_EQ(cac->calls_admitted(), 1u);
+  EXPECT_EQ(installed.size(), 1u);
+  EXPECT_DOUBLE_EQ(cac->admitted_load(1), 60'000.0);
+}
+
+TEST_F(CacFixture, BlocksBeyondCapacity) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 100'000;
+  build(cfg);
+  drv->setup(1, 60'000, 0, 1);
+  drv->setup(2, 60'000, 0, 1);  // 120k > 100k
+  sim.run();
+  EXPECT_EQ(cac->calls_admitted(), 1u);
+  EXPECT_EQ(cac->calls_blocked(), 1u);
+  EXPECT_EQ(last_reply_kind(), SigKind::kReject);
+  EXPECT_EQ(static_cast<int>(drv->replies.back().field(kFieldCause)),
+            static_cast<int>(RejectCause::kNoCapacity));
+}
+
+TEST_F(CacFixture, OutputPortsIndependent) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 100'000;
+  build(cfg);
+  drv->setup(1, 90'000, 0, 1);
+  drv->setup(2, 90'000, 0, 2);  // different output: admitted
+  sim.run();
+  EXPECT_EQ(cac->calls_admitted(), 2u);
+}
+
+TEST_F(CacFixture, ReleaseFreesCapacityAndRemovesRoute) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 100'000;
+  build(cfg);
+  drv->setup(1, 90'000, 0, 1);
+  drv->release(1);
+  drv->setup(2, 90'000, 0, 1);  // fits again after release
+  sim.run();
+  EXPECT_EQ(cac->calls_admitted(), 2u);
+  EXPECT_EQ(cac->calls_released(), 1u);
+  EXPECT_EQ(installed.size(), 1u);  // only call 2 remains installed
+  EXPECT_EQ(cac->active_calls(), 1u);
+}
+
+TEST_F(CacFixture, OverbookingAdmitsMore) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 100'000;
+  cfg.overbooking = 2.0;
+  build(cfg);
+  drv->setup(1, 90'000, 0, 1);
+  drv->setup(2, 90'000, 0, 1);  // 180k <= 200k with overbooking
+  sim.run();
+  EXPECT_EQ(cac->calls_admitted(), 2u);
+}
+
+TEST_F(CacFixture, VciAllocationUniquePerOutput) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 1e9;
+  build(cfg);
+  for (std::uint64_t i = 1; i <= 10; ++i) drv->setup(i, 1000, 0, 1);
+  sim.run();
+  EXPECT_EQ(installed.size(), 10u);  // 10 distinct (in,vci) keys
+}
+
+TEST_F(CacFixture, VciPoolExhaustionRejects) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 1e9;
+  cfg.vci_per_port = 3;
+  build(cfg);
+  for (std::uint64_t i = 1; i <= 5; ++i) drv->setup(i, 1000, 0, 1);
+  sim.run();
+  EXPECT_EQ(cac->calls_admitted(), 3u);
+  EXPECT_EQ(cac->calls_blocked(), 2u);
+  EXPECT_EQ(static_cast<int>(drv->replies.back().field(kFieldCause)),
+            static_cast<int>(RejectCause::kNoVciAvailable));
+}
+
+TEST_F(CacFixture, BadRequestsRejected) {
+  CacAgent::Config cfg;
+  cfg.ports = 2;
+  build(cfg);
+  drv->setup(1, 1000, 0, 7);  // bad output port
+  drv->setup(2, -5, 0, 1);    // bad PCR
+  sim.run();
+  EXPECT_EQ(cac->calls_blocked(), 2u);
+  EXPECT_EQ(cac->calls_admitted(), 0u);
+}
+
+TEST_F(CacFixture, DuplicateCallIdRejected) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 1e9;
+  build(cfg);
+  drv->setup(7, 1000, 0, 1);
+  drv->setup(7, 1000, 0, 1);
+  sim.run();
+  EXPECT_EQ(cac->calls_admitted(), 1u);
+  EXPECT_EQ(cac->calls_blocked(), 1u);
+}
+
+TEST_F(CacFixture, ReleaseOfUnknownCallIsAcknowledgedOnly) {
+  CacAgent::Config cfg;
+  build(cfg);
+  drv->release(99);
+  sim.run();
+  EXPECT_EQ(last_reply_kind(), SigKind::kReleaseComplete);
+  EXPECT_EQ(cac->calls_released(), 0u);
+}
+
+TEST_F(CacFixture, ReleasedVcisAreReused) {
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 1e9;
+  cfg.vci_per_port = 2;  // tiny pool
+  build(cfg);
+  // Cycle admit/release far beyond the pool size: reuse must keep working.
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    drv->setup(i, 1000, 0, 1);
+    drv->release(i);
+  }
+  sim.run();
+  EXPECT_EQ(cac->calls_admitted(), 10u);
+  EXPECT_EQ(cac->calls_blocked(), 0u);
+  EXPECT_EQ(cac->calls_released(), 10u);
+  EXPECT_TRUE(installed.empty());
+}
+
+// --- closed-loop with the call generator -------------------------------------
+
+TEST(CallGeneratorTest, OfferedLoadDrivesBlocking) {
+  // Capacity for exactly 2 simultaneous calls; offered load ~10 erlang:
+  // heavy blocking expected (Erlang-B shape).
+  netsim::Simulation sim(1234);
+  netsim::Node& node = sim.add_node("ctrl");
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 100'000;
+  auto& cac = node.add_process<CacAgent>(
+      "cac", cfg, [](std::size_t, atm::VcId, const atm::Route&) {},
+      [](std::size_t, atm::VcId) {});
+  CallGenerator::Config gc;
+  gc.calls_per_sec = 20.0;
+  gc.mean_holding_sec = 0.5;     // 10 erlang offered
+  gc.pcr_cps = 50'000;           // 2 circuits available
+  gc.max_calls = 400;
+  auto& gen = node.add_process<CallGenerator>("gen", gc);
+  sim.connect(gen, 0, cac, 0);
+  sim.connect(cac, 0, gen, 0);
+  sim.run();
+  EXPECT_EQ(gen.offered(), 400u);
+  EXPECT_EQ(gen.connected() + gen.blocked(), 400u);
+  // Erlang-B with A=10, C=2 gives B ~ 0.76; allow generous slack.
+  const double blocking =
+      static_cast<double>(gen.blocked()) / static_cast<double>(gen.offered());
+  EXPECT_GT(blocking, 0.55);
+  EXPECT_LT(blocking, 0.92);
+  // All completed calls released their capacity.
+  EXPECT_EQ(gen.active(), 0u);
+  EXPECT_EQ(cac.active_calls(), 0u);
+  EXPECT_DOUBLE_EQ(cac.admitted_load(1), 0.0);
+}
+
+TEST(CallGeneratorTest, LightLoadMostlyAdmitted) {
+  netsim::Simulation sim(99);
+  netsim::Node& node = sim.add_node("ctrl");
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 1'000'000;
+  auto& cac = node.add_process<CacAgent>(
+      "cac", cfg, [](std::size_t, atm::VcId, const atm::Route&) {},
+      [](std::size_t, atm::VcId) {});
+  CallGenerator::Config gc;
+  gc.calls_per_sec = 4.0;
+  gc.mean_holding_sec = 0.25;    // 1 erlang offered
+  gc.pcr_cps = 50'000;           // 20 circuits
+  gc.max_calls = 200;
+  auto& gen = node.add_process<CallGenerator>("gen", gc);
+  sim.connect(gen, 0, cac, 0);
+  sim.connect(cac, 0, gen, 0);
+  sim.run();
+  EXPECT_EQ(gen.blocked(), 0u);
+  EXPECT_EQ(gen.connected(), 200u);
+  EXPECT_EQ(cac.calls_released(), 200u);
+}
+
+TEST(CallGeneratorTest, CallHooksFire) {
+  netsim::Simulation sim(7);
+  netsim::Node& node = sim.add_node("ctrl");
+  CacAgent::Config cfg;
+  cfg.link_capacity_cps = 1e9;
+  auto& cac = node.add_process<CacAgent>(
+      "cac", cfg, [](std::size_t, atm::VcId, const atm::Route&) {},
+      [](std::size_t, atm::VcId) {});
+  CallGenerator::Config gc;
+  gc.calls_per_sec = 100.0;
+  gc.mean_holding_sec = 0.01;
+  gc.max_calls = 20;
+  auto& gen = node.add_process<CallGenerator>("gen", gc);
+  int ups = 0, downs = 0;
+  std::vector<std::uint16_t> vcis;
+  gen.set_call_hooks(
+      [&](std::uint64_t, atm::VcId vc) {
+        ++ups;
+        vcis.push_back(vc.vci);
+      },
+      [&](std::uint64_t) { ++downs; });
+  sim.connect(gen, 0, cac, 0);
+  sim.connect(cac, 0, gen, 0);
+  sim.run();
+  EXPECT_EQ(ups, 20);
+  EXPECT_EQ(downs, 20);
+  EXPECT_EQ(vcis.size(), 20u);
+}
+
+}  // namespace
+}  // namespace castanet::signaling

@@ -1,0 +1,102 @@
+#include "src/traffic/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/atm/gcra.hpp"
+#include "src/atm/hec.hpp"
+
+namespace castanet::traffic {
+namespace {
+
+TEST(HeaderSweep, CoversVpiRange) {
+  const auto v = header_sweep_vectors(SimTime::from_us(3));
+  std::set<unsigned> vpis;
+  for (const CellArrival& a : v) vpis.insert(a.cell.header.vpi);
+  for (unsigned vpi = 0; vpi <= 0xFF; ++vpi) {
+    ASSERT_TRUE(vpis.contains(vpi)) << vpi;
+  }
+}
+
+TEST(HeaderSweep, CoversPtiClpCross) {
+  const auto v = header_sweep_vectors(SimTime::from_us(3));
+  std::set<std::pair<unsigned, bool>> combos;
+  for (const CellArrival& a : v) {
+    combos.insert({a.cell.header.pti, a.cell.header.clp});
+  }
+  EXPECT_GE(combos.size(), 16u);  // 8 PTI x 2 CLP
+}
+
+TEST(HeaderSweep, MonotoneTimes) {
+  const auto v = header_sweep_vectors(SimTime::from_us(3));
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_GE(v[i].time, v[i - 1].time);
+  }
+}
+
+TEST(GcraBoundary, ViolationsDetectedExactlyByReferenceGcra) {
+  // The generator promises: exactly the flagged indices are non-conforming
+  // under GCRA(increment, limit).  Verify against the independent
+  // implementation in atm::Gcra.
+  const SimTime inc = SimTime::from_us(10);
+  const SimTime lim = SimTime::from_us(25);
+  std::vector<std::size_t> expect_bad;
+  const auto v = gcra_boundary_vectors({1, 99}, inc, lim, 200, expect_bad);
+  ASSERT_EQ(v.size(), 200u);
+  EXPECT_FALSE(expect_bad.empty());
+
+  atm::Gcra g(inc, lim);
+  std::vector<std::size_t> got_bad;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!g.conforms(v[i].time)) got_bad.push_back(i);
+  }
+  EXPECT_EQ(got_bad, expect_bad);
+}
+
+TEST(GcraBoundary, ZeroToleranceContract) {
+  std::vector<std::size_t> bad;
+  const auto v =
+      gcra_boundary_vectors({1, 1}, SimTime::from_us(5), SimTime::zero(), 60,
+                            bad);
+  atm::Gcra g(SimTime::from_us(5), SimTime::zero());
+  std::vector<std::size_t> got;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!g.conforms(v[i].time)) got.push_back(i);
+  }
+  EXPECT_EQ(got, bad);
+}
+
+TEST(HecErrorVectors, EveryCellHasExactlyOneHeaderBitFlipped) {
+  const auto v = hec_single_bit_error_vectors({1, 1}, SimTime::from_us(3), 80);
+  ASSERT_EQ(v.size(), 80u);
+  for (const CorruptedCell& cc : v) {
+    std::uint8_t h[5];
+    for (int i = 0; i < 5; ++i) h[i] = cc.bytes[static_cast<std::size_t>(i)];
+    EXPECT_EQ(atm::check_and_correct(h), atm::HecResult::kCorrected);
+  }
+}
+
+TEST(HecErrorVectors, AllFortyBitPositionsCycled) {
+  const auto v = hec_single_bit_error_vectors({1, 1}, SimTime::from_us(3), 40);
+  // Rebuild the clean cell and diff to find the flipped bit per vector.
+  std::set<int> positions;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    atm::Cell c;
+    c.header.vpi = 1;
+    c.header.vci = 1;
+    c.payload[0] = static_cast<std::uint8_t>(i & 0xFF);
+    const auto clean = c.to_bytes();
+    for (int bit = 0; bit < 40; ++bit) {
+      const auto byte = static_cast<std::size_t>(bit / 8);
+      if ((clean[byte] ^ v[i].bytes[byte]) &
+          static_cast<std::uint8_t>(1u << (bit % 8))) {
+        positions.insert(bit);
+      }
+    }
+  }
+  EXPECT_EQ(positions.size(), 40u);
+}
+
+}  // namespace
+}  // namespace castanet::traffic

@@ -1,0 +1,97 @@
+#include "src/traffic/mpeg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/error.hpp"
+
+namespace castanet::traffic {
+namespace {
+
+TEST(MpegSource, ProducesMonotoneBursts) {
+  MpegSource s({2, 200}, 9, MpegParams{}, Rng(21));
+  SimTime prev = SimTime::zero();
+  for (int i = 0; i < 10000; ++i) {
+    const CellArrival a = s.next();
+    ASSERT_GE(a.time, prev) << "cell " << i;
+    prev = a.time;
+    ASSERT_EQ(a.cell.header.vpi, 2);
+    ASSERT_EQ(a.cell.header.vci, 200);
+  }
+}
+
+TEST(MpegSource, FrameRateRespected) {
+  MpegParams p;
+  p.frames_per_sec = 25.0;
+  MpegSource s({1, 1}, 0, p, Rng(23));
+  // Consume cells until 100 frames have been emitted.
+  while (s.frames_emitted() < 100) s.next();
+  // Frame 100 starts at 99/25 s = 3.96 s; the last cell seen is within it.
+  EXPECT_EQ(s.frames_emitted(), 100u);
+}
+
+TEST(MpegSource, IFramesLargerThanBFramesOnAverage) {
+  MpegParams p;
+  MpegSource s({1, 1}, 0, p, Rng(25));
+  // Count cells per frame via burst boundaries: cells within a frame are
+  // link_cell_period apart; a new frame starts at the frame grid.
+  std::map<std::uint64_t, int> cells_per_frame;
+  SimTime frame_period = SimTime::from_seconds(1.0 / p.frames_per_sec);
+  for (int i = 0; i < 200000; ++i) {
+    const CellArrival a = s.next();
+    cells_per_frame[static_cast<std::uint64_t>(a.time.ps() /
+                                               frame_period.ps())]++;
+  }
+  // GoP IBBPBBPBB: frame index % 9 == 0 is an I frame; 2 is a B frame.
+  double i_sum = 0, b_sum = 0;
+  int i_n = 0, b_n = 0;
+  for (const auto& [frame, cells] : cells_per_frame) {
+    if (frame % 9 == 0) {
+      i_sum += cells;
+      ++i_n;
+    } else if (frame % 9 == 2) {
+      b_sum += cells;
+      ++b_n;
+    }
+  }
+  ASSERT_GT(i_n, 10);
+  ASSERT_GT(b_n, 10);
+  EXPECT_GT(i_sum / i_n, 1.8 * (b_sum / b_n));
+}
+
+TEST(MpegSource, LastCellOfFrameCarriesAal5Marker) {
+  MpegSource s({1, 1}, 0, MpegParams{}, Rng(27));
+  int markers = 0;
+  int cells = 0;
+  while (s.frames_emitted() < 20) {
+    const CellArrival a = s.next();
+    ++cells;
+    if (a.cell.header.pti & 1) ++markers;
+  }
+  // One marker per completed frame (+- the frame in progress).
+  EXPECT_NEAR(markers, 20, 1);
+  EXPECT_GT(cells, markers * 10);  // frames are many cells long
+}
+
+TEST(MpegSource, ValidatesGopPattern) {
+  MpegParams p;
+  p.gop_pattern = "IBXP";
+  EXPECT_THROW(MpegSource({1, 1}, 0, p, Rng(1)), LogicError);
+  p.gop_pattern = "";
+  EXPECT_THROW(MpegSource({1, 1}, 0, p, Rng(1)), LogicError);
+}
+
+TEST(MpegSource, DeterministicPerSeed) {
+  MpegSource a({1, 1}, 0, MpegParams{}, Rng(31));
+  MpegSource b({1, 1}, 0, MpegParams{}, Rng(31));
+  for (int i = 0; i < 1000; ++i) {
+    const CellArrival ca = a.next();
+    const CellArrival cb = b.next();
+    EXPECT_EQ(ca.time, cb.time);
+    EXPECT_EQ(ca.cell, cb.cell);
+  }
+}
+
+}  // namespace
+}  // namespace castanet::traffic

@@ -1,0 +1,185 @@
+#include "src/traffic/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/error.hpp"
+
+namespace castanet::traffic {
+namespace {
+
+TEST(CbrSource, ExactSpacing) {
+  CbrSource s({1, 100}, 7, SimTime::from_us(10), SimTime::from_us(3));
+  for (int i = 0; i < 5; ++i) {
+    const CellArrival a = s.next();
+    EXPECT_EQ(a.time, SimTime::from_us(3) + SimTime::from_us(10) * i);
+    EXPECT_EQ(a.cell.header.vpi, 1);
+    EXPECT_EQ(a.cell.header.vci, 100);
+    EXPECT_EQ(cell_sequence(a.cell), static_cast<std::uint32_t>(i));
+    EXPECT_EQ(cell_tag(a.cell), 7);
+  }
+}
+
+TEST(CbrSource, RejectsZeroPeriod) {
+  EXPECT_THROW(CbrSource({1, 1}, 0, SimTime::zero()), LogicError);
+}
+
+TEST(PoissonSource, MeanRateConverges) {
+  PoissonSource s({1, 1}, 0, 10000.0, Rng(5));
+  SimTime last;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) last = s.next().time;
+  // n arrivals at 10k cells/s should take ~5 s.
+  EXPECT_NEAR(last.seconds(), 5.0, 0.15);
+}
+
+TEST(PoissonSource, TimesAreStrictlyIncreasing) {
+  PoissonSource s({1, 1}, 0, 1e6, Rng(9));
+  SimTime prev = SimTime::zero();
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime t = s.next().time;
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(OnOffSource, PeakSpacingWithinBursts) {
+  OnOffSource::Params p;
+  p.peak_period = SimTime::from_us(3);
+  p.mean_on_sec = 1e-3;
+  p.mean_off_sec = 1e-3;
+  OnOffSource s({1, 1}, 0, p, Rng(11));
+  SimTime prev = s.next().time;
+  int in_burst_gaps = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime t = s.next().time;
+    const SimTime gap = t - prev;
+    ASSERT_GE(gap, SimTime::zero());
+    if (gap == p.peak_period) ++in_burst_gaps;
+    prev = t;
+  }
+  // Most gaps are the peak period (bursts of ~333 cells at 3us).
+  EXPECT_GT(in_burst_gaps, 4000);
+}
+
+TEST(OnOffSource, MeanRateMatchesDutyCycle) {
+  OnOffSource::Params p;
+  p.peak_period = SimTime::from_us(10);  // 100k cells/s peak
+  p.mean_on_sec = 2e-3;
+  p.mean_off_sec = 2e-3;  // 50% duty -> ~50k cells/s average
+  OnOffSource s({1, 1}, 0, p, Rng(13));
+  const int n = 100000;
+  SimTime last;
+  for (int i = 0; i < n; ++i) last = s.next().time;
+  const double rate = n / last.seconds();
+  EXPECT_NEAR(rate, 50000.0, 5000.0);
+}
+
+TEST(OnOffSource, ParetoModeProducesHeavyTails) {
+  OnOffSource::Params p;
+  p.peak_period = SimTime::from_us(10);
+  p.mean_on_sec = 1e-3;
+  p.mean_off_sec = 1e-3;
+  p.pareto = true;
+  OnOffSource s({1, 1}, 0, p, Rng(17));
+  // Just verify monotone time stamps and production.
+  SimTime prev = SimTime::zero();
+  for (int i = 0; i < 20000; ++i) {
+    const SimTime t = s.next().time;
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MmppSource, RatesModulateThroughput) {
+  // Two states: fast (100k/s) and silent, 1 ms holding each.
+  MmppSource s({1, 1}, 0, {100000.0, 0.0}, {1e-3, 1e-3}, Rng(19));
+  const int n = 20000;
+  SimTime last;
+  for (int i = 0; i < n; ++i) last = s.next().time;
+  // Average rate ~50k/s -> 20000 cells in ~0.4 s.
+  EXPECT_NEAR(last.seconds(), 0.4, 0.12);
+}
+
+TEST(MmppSource, ValidatesConfig) {
+  EXPECT_THROW(MmppSource({1, 1}, 0, {}, {}, Rng(1)), LogicError);
+  EXPECT_THROW(MmppSource({1, 1}, 0, {1.0}, {1.0, 2.0}, Rng(1)), LogicError);
+  EXPECT_THROW(MmppSource({1, 1}, 0, {-1.0}, {1.0}, Rng(1)), LogicError);
+}
+
+TEST(MergedSource, InterleavesInTimeOrder) {
+  std::vector<std::unique_ptr<CellSource>> inputs;
+  inputs.push_back(std::make_unique<CbrSource>(atm::VcId{1, 1}, 1,
+                                               SimTime::from_us(10)));
+  inputs.push_back(std::make_unique<CbrSource>(
+      atm::VcId{1, 2}, 2, SimTime::from_us(10), SimTime::from_us(5)));
+  MergedSource m(std::move(inputs));
+  SimTime prev = SimTime::zero();
+  int tag1 = 0, tag2 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const CellArrival a = m.next();
+    ASSERT_GE(a.time, prev);
+    prev = a.time;
+    if (cell_tag(a.cell) == 1) ++tag1;
+    if (cell_tag(a.cell) == 2) ++tag2;
+  }
+  EXPECT_EQ(tag1, 50);
+  EXPECT_EQ(tag2, 50);
+}
+
+TEST(TrafficBurstiness, OnOffOverdispersedVsPoisson) {
+  // Index of dispersion of counts (IDC): variance/mean of cell counts per
+  // window.  Poisson has IDC ~ 1; an on/off source at the same mean rate is
+  // strongly overdispersed -- the property that makes bursty traffic hard
+  // on buffers and the reason the traffic-model library matters.
+  auto idc = [](CellSource& src, std::size_t cells, double window_sec) {
+    std::vector<double> counts;
+    double next_edge = window_sec;
+    double in_window = 0;
+    for (std::size_t i = 0; i < cells; ++i) {
+      const double t = src.next().time.seconds();
+      while (t >= next_edge) {
+        counts.push_back(in_window);
+        in_window = 0;
+        next_edge += window_sec;
+      }
+      in_window += 1;
+    }
+    double mean = 0;
+    for (double c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0;
+    for (double c : counts) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(counts.size() - 1);
+    return var / mean;
+  };
+  PoissonSource poisson({1, 1}, 0, 50'000.0, Rng(21));
+  OnOffSource::Params p;
+  p.peak_period = SimTime::from_us(5);  // 200k/s peak
+  p.mean_on_sec = 1e-3;
+  p.mean_off_sec = 3e-3;                // mean 50k/s
+  OnOffSource onoff({1, 1}, 0, p, Rng(21));
+  const double idc_poisson = idc(poisson, 60000, 1e-3);
+  const double idc_onoff = idc(onoff, 60000, 1e-3);
+  EXPECT_NEAR(idc_poisson, 1.0, 0.3);
+  EXPECT_GT(idc_onoff, 5.0 * idc_poisson);
+}
+
+TEST(CellSource, SequenceNumbersPerSourceIndependent) {
+  CbrSource a({1, 1}, 1, SimTime::from_us(1));
+  CbrSource b({1, 2}, 2, SimTime::from_us(1));
+  a.next();
+  a.next();
+  EXPECT_EQ(cell_sequence(a.next().cell), 2u);
+  EXPECT_EQ(cell_sequence(b.next().cell), 0u);
+}
+
+TEST(CellSource, DeterministicWithSameRng) {
+  PoissonSource a({1, 1}, 0, 1000.0, Rng(3));
+  PoissonSource b({1, 1}, 0, 1000.0, Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next().time, b.next().time);
+  }
+}
+
+}  // namespace
+}  // namespace castanet::traffic

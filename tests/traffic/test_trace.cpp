@@ -1,0 +1,95 @@
+#include "src/traffic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/error.hpp"
+#include "src/traffic/mpeg.hpp"
+
+namespace castanet::traffic {
+namespace {
+
+struct TraceFixture : public ::testing::Test {
+  std::string path = ::testing::TempDir() + "castanet_trace_test.txt";
+  void TearDown() override { std::remove(path.c_str()); }
+};
+
+TEST_F(TraceFixture, SaveLoadRoundTrip) {
+  CbrSource src({3, 300}, 5, SimTime::from_us(10));
+  const CellTrace t = CellTrace::record(src, 100);
+  t.save(path);
+  const CellTrace back = CellTrace::load(path);
+  EXPECT_TRUE(t == back);
+  EXPECT_EQ(back.size(), 100u);
+}
+
+TEST_F(TraceFixture, ReplayMatchesOriginal) {
+  PoissonSource src({1, 1}, 0, 1e5, Rng(33));
+  const CellTrace t = CellTrace::record(src, 50);
+  TraceSource replay(t);
+  for (const CellArrival& want : t.arrivals()) {
+    const CellArrival got = replay.next();
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.cell, want.cell);
+  }
+  EXPECT_EQ(replay.remaining(), 0u);
+  EXPECT_THROW(replay.next(), LogicError);
+}
+
+TEST_F(TraceFixture, RerunPreviouslyGeneratedVectors) {
+  // The §3 workflow: dump test vectors to a file, re-run them later.
+  {
+    MpegSource src({2, 2}, 1, MpegParams{}, Rng(35));
+    CellTrace::record(src, 200).save(path);
+  }
+  const CellTrace loaded = CellTrace::load(path);
+  EXPECT_EQ(loaded.size(), 200u);
+  TraceSource replay(loaded);
+  SimTime prev = SimTime::zero();
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const SimTime t = replay.next().time;
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(TraceFixture, MissingFileThrows) {
+  EXPECT_THROW(CellTrace::load("/nonexistent/trace.txt"), IoError);
+}
+
+TEST_F(TraceFixture, BadMagicRejected) {
+  std::ofstream(path) << "not a trace\n1 2 3\n";
+  EXPECT_THROW(CellTrace::load(path), IoError);
+}
+
+TEST_F(TraceFixture, MalformedLineRejected) {
+  std::ofstream(path) << "castanet-trace v1\n12345 1 2 0 0 deadbeef\n";
+  EXPECT_THROW(CellTrace::load(path), IoError);
+}
+
+TEST_F(TraceFixture, PayloadBytesPreservedExactly) {
+  CellTrace t;
+  CellArrival a;
+  a.time = SimTime::from_ps(123456789);
+  a.cell.header = {0, 42, 4242, 5, true};
+  for (std::size_t i = 0; i < atm::kPayloadBytes; ++i) {
+    a.cell.payload[i] = static_cast<std::uint8_t>(255 - i);
+  }
+  t.append(a);
+  t.save(path);
+  const CellTrace back = CellTrace::load(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.arrivals()[0].time.ps(), 123456789);
+  EXPECT_EQ(back.arrivals()[0].cell, a.cell);
+}
+
+TEST_F(TraceFixture, EmptyTraceRoundTrips) {
+  CellTrace t;
+  t.save(path);
+  EXPECT_TRUE(CellTrace::load(path).empty());
+}
+
+}  // namespace
+}  // namespace castanet::traffic
