@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_cosim_speed.dir/bench_e1_cosim_speed.cpp.o"
+  "CMakeFiles/bench_e1_cosim_speed.dir/bench_e1_cosim_speed.cpp.o.d"
+  "bench_e1_cosim_speed"
+  "bench_e1_cosim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_cosim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_abstraction_map.dir/bench_e4_abstraction_map.cpp.o"
+  "CMakeFiles/bench_e4_abstraction_map.dir/bench_e4_abstraction_map.cpp.o.d"
+  "bench_e4_abstraction_map"
+  "bench_e4_abstraction_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_abstraction_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_testbench_reuse.dir/bench_e7_testbench_reuse.cpp.o"
+  "CMakeFiles/bench_e7_testbench_reuse.dir/bench_e7_testbench_reuse.cpp.o.d"
+  "bench_e7_testbench_reuse"
+  "bench_e7_testbench_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_testbench_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

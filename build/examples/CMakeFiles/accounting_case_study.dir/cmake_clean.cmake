@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_case_study.dir/accounting_case_study.cpp.o"
+  "CMakeFiles/accounting_case_study.dir/accounting_case_study.cpp.o.d"
+  "accounting_case_study"
+  "accounting_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_in_the_loop.dir/board_in_the_loop.cpp.o"
+  "CMakeFiles/board_in_the_loop.dir/board_in_the_loop.cpp.o.d"
+  "board_in_the_loop"
+  "board_in_the_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_in_the_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/signaling_cac.cpp" "examples/CMakeFiles/signaling_cac.dir/signaling_cac.cpp.o" "gcc" "examples/CMakeFiles/signaling_cac.dir/signaling_cac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/castanet/CMakeFiles/cast_castanet.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/cast_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cast_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/cast_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cast_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cast_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/cast_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signaling_cac.dir/signaling_cac.cpp.o"
+  "CMakeFiles/signaling_cac.dir/signaling_cac.cpp.o.d"
+  "signaling_cac"
+  "signaling_cac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signaling_cac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

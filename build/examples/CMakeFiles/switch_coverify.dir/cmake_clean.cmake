@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_coverify.dir/switch_coverify.cpp.o"
+  "CMakeFiles/switch_coverify.dir/switch_coverify.cpp.o.d"
+  "switch_coverify"
+  "switch_coverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_coverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

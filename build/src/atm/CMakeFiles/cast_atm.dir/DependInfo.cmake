@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/aal5.cpp" "src/atm/CMakeFiles/cast_atm.dir/aal5.cpp.o" "gcc" "src/atm/CMakeFiles/cast_atm.dir/aal5.cpp.o.d"
+  "/root/repo/src/atm/cell.cpp" "src/atm/CMakeFiles/cast_atm.dir/cell.cpp.o" "gcc" "src/atm/CMakeFiles/cast_atm.dir/cell.cpp.o.d"
+  "/root/repo/src/atm/connection.cpp" "src/atm/CMakeFiles/cast_atm.dir/connection.cpp.o" "gcc" "src/atm/CMakeFiles/cast_atm.dir/connection.cpp.o.d"
+  "/root/repo/src/atm/gcra.cpp" "src/atm/CMakeFiles/cast_atm.dir/gcra.cpp.o" "gcc" "src/atm/CMakeFiles/cast_atm.dir/gcra.cpp.o.d"
+  "/root/repo/src/atm/hec.cpp" "src/atm/CMakeFiles/cast_atm.dir/hec.cpp.o" "gcc" "src/atm/CMakeFiles/cast_atm.dir/hec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

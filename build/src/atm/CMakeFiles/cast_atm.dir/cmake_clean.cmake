@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_atm.dir/aal5.cpp.o"
+  "CMakeFiles/cast_atm.dir/aal5.cpp.o.d"
+  "CMakeFiles/cast_atm.dir/cell.cpp.o"
+  "CMakeFiles/cast_atm.dir/cell.cpp.o.d"
+  "CMakeFiles/cast_atm.dir/connection.cpp.o"
+  "CMakeFiles/cast_atm.dir/connection.cpp.o.d"
+  "CMakeFiles/cast_atm.dir/gcra.cpp.o"
+  "CMakeFiles/cast_atm.dir/gcra.cpp.o.d"
+  "CMakeFiles/cast_atm.dir/hec.cpp.o"
+  "CMakeFiles/cast_atm.dir/hec.cpp.o.d"
+  "libcast_atm.a"
+  "libcast_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

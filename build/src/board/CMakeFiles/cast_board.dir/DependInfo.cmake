@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/board/board.cpp" "src/board/CMakeFiles/cast_board.dir/board.cpp.o" "gcc" "src/board/CMakeFiles/cast_board.dir/board.cpp.o.d"
+  "/root/repo/src/board/config.cpp" "src/board/CMakeFiles/cast_board.dir/config.cpp.o" "gcc" "src/board/CMakeFiles/cast_board.dir/config.cpp.o.d"
+  "/root/repo/src/board/dut.cpp" "src/board/CMakeFiles/cast_board.dir/dut.cpp.o" "gcc" "src/board/CMakeFiles/cast_board.dir/dut.cpp.o.d"
+  "/root/repo/src/board/scsi.cpp" "src/board/CMakeFiles/cast_board.dir/scsi.cpp.o" "gcc" "src/board/CMakeFiles/cast_board.dir/scsi.cpp.o.d"
+  "/root/repo/src/board/selftest.cpp" "src/board/CMakeFiles/cast_board.dir/selftest.cpp.o" "gcc" "src/board/CMakeFiles/cast_board.dir/selftest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/cast_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cast_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

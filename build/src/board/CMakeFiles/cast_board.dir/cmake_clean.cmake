@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_board.dir/board.cpp.o"
+  "CMakeFiles/cast_board.dir/board.cpp.o.d"
+  "CMakeFiles/cast_board.dir/config.cpp.o"
+  "CMakeFiles/cast_board.dir/config.cpp.o.d"
+  "CMakeFiles/cast_board.dir/dut.cpp.o"
+  "CMakeFiles/cast_board.dir/dut.cpp.o.d"
+  "CMakeFiles/cast_board.dir/scsi.cpp.o"
+  "CMakeFiles/cast_board.dir/scsi.cpp.o.d"
+  "CMakeFiles/cast_board.dir/selftest.cpp.o"
+  "CMakeFiles/cast_board.dir/selftest.cpp.o.d"
+  "libcast_board.a"
+  "libcast_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/castanet/board_driver.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/board_driver.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/board_driver.cpp.o.d"
+  "/root/repo/src/castanet/comparator.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/comparator.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/comparator.cpp.o.d"
+  "/root/repo/src/castanet/coverify.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/coverify.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/coverify.cpp.o.d"
+  "/root/repo/src/castanet/entity.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/entity.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/entity.cpp.o.d"
+  "/root/repo/src/castanet/gateway.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/gateway.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/gateway.cpp.o.d"
+  "/root/repo/src/castanet/ifdesc.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/ifdesc.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/ifdesc.cpp.o.d"
+  "/root/repo/src/castanet/mapping.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/mapping.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/mapping.cpp.o.d"
+  "/root/repo/src/castanet/message.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/message.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/message.cpp.o.d"
+  "/root/repo/src/castanet/regression.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/regression.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/regression.cpp.o.d"
+  "/root/repo/src/castanet/sync.cpp" "src/castanet/CMakeFiles/cast_castanet.dir/sync.cpp.o" "gcc" "src/castanet/CMakeFiles/cast_castanet.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/cast_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cast_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cast_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cast_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/cast_board.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

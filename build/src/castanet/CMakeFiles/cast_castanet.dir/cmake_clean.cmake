@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_castanet.dir/board_driver.cpp.o"
+  "CMakeFiles/cast_castanet.dir/board_driver.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/comparator.cpp.o"
+  "CMakeFiles/cast_castanet.dir/comparator.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/coverify.cpp.o"
+  "CMakeFiles/cast_castanet.dir/coverify.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/entity.cpp.o"
+  "CMakeFiles/cast_castanet.dir/entity.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/gateway.cpp.o"
+  "CMakeFiles/cast_castanet.dir/gateway.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/ifdesc.cpp.o"
+  "CMakeFiles/cast_castanet.dir/ifdesc.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/mapping.cpp.o"
+  "CMakeFiles/cast_castanet.dir/mapping.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/message.cpp.o"
+  "CMakeFiles/cast_castanet.dir/message.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/regression.cpp.o"
+  "CMakeFiles/cast_castanet.dir/regression.cpp.o.d"
+  "CMakeFiles/cast_castanet.dir/sync.cpp.o"
+  "CMakeFiles/cast_castanet.dir/sync.cpp.o.d"
+  "libcast_castanet.a"
+  "libcast_castanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_castanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_core.dir/error.cpp.o"
+  "CMakeFiles/cast_core.dir/error.cpp.o.d"
+  "CMakeFiles/cast_core.dir/log.cpp.o"
+  "CMakeFiles/cast_core.dir/log.cpp.o.d"
+  "CMakeFiles/cast_core.dir/rng.cpp.o"
+  "CMakeFiles/cast_core.dir/rng.cpp.o.d"
+  "CMakeFiles/cast_core.dir/stats.cpp.o"
+  "CMakeFiles/cast_core.dir/stats.cpp.o.d"
+  "libcast_core.a"
+  "libcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

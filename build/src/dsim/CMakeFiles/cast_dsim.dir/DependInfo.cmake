@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsim/scheduler.cpp" "src/dsim/CMakeFiles/cast_dsim.dir/scheduler.cpp.o" "gcc" "src/dsim/CMakeFiles/cast_dsim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/dsim/time.cpp" "src/dsim/CMakeFiles/cast_dsim.dir/time.cpp.o" "gcc" "src/dsim/CMakeFiles/cast_dsim.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_dsim.dir/scheduler.cpp.o"
+  "CMakeFiles/cast_dsim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cast_dsim.dir/time.cpp.o"
+  "CMakeFiles/cast_dsim.dir/time.cpp.o.d"
+  "libcast_dsim.a"
+  "libcast_dsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_dsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accounting.cpp" "src/hw/CMakeFiles/cast_hw.dir/accounting.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/accounting.cpp.o.d"
+  "/root/repo/src/hw/atm_switch.cpp" "src/hw/CMakeFiles/cast_hw.dir/atm_switch.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/atm_switch.cpp.o.d"
+  "/root/repo/src/hw/cell_bits.cpp" "src/hw/CMakeFiles/cast_hw.dir/cell_bits.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/cell_bits.cpp.o.d"
+  "/root/repo/src/hw/cell_port.cpp" "src/hw/CMakeFiles/cast_hw.dir/cell_port.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/cell_port.cpp.o.d"
+  "/root/repo/src/hw/cell_rx.cpp" "src/hw/CMakeFiles/cast_hw.dir/cell_rx.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/cell_rx.cpp.o.d"
+  "/root/repo/src/hw/cell_tx.cpp" "src/hw/CMakeFiles/cast_hw.dir/cell_tx.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/cell_tx.cpp.o.d"
+  "/root/repo/src/hw/epd.cpp" "src/hw/CMakeFiles/cast_hw.dir/epd.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/epd.cpp.o.d"
+  "/root/repo/src/hw/fifo.cpp" "src/hw/CMakeFiles/cast_hw.dir/fifo.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/fifo.cpp.o.d"
+  "/root/repo/src/hw/gcu.cpp" "src/hw/CMakeFiles/cast_hw.dir/gcu.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/gcu.cpp.o.d"
+  "/root/repo/src/hw/oam.cpp" "src/hw/CMakeFiles/cast_hw.dir/oam.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/oam.cpp.o.d"
+  "/root/repo/src/hw/policer.cpp" "src/hw/CMakeFiles/cast_hw.dir/policer.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/policer.cpp.o.d"
+  "/root/repo/src/hw/port_module.cpp" "src/hw/CMakeFiles/cast_hw.dir/port_module.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/port_module.cpp.o.d"
+  "/root/repo/src/hw/reference.cpp" "src/hw/CMakeFiles/cast_hw.dir/reference.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/reference.cpp.o.d"
+  "/root/repo/src/hw/sar.cpp" "src/hw/CMakeFiles/cast_hw.dir/sar.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/sar.cpp.o.d"
+  "/root/repo/src/hw/shaper.cpp" "src/hw/CMakeFiles/cast_hw.dir/shaper.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/shaper.cpp.o.d"
+  "/root/repo/src/hw/translator.cpp" "src/hw/CMakeFiles/cast_hw.dir/translator.cpp.o" "gcc" "src/hw/CMakeFiles/cast_hw.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/cast_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/packet.cpp" "src/netsim/CMakeFiles/cast_netsim.dir/packet.cpp.o" "gcc" "src/netsim/CMakeFiles/cast_netsim.dir/packet.cpp.o.d"
+  "/root/repo/src/netsim/process.cpp" "src/netsim/CMakeFiles/cast_netsim.dir/process.cpp.o" "gcc" "src/netsim/CMakeFiles/cast_netsim.dir/process.cpp.o.d"
+  "/root/repo/src/netsim/queue.cpp" "src/netsim/CMakeFiles/cast_netsim.dir/queue.cpp.o" "gcc" "src/netsim/CMakeFiles/cast_netsim.dir/queue.cpp.o.d"
+  "/root/repo/src/netsim/simulation.cpp" "src/netsim/CMakeFiles/cast_netsim.dir/simulation.cpp.o" "gcc" "src/netsim/CMakeFiles/cast_netsim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_netsim.dir/packet.cpp.o"
+  "CMakeFiles/cast_netsim.dir/packet.cpp.o.d"
+  "CMakeFiles/cast_netsim.dir/process.cpp.o"
+  "CMakeFiles/cast_netsim.dir/process.cpp.o.d"
+  "CMakeFiles/cast_netsim.dir/queue.cpp.o"
+  "CMakeFiles/cast_netsim.dir/queue.cpp.o.d"
+  "CMakeFiles/cast_netsim.dir/simulation.cpp.o"
+  "CMakeFiles/cast_netsim.dir/simulation.cpp.o.d"
+  "libcast_netsim.a"
+  "libcast_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

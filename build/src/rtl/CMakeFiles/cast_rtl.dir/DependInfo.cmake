@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/cycle.cpp" "src/rtl/CMakeFiles/cast_rtl.dir/cycle.cpp.o" "gcc" "src/rtl/CMakeFiles/cast_rtl.dir/cycle.cpp.o.d"
+  "/root/repo/src/rtl/logic.cpp" "src/rtl/CMakeFiles/cast_rtl.dir/logic.cpp.o" "gcc" "src/rtl/CMakeFiles/cast_rtl.dir/logic.cpp.o.d"
+  "/root/repo/src/rtl/logic_vector.cpp" "src/rtl/CMakeFiles/cast_rtl.dir/logic_vector.cpp.o" "gcc" "src/rtl/CMakeFiles/cast_rtl.dir/logic_vector.cpp.o.d"
+  "/root/repo/src/rtl/module.cpp" "src/rtl/CMakeFiles/cast_rtl.dir/module.cpp.o" "gcc" "src/rtl/CMakeFiles/cast_rtl.dir/module.cpp.o.d"
+  "/root/repo/src/rtl/simulator.cpp" "src/rtl/CMakeFiles/cast_rtl.dir/simulator.cpp.o" "gcc" "src/rtl/CMakeFiles/cast_rtl.dir/simulator.cpp.o.d"
+  "/root/repo/src/rtl/vcd_reader.cpp" "src/rtl/CMakeFiles/cast_rtl.dir/vcd_reader.cpp.o" "gcc" "src/rtl/CMakeFiles/cast_rtl.dir/vcd_reader.cpp.o.d"
+  "/root/repo/src/rtl/waveform.cpp" "src/rtl/CMakeFiles/cast_rtl.dir/waveform.cpp.o" "gcc" "src/rtl/CMakeFiles/cast_rtl.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

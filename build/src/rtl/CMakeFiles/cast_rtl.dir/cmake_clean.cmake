@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_rtl.dir/cycle.cpp.o"
+  "CMakeFiles/cast_rtl.dir/cycle.cpp.o.d"
+  "CMakeFiles/cast_rtl.dir/logic.cpp.o"
+  "CMakeFiles/cast_rtl.dir/logic.cpp.o.d"
+  "CMakeFiles/cast_rtl.dir/logic_vector.cpp.o"
+  "CMakeFiles/cast_rtl.dir/logic_vector.cpp.o.d"
+  "CMakeFiles/cast_rtl.dir/module.cpp.o"
+  "CMakeFiles/cast_rtl.dir/module.cpp.o.d"
+  "CMakeFiles/cast_rtl.dir/simulator.cpp.o"
+  "CMakeFiles/cast_rtl.dir/simulator.cpp.o.d"
+  "CMakeFiles/cast_rtl.dir/vcd_reader.cpp.o"
+  "CMakeFiles/cast_rtl.dir/vcd_reader.cpp.o.d"
+  "CMakeFiles/cast_rtl.dir/waveform.cpp.o"
+  "CMakeFiles/cast_rtl.dir/waveform.cpp.o.d"
+  "libcast_rtl.a"
+  "libcast_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

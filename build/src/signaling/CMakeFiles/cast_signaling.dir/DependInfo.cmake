@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signaling/cac.cpp" "src/signaling/CMakeFiles/cast_signaling.dir/cac.cpp.o" "gcc" "src/signaling/CMakeFiles/cast_signaling.dir/cac.cpp.o.d"
+  "/root/repo/src/signaling/call_generator.cpp" "src/signaling/CMakeFiles/cast_signaling.dir/call_generator.cpp.o" "gcc" "src/signaling/CMakeFiles/cast_signaling.dir/call_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cast_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

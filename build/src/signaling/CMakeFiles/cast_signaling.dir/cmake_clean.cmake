@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_signaling.dir/cac.cpp.o"
+  "CMakeFiles/cast_signaling.dir/cac.cpp.o.d"
+  "CMakeFiles/cast_signaling.dir/call_generator.cpp.o"
+  "CMakeFiles/cast_signaling.dir/call_generator.cpp.o.d"
+  "libcast_signaling.a"
+  "libcast_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/conformance.cpp" "src/traffic/CMakeFiles/cast_traffic.dir/conformance.cpp.o" "gcc" "src/traffic/CMakeFiles/cast_traffic.dir/conformance.cpp.o.d"
+  "/root/repo/src/traffic/mpeg.cpp" "src/traffic/CMakeFiles/cast_traffic.dir/mpeg.cpp.o" "gcc" "src/traffic/CMakeFiles/cast_traffic.dir/mpeg.cpp.o.d"
+  "/root/repo/src/traffic/processes.cpp" "src/traffic/CMakeFiles/cast_traffic.dir/processes.cpp.o" "gcc" "src/traffic/CMakeFiles/cast_traffic.dir/processes.cpp.o.d"
+  "/root/repo/src/traffic/sources.cpp" "src/traffic/CMakeFiles/cast_traffic.dir/sources.cpp.o" "gcc" "src/traffic/CMakeFiles/cast_traffic.dir/sources.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/cast_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/cast_traffic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cast_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

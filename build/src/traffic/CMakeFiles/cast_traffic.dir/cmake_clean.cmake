@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_traffic.dir/conformance.cpp.o"
+  "CMakeFiles/cast_traffic.dir/conformance.cpp.o.d"
+  "CMakeFiles/cast_traffic.dir/mpeg.cpp.o"
+  "CMakeFiles/cast_traffic.dir/mpeg.cpp.o.d"
+  "CMakeFiles/cast_traffic.dir/processes.cpp.o"
+  "CMakeFiles/cast_traffic.dir/processes.cpp.o.d"
+  "CMakeFiles/cast_traffic.dir/sources.cpp.o"
+  "CMakeFiles/cast_traffic.dir/sources.cpp.o.d"
+  "CMakeFiles/cast_traffic.dir/trace.cpp.o"
+  "CMakeFiles/cast_traffic.dir/trace.cpp.o.d"
+  "libcast_traffic.a"
+  "libcast_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atm.dir/atm/test_aal5.cpp.o"
+  "CMakeFiles/test_atm.dir/atm/test_aal5.cpp.o.d"
+  "CMakeFiles/test_atm.dir/atm/test_cell.cpp.o"
+  "CMakeFiles/test_atm.dir/atm/test_cell.cpp.o.d"
+  "CMakeFiles/test_atm.dir/atm/test_connection.cpp.o"
+  "CMakeFiles/test_atm.dir/atm/test_connection.cpp.o.d"
+  "CMakeFiles/test_atm.dir/atm/test_gcra.cpp.o"
+  "CMakeFiles/test_atm.dir/atm/test_gcra.cpp.o.d"
+  "CMakeFiles/test_atm.dir/atm/test_hec.cpp.o"
+  "CMakeFiles/test_atm.dir/atm/test_hec.cpp.o.d"
+  "test_atm"
+  "test_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_board.dir/board/test_board.cpp.o"
+  "CMakeFiles/test_board.dir/board/test_board.cpp.o.d"
+  "CMakeFiles/test_board.dir/board/test_config.cpp.o"
+  "CMakeFiles/test_board.dir/board/test_config.cpp.o.d"
+  "CMakeFiles/test_board.dir/board/test_dut.cpp.o"
+  "CMakeFiles/test_board.dir/board/test_dut.cpp.o.d"
+  "CMakeFiles/test_board.dir/board/test_selftest.cpp.o"
+  "CMakeFiles/test_board.dir/board/test_selftest.cpp.o.d"
+  "test_board"
+  "test_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

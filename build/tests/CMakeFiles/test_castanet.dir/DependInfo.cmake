@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/castanet/test_board_driver.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_board_driver.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_board_driver.cpp.o.d"
+  "/root/repo/tests/castanet/test_comparator.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_comparator.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_comparator.cpp.o.d"
+  "/root/repo/tests/castanet/test_coverify.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_coverify.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_coverify.cpp.o.d"
+  "/root/repo/tests/castanet/test_entity.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_entity.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_entity.cpp.o.d"
+  "/root/repo/tests/castanet/test_ifdesc.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_ifdesc.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_ifdesc.cpp.o.d"
+  "/root/repo/tests/castanet/test_mapping.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_mapping.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_mapping.cpp.o.d"
+  "/root/repo/tests/castanet/test_regression.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_regression.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_regression.cpp.o.d"
+  "/root/repo/tests/castanet/test_sync.cpp" "tests/CMakeFiles/test_castanet.dir/castanet/test_sync.cpp.o" "gcc" "tests/CMakeFiles/test_castanet.dir/castanet/test_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/castanet/CMakeFiles/cast_castanet.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/cast_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cast_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/cast_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cast_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cast_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/cast_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_castanet.dir/castanet/test_board_driver.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_board_driver.cpp.o.d"
+  "CMakeFiles/test_castanet.dir/castanet/test_comparator.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_comparator.cpp.o.d"
+  "CMakeFiles/test_castanet.dir/castanet/test_coverify.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_coverify.cpp.o.d"
+  "CMakeFiles/test_castanet.dir/castanet/test_entity.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_entity.cpp.o.d"
+  "CMakeFiles/test_castanet.dir/castanet/test_ifdesc.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_ifdesc.cpp.o.d"
+  "CMakeFiles/test_castanet.dir/castanet/test_mapping.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_mapping.cpp.o.d"
+  "CMakeFiles/test_castanet.dir/castanet/test_regression.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_regression.cpp.o.d"
+  "CMakeFiles/test_castanet.dir/castanet/test_sync.cpp.o"
+  "CMakeFiles/test_castanet.dir/castanet/test_sync.cpp.o.d"
+  "test_castanet"
+  "test_castanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_castanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

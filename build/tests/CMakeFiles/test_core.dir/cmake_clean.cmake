@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_error.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_error.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_log.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_log.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o.d"
+  "CMakeFiles/test_core.dir/dsim/test_scheduler.cpp.o"
+  "CMakeFiles/test_core.dir/dsim/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_core.dir/dsim/test_time.cpp.o"
+  "CMakeFiles/test_core.dir/dsim/test_time.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_accounting.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_accounting.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_accounting.cpp.o.d"
+  "/root/repo/tests/hw/test_cell_port.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_cell_port.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_cell_port.cpp.o.d"
+  "/root/repo/tests/hw/test_cell_rx_tx.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_cell_rx_tx.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_cell_rx_tx.cpp.o.d"
+  "/root/repo/tests/hw/test_epd.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_epd.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_epd.cpp.o.d"
+  "/root/repo/tests/hw/test_equivalence.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_equivalence.cpp.o.d"
+  "/root/repo/tests/hw/test_fifo.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_fifo.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_fifo.cpp.o.d"
+  "/root/repo/tests/hw/test_gcu.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_gcu.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_gcu.cpp.o.d"
+  "/root/repo/tests/hw/test_policer.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_policer.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_policer.cpp.o.d"
+  "/root/repo/tests/hw/test_reference.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_reference.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_reference.cpp.o.d"
+  "/root/repo/tests/hw/test_sar.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_sar.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_sar.cpp.o.d"
+  "/root/repo/tests/hw/test_shaper_oam.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_shaper_oam.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_shaper_oam.cpp.o.d"
+  "/root/repo/tests/hw/test_switch.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_switch.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_switch.cpp.o.d"
+  "/root/repo/tests/hw/test_switch_param.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_switch_param.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_switch_param.cpp.o.d"
+  "/root/repo/tests/hw/test_translator.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_translator.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/castanet/CMakeFiles/cast_castanet.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/cast_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cast_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/cast_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cast_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cast_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/cast_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/cast_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/cast_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_accounting.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_accounting.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_cell_port.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_cell_port.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_cell_rx_tx.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_cell_rx_tx.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_epd.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_epd.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_equivalence.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_equivalence.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_fifo.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_fifo.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_gcu.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_gcu.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_policer.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_policer.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_reference.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_reference.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_sar.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_sar.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_shaper_oam.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_shaper_oam.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_switch.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_switch.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_switch_param.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_switch_param.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_translator.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_translator.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/test_fsm.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_fsm.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/test_packet.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_packet.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/test_queue.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_queue.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/test_simulation.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_simulation.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/traffic/test_conformance.cpp.o"
+  "CMakeFiles/test_netsim.dir/traffic/test_conformance.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/traffic/test_mpeg.cpp.o"
+  "CMakeFiles/test_netsim.dir/traffic/test_mpeg.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/traffic/test_processes.cpp.o"
+  "CMakeFiles/test_netsim.dir/traffic/test_processes.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/traffic/test_sources.cpp.o"
+  "CMakeFiles/test_netsim.dir/traffic/test_sources.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/traffic/test_trace.cpp.o"
+  "CMakeFiles/test_netsim.dir/traffic/test_trace.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

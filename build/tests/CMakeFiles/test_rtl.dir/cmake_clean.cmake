@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/rtl/test_cycle.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_cycle.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_kernel_semantics.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_kernel_semantics.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_logic.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_logic.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_logic_vector.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_logic_vector.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_module.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_module.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_simulator.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_simulator.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_vcd_reader.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_vcd_reader.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_waveform.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_waveform.cpp.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

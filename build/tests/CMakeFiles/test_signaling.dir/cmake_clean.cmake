@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signaling.dir/signaling/test_cac.cpp.o"
+  "CMakeFiles/test_signaling.dir/signaling/test_cac.cpp.o.d"
+  "test_signaling"
+  "test_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

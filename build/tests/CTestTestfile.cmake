@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rtl "/root/repo/build/tests/test_rtl")
+set_tests_properties(test_rtl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_atm "/root/repo/build/tests/test_atm")
+set_tests_properties(test_atm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;29;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_netsim "/root/repo/build/tests/test_netsim")
+set_tests_properties(test_netsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;36;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hw "/root/repo/build/tests/test_hw")
+set_tests_properties(test_hw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;47;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_board "/root/repo/build/tests/test_board")
+set_tests_properties(test_board PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;63;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_castanet "/root/repo/build/tests/test_castanet")
+set_tests_properties(test_castanet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;69;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_signaling "/root/repo/build/tests/test_signaling")
+set_tests_properties(test_signaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;79;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;82;castanet_test;/root/repo/tests/CMakeLists.txt;0;")
