@@ -22,7 +22,9 @@
 // *shape* is that (B) and (C) beat (A), with (C) fastest.
 //
 // Scale with CASTANET_E1_CELLS (default 2000; the paper used 10,000).
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <map>
 
 #include "bench/bench_util.hpp"
@@ -42,6 +44,7 @@ namespace {
 
 constexpr std::size_t kPorts = 4;
 const SimTime kClk = clock_period_hz(20'000'000);
+bool g_quiet = false;  // suppress per-run chatter when repeating runs
 
 // --- RTL test bench modules (configuration A) --------------------------------
 
@@ -247,8 +250,10 @@ Row run_pure_rtl(const std::vector<std::vector<traffic::CellArrival>>& traffic) 
           hdl.stats().process_activations};
 }
 
-// (B) Co-simulation with the full RTL switch.
-Row run_cosim_full(const std::vector<std::vector<traffic::CellArrival>>& traffic) {
+// (B) Co-simulation with the full RTL switch; optionally pipelined (the RTL
+// kernel on its own worker thread, window grants over the SPSC channel).
+Row run_cosim_full(const std::vector<std::vector<traffic::CellArrival>>& traffic,
+                   bool pipelined) {
   netsim::Simulation net;
   netsim::Node& env = net.add_node("env");
   rtl::Simulator hdl;
@@ -261,6 +266,8 @@ Row run_cosim_full(const std::vector<std::vector<traffic::CellArrival>>& traffic
   cosim::CoVerification::Params params;
   params.sync.policy = cosim::SyncPolicy::kGlobalOrder;
   params.sync.clock_period = kClk;
+  params.pipelined = pipelined;
+  params.channel_capacity = 8192;
   cosim::CoVerification cov(net, hdl, env, kPorts, params);
   cov.set_response_handler([](const cosim::TimedMessage&) {});
   cosim::ResponseComparator cmp;
@@ -288,8 +295,22 @@ Row run_cosim_full(const std::vector<std::vector<traffic::CellArrival>>& traffic
   WallTimer timer;
   cov.run_until(horizon_of(traffic));
   const double wall = timer.seconds();
-  return {"B: co-sim (RTL switch)", cells, clock.rising_edges(), wall,
-          hdl.stats().process_activations};
+  if (g_quiet) {
+  } else if (pipelined) {
+    const auto cs = cov.stats();
+    std::printf("  pipelined: %llu windows, %llu worker batches, %llu grant "
+                "stalls, channel high-water %llu\n",
+                static_cast<unsigned long long>(cs.windows),
+                static_cast<unsigned long long>(cs.worker_batches),
+                static_cast<unsigned long long>(cs.window_grant_stalls),
+                static_cast<unsigned long long>(cs.max_channel_occupancy));
+  } else {
+    std::printf("  serial: %llu windows\n",
+                static_cast<unsigned long long>(cov.stats().windows));
+  }
+  return {pipelined ? "B': co-sim pipelined (RTL switch)"
+                    : "B: co-sim (RTL switch)",
+          cells, clock.rising_edges(), wall, hdl.stats().process_activations};
 }
 
 // (C) Co-simulation with only the GCU in RTL; ports abstracted.
@@ -393,12 +414,33 @@ Row run_cosim_gcu(const std::vector<std::vector<traffic::CellArrival>>& traffic)
 
 }  // namespace
 
-int main() {
+void record(bench::JsonReport& report, const Row& r, double baseline_cps) {
+  report.begin_row(r.config);
+  report.metric("cells", r.cells);
+  report.metric("clk_cycles", r.cycles);
+  report.metric("wall_seconds", r.wall_sec);
+  report.metric("clk_cycles_per_sec",
+                static_cast<double>(r.cycles) / r.wall_sec);
+  report.metric("speedup_vs_a",
+                static_cast<double>(r.cycles) / r.wall_sec / baseline_cps);
+  report.metric("kernel_activations", r.kernel_events);
+}
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e1_cosim_speed");
   std::size_t total = 2000;
   if (const char* env = std::getenv("CASTANET_E1_CELLS")) {
     total = std::strtoull(env, nullptr, 10);
   }
   const auto traffic = make_traffic(total);
+  // Restrict to a subset of configurations for profiling one mode in
+  // isolation: CASTANET_E1_ONLY is any combination of the letters
+  // A (pure HDL), B (serial co-sim), P (pipelined co-sim), C (GCU only).
+  std::string only;
+  if (const char* env = std::getenv("CASTANET_E1_ONLY")) only = env;
+  const auto want = [&only](char key) {
+    return only.empty() || only.find(key) != std::string::npos;
+  };
 
   std::printf("E1: co-simulation vs pure-HDL test bench speed (paper §2)\n");
   std::printf("paper: co-sim ~1300 clk/s vs pure-RTL GCU bench ~300 clk/s "
@@ -407,17 +449,57 @@ int main() {
   std::printf("%-34s %8s %9s %8s %12s %8s\n", "configuration", "cells",
               "clk cyc", "wall s", "clk cyc/s", "speedup");
   bench::rule();
-  const Row a = run_pure_rtl(traffic);
-  const double base = static_cast<double>(a.cycles) / a.wall_sec;
-  print_row(a, base);
-  const Row b = run_cosim_full(traffic);
-  print_row(b, base);
-  const Row c = run_cosim_gcu(traffic);
-  print_row(c, base);
+  // CASTANET_E1_REPS > 1 runs the selected configurations round-robin
+  // (A,B,B',C, A,B,B',C, ...) and reports each configuration's
+  // best-by-wall-clock row, which is what BENCH_PR*.json records.
+  // Alternation matters: single runs on a shared box are too noisy for
+  // mode-vs-mode comparisons, and sequential blocks would fold machine
+  // drift into the comparison.  The minimum (not the median) is the
+  // estimator because external load is strictly additive noise: the
+  // fastest sample is the least-contaminated one each configuration got.
+  std::size_t reps = 1;
+  if (const char* env = std::getenv("CASTANET_E1_REPS")) {
+    reps = std::strtoull(env, nullptr, 10);
+    if (reps == 0) reps = 1;
+  }
+  g_quiet = reps > 1;
+  std::vector<std::function<Row()>> runs;
+  if (want('A')) runs.push_back([&] { return run_pure_rtl(traffic); });
+  if (want('B')) {
+    runs.push_back([&] { return run_cosim_full(traffic, /*pipelined=*/false); });
+  }
+  if (want('P')) {
+    runs.push_back([&] { return run_cosim_full(traffic, /*pipelined=*/true); });
+  }
+  if (want('C')) runs.push_back([&] { return run_cosim_gcu(traffic); });
+
+  // Rotate the within-round order each round: with a fixed order, later
+  // slots run deeper into the sustained-busy window (frequency/thermal
+  // decay, background scan kick-in) and pick up a small systematic
+  // penalty that min-of-N cannot remove.
+  std::vector<std::vector<Row>> samples(runs.size());
+  for (std::size_t i = 0; i < reps; ++i) {
+    for (std::size_t c = 0; c < runs.size(); ++c) {
+      const std::size_t k = (c + i) % runs.size();
+      samples[k].push_back(runs[k]());
+    }
+  }
+  std::vector<Row> rows;
+  for (auto& s : samples) {
+    std::sort(s.begin(), s.end(),
+              [](const Row& x, const Row& y) { return x.wall_sec < y.wall_sec; });
+    rows.push_back(s.front());
+  }
+  const double base = rows.empty()
+                          ? 1.0
+                          : static_cast<double>(rows[0].cycles) / rows[0].wall_sec;
+  for (const Row& r : rows) print_row(r, base);
   bench::rule();
-  std::printf("HDL kernel process activations: A=%llu B=%llu C=%llu\n",
-              static_cast<unsigned long long>(a.kernel_events),
-              static_cast<unsigned long long>(b.kernel_events),
-              static_cast<unsigned long long>(c.kernel_events));
+  std::printf("HDL kernel process activations:");
+  for (const Row& r : rows) {
+    std::printf(" %llu", static_cast<unsigned long long>(r.kernel_events));
+  }
+  std::printf("\n");
+  for (const Row& r : rows) record(report, r, base);
   return 0;
 }

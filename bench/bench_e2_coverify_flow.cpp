@@ -103,7 +103,8 @@ Verdict run_flow(const traffic::CellTrace& trace, hw::AccountingFault fault) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e2_coverify_flow");
   const traffic::CellTrace trace = make_stimulus(600);
   struct Case {
     const char* label;
@@ -131,6 +132,11 @@ int main() {
     const bool detected = v.mismatches > 0;
     const bool ok = detected == c.expect_detect;
     all_ok = all_ok && ok;
+    report.begin_row(c.label);
+    report.metric("cells", static_cast<std::uint64_t>(v.cells));
+    report.metric("mismatches", static_cast<std::uint64_t>(v.mismatches));
+    report.metric("fault_detected", static_cast<std::uint64_t>(detected));
+    report.metric("verdict_ok", static_cast<std::uint64_t>(ok));
     std::printf("%-36s %8llu %12zu %10s\n", c.label,
                 static_cast<unsigned long long>(v.cells), v.mismatches,
                 ok ? (detected ? "CAUGHT" : "PASS") : "UNEXPECTED");

@@ -116,7 +116,8 @@ const char* policy_name(SyncPolicy p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e3_sync_protocol");
   constexpr std::size_t kMessages = 20000;
   constexpr std::size_t kTypes = 4;
 
@@ -131,6 +132,12 @@ int main() {
   for (SyncPolicy p : {SyncPolicy::kTimeWindow, SyncPolicy::kGlobalOrder,
                        SyncPolicy::kLockstep}) {
     const PolicyResult r = run_policy(p, load, kTypes, kCellCycles);
+    report.begin_row(policy_name(p));
+    report.metric("windows", r.windows);
+    report.metric("avg_window_us", r.mean_window_us);
+    report.metric("delivered", r.delivered);
+    report.metric("causality_errors", r.causality);
+    report.metric("wall_ms", r.wall_ms);
     std::printf("%-28s %9llu %11.3f %10llu %10llu %9.2f\n", policy_name(p),
                 static_cast<unsigned long long>(r.windows), r.mean_window_us,
                 static_cast<unsigned long long>(r.delivered),

@@ -72,7 +72,8 @@ WidthResult run_width(std::size_t lane_bytes, std::size_t cells) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e4_abstraction_map");
   constexpr std::size_t kCells = 3000;
 
   std::printf("E5: abstraction interfaces (Fig. 4) — struct <-> bit-level\n");
@@ -86,6 +87,13 @@ int main() {
   for (std::size_t lane : {1u, 2u, 4u}) {
     const WidthResult r = run_width(lane, kCells);
     if (lane == 1) activations_8bit = r.hdl_activations_per_cell;
+    report.begin_row("lane_" + std::to_string(r.lane_bytes) + "B");
+    report.metric("clocks_per_cell",
+                  static_cast<std::uint64_t>(r.clocks_per_cell));
+    report.metric("cells_per_sec", r.cells_per_sec);
+    report.metric("activations_per_cell", r.hdl_activations_per_cell);
+    report.metric("value_changes_per_cell", r.hdl_value_changes_per_cell);
+    report.metric("lossless", static_cast<std::uint64_t>(r.lossless));
     std::printf("%4zuB %10zu %12.0f %14.1f %14.1f %9s\n", r.lane_bytes,
                 r.clocks_per_cell, r.cells_per_sec,
                 r.hdl_activations_per_cell, r.hdl_value_changes_per_cell,

@@ -30,7 +30,8 @@ std::vector<traffic::CellArrival> make_cells(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e5_board_cycles");
   constexpr std::size_t kCells = 200;
   const auto cells = make_cells(kCells);
 
@@ -53,6 +54,11 @@ int main() {
     const double hw_ms = r.totals.hw_time.seconds() * 1e3;
     const double sw_ms = r.totals.sw_time.seconds() * 1e3;
     const double total_s = r.totals.total().seconds();
+    report.begin_row("cycle_len_" + std::to_string(len));
+    report.metric("hw_cycles", r.test_cycles);
+    report.metric("hw_time_ms", hw_ms);
+    report.metric("sw_time_ms", sw_ms);
+    report.metric("cells_per_sec", static_cast<double>(kCells) / total_s);
     std::printf("%12llu %10llu %12.3f %12.3f %9.1f%% %10.0f\n",
                 static_cast<unsigned long long>(len),
                 static_cast<unsigned long long>(r.test_cycles), hw_ms, sw_ms,

@@ -30,7 +30,8 @@ const SimTime kClk = clock_period_hz(20'000'000);
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e6_event_ratio");
   constexpr std::size_t kCells = 400;
 
   std::printf("E7: event ratio across modeling levels (paper conclusions)\n");
@@ -52,6 +53,11 @@ int main() {
     sink.set_keep_log(false);
     net.connect(gen, 0, sink, 0);
     net.run();
+    report.begin_row("network_abstract");
+    report.metric("events", net.scheduler().events_executed());
+    report.metric("events_per_cell",
+                  static_cast<double>(net.scheduler().events_executed()) /
+                      kCells);
     std::printf("%-34s %10zu %12llu %14.1f\n",
                 "network simulator (abstract)", kCells,
                 static_cast<unsigned long long>(
@@ -76,6 +82,9 @@ int main() {
     const auto& st = hdl.stats();
     const std::uint64_t events =
         st.process_activations + st.value_changes;
+    report.begin_row("event_driven_hdl");
+    report.metric("events", events);
+    report.metric("events_per_cell", static_cast<double>(events) / kCells);
     std::printf("%-34s %10zu %12llu %14.1f\n",
                 "event-driven HDL (RTL switch)", kCells,
                 static_cast<unsigned long long>(events),
@@ -93,6 +102,10 @@ int main() {
     eng.add(gcu);
     // One evaluation per clock: a cell occupies 53 clocks on the lane.
     eng.run_cycles(kCells * 53);
+    report.begin_row("cycle_based_gcu");
+    report.metric("events", eng.evaluations());
+    report.metric("events_per_cell",
+                  static_cast<double>(eng.evaluations()) / kCells);
     std::printf("%-34s %10zu %12llu %14.1f\n", "cycle-based engine (GCU)",
                 kCells,
                 static_cast<unsigned long long>(eng.evaluations()),

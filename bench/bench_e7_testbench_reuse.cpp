@@ -32,6 +32,8 @@ namespace {
 
 const SimTime kClk = clock_period_hz(20'000'000);
 
+bench::JsonReport* g_report = nullptr;
+
 template <typename MakeSource>
 void bench_source(const char* label, MakeSource make) {
   constexpr std::size_t kVectors = 200'000;
@@ -40,6 +42,13 @@ void bench_source(const char* label, MakeSource make) {
   SimTime last;
   for (std::size_t i = 0; i < kVectors; ++i) last = src->next().time;
   const double wall = timer.seconds();
+  if (g_report) {
+    g_report->begin_row(label);
+    g_report->metric("vectors", static_cast<std::uint64_t>(kVectors));
+    g_report->metric("vectors_per_sec",
+                     static_cast<double>(kVectors) / wall);
+    g_report->metric("sim_span_sec", last.seconds());
+  }
   std::printf("%-30s %10zu %12.0f %14.3f\n", label, kVectors,
               static_cast<double>(kVectors) / wall, last.seconds());
 }
@@ -85,7 +94,9 @@ std::uint64_t run_board_level(const traffic::CellTrace& trace) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e7_testbench_reuse");
+  g_report = &report;
   std::printf("E8: test-bench reuse from the network-simulation level "
               "(§2)\n");
   bench::rule('=');

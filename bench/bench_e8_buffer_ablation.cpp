@@ -115,7 +115,8 @@ LossPoint run_rtl_timed(std::size_t depth, std::size_t cells_per_source,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "e8_buffer_ablation");
   constexpr std::size_t kCellsPerSource = 1500;
   std::printf("Buffer-depth ablation: loss vs output FIFO depth "
               "(2 bursty sources -> 1 output, utilisation ~0.86)\n");
@@ -125,6 +126,9 @@ int main() {
   for (std::size_t depth : {2u, 4u, 8u, 16u, 32u, 64u}) {
     const LossPoint a = run_abstract(depth, kCellsPerSource, 5);
     const LossPoint r = run_rtl_timed(depth, kCellsPerSource, 5);
+    report.begin_row("depth_" + std::to_string(depth));
+    report.metric("abstract_loss_rate", a.loss_rate());
+    report.metric("rtl_loss_rate", r.loss_rate());
     std::printf("%8zu %15.2f%% %15.2f%%\n", depth, 100.0 * a.loss_rate(),
                 100.0 * r.loss_rate());
   }

@@ -4,7 +4,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace castanet::bench {
 
@@ -25,5 +29,90 @@ inline void rule(char c = '-') {
   for (int i = 0; i < 78; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+/// Machine-readable results alongside the human tables.  Every bench binary
+/// accepts `--json <path>`; when present, the report writes one JSON object
+/// per run:
+///
+///   {"bench": "e1_cosim_speed",
+///    "rows": [{"config": "...", "metrics": {"wall_seconds": 1.5, ...}}]}
+///
+/// bench/run_all.sh composes the per-bench files into BENCH_PR<n>.json.
+/// Without --json the report is inert, so benches stay runnable by hand.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string bench_name)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+  ~JsonReport() { write(); }
+
+  bool active() const { return !path_.empty(); }
+
+  /// Starts a result row; subsequent metric() calls attach to it.
+  void begin_row(std::string config) {
+    rows_.push_back(RowData{std::move(config), {}});
+  }
+  void metric(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    add(key, buf);
+  }
+  void metric(const char* key, std::uint64_t v) {
+    add(key, std::to_string(v));
+  }
+
+  /// Idempotent; also called by the destructor.
+  void write() {
+    if (path_.empty() || written_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+                 escape(bench_).c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n    {\"config\": \"%s\", \"metrics\": {",
+                   r ? "," : "", escape(rows_[r].config).c_str());
+      for (std::size_t k = 0; k < rows_[r].kv.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": %s", k ? ", " : "",
+                     escape(rows_[r].kv[k].first).c_str(),
+                     rows_[r].kv[k].second.c_str());
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    written_ = true;
+  }
+
+ private:
+  struct RowData {
+    std::string config;
+    std::vector<std::pair<std::string, std::string>> kv;
+  };
+
+  void add(const char* key, std::string rendered) {
+    if (rows_.empty()) begin_row("default");
+    rows_.back().kv.emplace_back(key, std::move(rendered));
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<RowData> rows_;
+  bool written_ = false;
+};
 
 }  // namespace castanet::bench

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Runs every bench_e* binary with --json and composes the per-bench reports
+# into one machine-readable file (default: BENCH_PR1.json in the repo root).
+#
+#   bench/run_all.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR          build tree containing bench/ binaries (default: build)
+#   PR_NUMBER          stamped into the report and the default filename
+#   CASTANET_E1_REPS   E1 repetitions per configuration (default here: 9 —
+#                      E1 compares co-simulation modes, and single runs on a
+#                      shared machine are too noisy for mode-vs-mode ratios)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD_DIR:-build}
+PR=${PR_NUMBER:-1}
+OUT=${1:-BENCH_PR${PR}.json}
+: "${CASTANET_E1_REPS:=9}"
+export CASTANET_E1_REPS
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Shield the benches from external scheduler noise when allowed to: mode
+# comparisons (serial vs pipelined co-simulation) are decided by a few
+# percent, and a background task preempting one rep skews the verdict.
+NICE=""
+if nice -n -10 true 2>/dev/null; then
+  NICE="nice -n -10"
+fi
+
+BENCHES="e1_cosim_speed e2_coverify_flow e3_sync_protocol e4_abstraction_map \
+         e5_board_cycles e6_event_ratio e7_testbench_reuse e8_buffer_ablation"
+
+for b in $BENCHES; do
+  bin="$BUILD/bench/bench_$b"
+  if [ ! -x "$bin" ]; then
+    echo "run_all: missing $bin (build the bench targets first)" >&2
+    exit 1
+  fi
+  echo "== bench_$b"
+  $NICE "$bin" --json "$tmp/$b.json"
+done
+
+{
+  printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n"benches": [\n' "$PR"
+  first=1
+  for b in $BENCHES; do
+    [ $first -eq 1 ] || printf ',\n'
+    first=0
+    cat "$tmp/$b.json"
+  done
+  printf ']\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -6,10 +6,29 @@
 // execute in time-stamp order; after each one the entity is pumped, the
 // conservative protocol computes the safe window, the HDL simulator catches
 // up, and DUT responses flow back into the network model as packets.
+//
+// Two execution modes:
+//   * serial (default): both simulators interleave on the calling thread —
+//     fully deterministic, the mode determinism-sensitive tests rely on;
+//   * pipelined: the RTL simulator runs on its own worker thread, fed by a
+//     bounded SPSC channel of window grants — the paper's actual
+//     two-process OPNET<->VSS structure.  The §3.1 conservative windows are
+//     the only synchronization points; the worker coalesces queued grants,
+//     so the HDL side catches up in larger batches while the network side
+//     runs ahead.  DUT behavior is bit-identical to serial mode (messages
+//     apply at their own time stamps); only the wall-clock interleaving and
+//     the re-entry times of responses into the network model may differ.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "src/castanet/entity.hpp"
 #include "src/castanet/gateway.hpp"
@@ -25,12 +44,29 @@ class CoVerification {
     SimTime ipc_overhead_per_message = SimTime::zero();
     /// Extra model delay for a DUT response to re-enter the network model.
     SimTime response_latency = SimTime::zero();
+    /// Run the RTL simulator on a dedicated worker thread.  Off by default:
+    /// serial mode keeps the exact interleaving determinism-sensitive tests
+    /// expect.
+    bool pipelined = false;
+    /// Capacity of the bounded SPSC channels feeding the worker (window
+    /// grants) and carrying DUT responses back.
+    std::size_t channel_capacity = 256;
+    /// Pipelined mode only: a pure-clock announcement (a grant carrying no
+    /// messages) is shipped to the worker only once net time has advanced
+    /// this many HDL clock periods past the previous grant.  Message-
+    /// carrying grants are never elided and carry the current net time
+    /// themselves, so this bounds only the catch-up granularity while the
+    /// network is quiet — the worker coalesces grants into chunked
+    /// catch-ups anyway, and shipping every small clock step is pure
+    /// channel overhead.  1 restores an announcement per clock period.
+    std::uint32_t clock_announce_stride = 100;
   };
 
   /// The gateway is created inside `node` with `streams` bidirectional
   /// streams; connect network models to it like to any process.
   CoVerification(netsim::Simulation& net, rtl::Simulator& hdl,
                  netsim::Node& node, unsigned streams, Params params);
+  ~CoVerification();
 
   GatewayProcess& gateway() { return *gateway_; }
   CosimEntity& entity() { return *entity_; }
@@ -44,7 +80,10 @@ class CoVerification {
   using ResponseHandler = std::function<void(const TimedMessage&)>;
   void set_response_handler(ResponseHandler h) { on_response_ = std::move(h); }
 
-  /// Runs the coupled simulation until network time `limit`.
+  /// Runs the coupled simulation until network time `limit`.  In pipelined
+  /// mode the worker thread lives only inside this call: it is spawned on
+  /// entry and joined before returning, so stats() and the simulators are
+  /// always safe to inspect between runs.
   void run_until(SimTime limit);
 
   struct Stats {
@@ -54,12 +93,42 @@ class CoVerification {
     std::uint64_t windows = 0;
     double max_lag_seconds = 0.0;
     std::uint64_t causality_errors = 0;
+    // Pipelined-mode counters (zero in serial mode).
+    std::uint64_t window_grant_stalls = 0;   ///< sends blocked on a full channel
+    std::uint64_t max_channel_occupancy = 0; ///< high-water mark of either channel
+    std::uint64_t worker_batches = 0;        ///< coalesced grant batches executed
   };
   Stats stats() const;
 
  private:
-  void pump_responses();
+  /// One unit of work handed to the RTL worker: messages to push into the
+  /// conservative protocol, the originator's clock (as a field rather than
+  /// a TimedMessage so the common no-payload grant needs no allocation),
+  /// then a catch-up horizon.
+  struct WorkerCmd {
+    std::vector<TimedMessage> msgs;
+    SimTime net_now;
+    SimTime limit;
+  };
+
+  void run_until_serial(SimTime limit);
+  void run_until_pipelined(SimTime limit);
+
+  // Shared response path: schedules a DUT response back into the network.
+  void schedule_response(TimedMessage m);
+  void pump_responses();          // serial mode: drains hdl_to_net_
   void catch_up_hdl(SimTime limit);
+
+  // Pipelined mode (main thread side).
+  void start_worker();
+  void send_command(WorkerCmd cmd);
+  void drain_worker_responses();  // drains resp_chan_
+  void flush_worker();            // waits until every sent command executed
+  void shutdown_worker();         // closes channels, joins, drains
+
+  // Pipelined mode (worker thread side).
+  void worker_main();
+  void worker_catch_up(SimTime limit);
 
   netsim::Simulation& net_;
   rtl::Simulator& hdl_;
@@ -70,6 +139,33 @@ class CoVerification {
   Params params_;
   ResponseHandler on_response_;
   std::uint64_t net_events_ = 0;
+
+  // Worker plumbing.  While the worker lives, hdl_/entity_/hdl_to_net_
+  // belong to the worker thread and net_/net_to_hdl_ to the caller; the
+  // SPSC channels are the only shared state.
+  std::unique_ptr<SpscChannel<WorkerCmd>> cmd_chan_;
+  std::unique_ptr<SpscChannel<TimedMessage>> resp_chan_;
+  std::thread worker_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  /// Written by the sender only; atomic so the worker's completion check
+  /// needs no extra lock on the send path.
+  std::atomic<std::uint64_t> cmds_sent_{0};
+  // Progress counters.  Atomic rather than done_mu_-guarded so the worker's
+  // steady state touches no lock at all: it bumps cmds_done_, and only on
+  // the completion edge (done caught up with sent) does it synchronize with
+  // done_mu_ to publish the wake-up.
+  std::atomic<std::uint64_t> cmds_done_{0};
+  std::atomic<std::uint64_t> worker_batches_{0};
+  // True once the worker has failed; atomic so the per-event poll in the
+  // net loop never touches done_mu_ (the worker takes that lock per chunk,
+  // and on a shared core every contended acquire is a context switch).
+  std::atomic<bool> worker_dead_{false};
+  bool worker_exited_ = false;    // guarded by done_mu_; worker_main returned
+  std::exception_ptr worker_error_;   // guarded by done_mu_
+  std::uint64_t window_grant_stalls_ = 0;  // main thread only
+  std::uint64_t max_channel_occupancy_ = 0;  // updated at shutdown
+  std::vector<TimedMessage> resp_scratch_;   // main thread only
 };
 
 }  // namespace castanet::cosim

@@ -8,8 +8,12 @@
 // per-message transport overhead accounted for the benches.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -64,6 +68,206 @@ class MessageChannel {
   std::deque<TimedMessage> queue_;
   std::uint64_t sent_ = 0;
   SimTime overhead_;
+};
+
+/// Bounded single-producer/single-consumer channel used by the pipelined
+/// co-simulation to feed the RTL worker thread (and to carry DUT responses
+/// back).  The bound provides back-pressure: a full channel stalls the
+/// producer, which the orchestrator counts as a window-grant stall.
+///
+/// Discipline: exactly one producer thread and one consumer thread at a
+/// time.  Blocking waits use a condition variable (no spinning — the
+/// co-simulation threads share cores with the simulators themselves).
+template <typename T>
+class SpscChannel {
+ public:
+  explicit SpscChannel(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Moves `v` into the channel; returns false (leaving `v` intact) when
+  /// the channel is full or closed.
+  bool try_send(T& v) {
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(v));
+      size_.store(queue_.size(), std::memory_order_release);
+      if (queue_.size() > max_occupancy_) max_occupancy_ = queue_.size();
+      wake = queue_.size() >= wake_threshold_;
+    }
+    if (wake) ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until the item is accepted; returns false (dropping the item)
+  /// when the channel is closed.
+  bool send(T v) {
+    bool wake = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      space_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) return false;
+      queue_.push_back(std::move(v));
+      size_.store(queue_.size(), std::memory_order_release);
+      if (queue_.size() > max_occupancy_) max_occupancy_ = queue_.size();
+      wake = queue_.size() >= wake_threshold_;
+    }
+    if (wake) ready_.notify_one();
+    return true;
+  }
+
+  /// Moves every element of `batch` into the channel under one lock,
+  /// blocking for space as needed (the batch may exceed the remaining
+  /// capacity).  Returns the number of items accepted — short only when the
+  /// channel is closed mid-batch.  `batch` is cleared on return.
+  std::size_t send_all(std::vector<T>& batch) {
+    std::size_t accepted = 0;
+    bool wake = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (T& v : batch) {
+        space_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
+        if (closed_) break;
+        queue_.push_back(std::move(v));
+        ++accepted;
+        if (queue_.size() > max_occupancy_) max_occupancy_ = queue_.size();
+        wake = wake || queue_.size() >= wake_threshold_;
+      }
+      size_.store(queue_.size(), std::memory_order_release);
+    }
+    batch.clear();
+    if (wake) ready_.notify_one();
+    return accepted;
+  }
+
+  /// Blocks until an item arrives; returns false once the channel is closed
+  /// and drained.
+  bool receive(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    wake_threshold_ = 1;
+    ready_.wait(lk, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    size_.store(queue_.size(), std::memory_order_release);
+    lk.unlock();
+    space_.notify_one();
+    return true;
+  }
+
+  /// Batched receive with wake-up hysteresis: blocks until at least
+  /// `min_items` are queued, the channel is closed, or `max_wait` elapses,
+  /// then drains everything available into `out` (appended).  While this
+  /// waiter is parked, producers skip the notify until the backlog reaches
+  /// `min_items` — on a shared core this gives the producer long
+  /// uninterrupted runs instead of a wake-up per item, which is where the
+  /// coalescing in the pipelined co-simulation comes from.  Returns false
+  /// only when the channel is closed and fully drained; a timeout simply
+  /// returns true with whatever was there (possibly nothing).
+  bool receive_some(std::vector<T>& out, std::size_t min_items,
+                    std::chrono::microseconds max_wait) {
+    std::unique_lock<std::mutex> lk(mu_);
+    wake_threshold_ = min_items < 1 ? 1 : min_items;
+    ready_.wait_for(lk, max_wait,
+                    [&] { return closed_ || queue_.size() >= wake_threshold_; });
+    wake_threshold_ = 1;
+    if (queue_.empty()) return !closed_;
+    while (!queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    size_.store(0, std::memory_order_release);
+    lk.unlock();
+    space_.notify_all();
+    return true;
+  }
+
+  /// Non-blocking receive; false when currently empty.  Starts with a
+  /// lock-free emptiness probe so poll loops on the consumer thread cost no
+  /// atomic RMW while the channel is idle (a racing send is picked up by
+  /// the caller's next poll).
+  bool try_receive(T& out) {
+    if (size_.load(std::memory_order_acquire) == 0) return false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (queue_.empty()) return false;
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      size_.store(queue_.size(), std::memory_order_release);
+    }
+    space_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking batch receive: drains everything currently queued into
+  /// `out` (appended) under a single lock acquisition.  Returns the number
+  /// of items taken; zero-cost (no lock) while the channel is empty.
+  std::size_t try_receive_all(std::vector<T>& out) {
+    if (size_.load(std::memory_order_acquire) == 0) return 0;
+    std::size_t n = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      n = queue_.size();
+      while (!queue_.empty()) {
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      size_.store(0, std::memory_order_release);
+    }
+    if (n) space_.notify_all();
+    return n;
+  }
+
+  /// Bounded producer-side wait for space; also wakes on close.  The caller
+  /// re-tries try_send afterwards (it may need to drain its own inbound
+  /// queue between waits to avoid a two-channel deadlock).
+  void wait_space() {
+    std::unique_lock<std::mutex> lk(mu_);
+    space_.wait_for(lk, std::chrono::microseconds(200),
+                    [&] { return closed_ || queue_.size() < capacity_; });
+  }
+
+  /// Wakes a consumer parked in receive_some() below its backlog threshold
+  /// (e.g. when the producer has sent everything it will send for a while
+  /// and wants the backlog processed now rather than at the next timeout).
+  void nudge() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      wake_threshold_ = 1;
+    }
+    ready_.notify_one();
+  }
+
+  /// Wakes all waiters; subsequent sends fail, pending items stay readable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  /// High-water mark of queued items (channel-occupancy statistic).
+  std::size_t max_occupancy() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return max_occupancy_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<T> queue_;
+  /// Mirror of queue_.size(), updated under mu_; lets consumers probe for
+  /// emptiness without taking the lock.
+  std::atomic<std::size_t> size_{0};
+  std::size_t max_occupancy_ = 0;
+  std::size_t wake_threshold_ = 1;  ///< receive_some() hysteresis
+  bool closed_ = false;
 };
 
 }  // namespace castanet::cosim

@@ -13,14 +13,15 @@ void ConservativeSync::declare_input(MessageType type,
   InputQueue q;
   q.delta_cycles = delta_cycles;
   inputs_[type] = std::move(q);
+  // min_j delta_j is fixed once inputs are declared; cache it so window()
+  // (called once per grant iteration) stays O(#queues) instead of
+  // recomputing the minimum.
+  min_delta_cycles_ = std::min(min_delta_cycles_, delta_cycles);
 }
 
 SimTime ConservativeSync::min_delta_time() const {
-  std::uint64_t min_delta = UINT64_MAX;
-  for (const auto& [type, q] : inputs_) {
-    min_delta = std::min(min_delta, q.delta_cycles);
-  }
-  if (min_delta == UINT64_MAX) min_delta = 1;
+  const std::uint64_t min_delta =
+      min_delta_cycles_ == UINT64_MAX ? 1 : min_delta_cycles_;
   return p_.clock_period * static_cast<std::int64_t>(min_delta);
 }
 

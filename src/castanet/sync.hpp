@@ -92,6 +92,7 @@ class ConservativeSync {
 
   Params p_;
   std::map<MessageType, InputQueue> inputs_;
+  std::uint64_t min_delta_cycles_ = UINT64_MAX;  ///< cached min_j delta_j
   SimTime network_time_;
   SimTime granted_;  ///< high-water mark of window()
   std::uint64_t received_ = 0;

@@ -6,4 +6,8 @@ void require(bool cond, const std::string& msg) {
   if (!cond) throw LogicError(msg);
 }
 
+void require(bool cond, const char* msg) {
+  if (!cond) throw LogicError(msg);
+}
+
 }  // namespace castanet

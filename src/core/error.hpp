@@ -46,5 +46,9 @@ class IoError : public Error {
 /// Throws LogicError with `msg` when `cond` is false.  Used for documented
 /// preconditions that remain checked in release builds.
 void require(bool cond, const std::string& msg);
+/// Overload for static messages: avoids constructing a std::string argument
+/// on every call along hot paths (the message is materialized only on
+/// failure).
+void require(bool cond, const char* msg);
 
 }  // namespace castanet

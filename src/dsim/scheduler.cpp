@@ -4,17 +4,32 @@
 
 namespace castanet {
 
+void Scheduler::release_slot(std::uint32_t slot) {
+  slab_[slot].action = nullptr;
+  slab_[slot].seq = 0;
+  free_slots_.push_back(slot);
+}
+
 EventHandle Scheduler::schedule_at(SimTime when, Action action, int priority) {
   if (when < now_) {
     throw ProtocolError("Scheduler: event scheduled in the past (" +
                         when.to_string() + " < " + now_.to_string() + ")");
   }
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, priority, seq});
-  actions_.emplace(seq, std::move(action));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  slab_[slot].action = std::move(action);
+  slab_[slot].seq = seq;
+  queue_.push(Entry{when, priority, seq, slot});
   ++live_count_;
   ++scheduled_;
-  return EventHandle{seq};
+  return EventHandle{seq, slot};
 }
 
 EventHandle Scheduler::schedule_in(SimTime delay, Action action,
@@ -23,22 +38,25 @@ EventHandle Scheduler::schedule_in(SimTime delay, Action action,
 }
 
 bool Scheduler::cancel(EventHandle h) {
-  auto it = actions_.find(h.seq);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
+  if (!h.valid() || h.slot >= slab_.size() || slab_[h.slot].seq != h.seq) {
+    return false;  // already ran, already cancelled, or never scheduled
+  }
+  release_slot(h.slot);
   --live_count_;
   return true;
 }
 
 void Scheduler::pop_dead() {
-  while (!queue_.empty() && !actions_.contains(queue_.top().seq)) {
+  // A cancelled event's slot no longer carries its seq; drop its queue entry
+  // when it surfaces.
+  while (!queue_.empty() && slab_[queue_.top().slot].seq != queue_.top().seq) {
     queue_.pop();
   }
 }
 
 SimTime Scheduler::next_event_time() const {
   // pop_dead() is called by the mutating entry points, but a cancel may have
-  // happened since; scan without mutating.
+  // happened since; scrub lazily here too.
   auto* self = const_cast<Scheduler*>(this);
   self->pop_dead();
   return queue_.empty() ? SimTime::max() : queue_.top().when;
@@ -49,9 +67,8 @@ bool Scheduler::step() {
   if (queue_.empty()) return false;
   const Entry e = queue_.top();
   queue_.pop();
-  auto it = actions_.find(e.seq);
-  Action action = std::move(it->second);
-  actions_.erase(it);
+  Action action = std::move(slab_[e.slot].action);
+  release_slot(e.slot);
   --live_count_;
   now_ = e.when;
   ++executed_;
@@ -60,6 +77,11 @@ bool Scheduler::step() {
 }
 
 std::uint64_t Scheduler::run_until(SimTime limit) {
+  // Shared semantics with rtl::Simulator::run_until: execute every event
+  // with time <= limit, then pin now() to limit.  When advance_to() window
+  // grants interleave with run_until, limits must stay monotone — simulated
+  // time never regresses.
+  require(limit >= now_, "Scheduler::run_until: limit precedes now()");
   std::uint64_t n = 0;
   while (true) {
     pop_dead();
@@ -67,10 +89,8 @@ std::uint64_t Scheduler::run_until(SimTime limit) {
     step();
     ++n;
   }
-  if (now_ < limit && !queue_.empty()) {
-    // Time halts at the limit even though later events are pending.
-    now_ = limit;
-  } else if (now_ < limit && queue_.empty()) {
+  if (now_ < limit) {
+    // Time halts at the limit even when later events are pending.
     now_ = limit;
   }
   return n;

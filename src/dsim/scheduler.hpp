@@ -7,12 +7,16 @@
 // time or the future, never the past — scheduling into the past throws
 // ProtocolError, which is exactly the causality error the §3.1 protocol must
 // prevent across simulator boundaries.
+//
+// Actions are stored in a slab: a pooled vector of slots addressed by index,
+// with a free list and per-slot sequence numbers to catch stale handles.
+// Scheduling and cancelling are O(1) slab operations plus the heap push —
+// no per-event node allocation or hashing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/dsim/time.hpp"
@@ -22,6 +26,7 @@ namespace castanet {
 /// Identifies a scheduled event so it can be cancelled.
 struct EventHandle {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
   bool valid() const { return seq != 0; }
 };
 
@@ -51,6 +56,8 @@ class Scheduler {
   bool step();
   /// Runs all events with time <= limit (inclusive); time ends at
   /// min(limit, last event time).  Returns number of events executed.
+  /// Shares its semantics with rtl::Simulator::run_until; `limit` must not
+  /// precede now() — simulated time never regresses.
   std::uint64_t run_until(SimTime limit);
   /// Runs to exhaustion (or until `max_events` executed; 0 = unlimited).
   std::uint64_t run(std::uint64_t max_events = 0);
@@ -68,14 +75,22 @@ class Scheduler {
     SimTime when;
     int priority;
     std::uint64_t seq;
+    std::uint32_t slot;
     bool operator>(const Entry& o) const {
       if (when != o.when) return when > o.when;
       if (priority != o.priority) return priority > o.priority;
       return seq > o.seq;
     }
   };
+  /// Slab slot: seq == 0 marks a free (or cancelled) slot; otherwise it is
+  /// the sequence number of the event currently occupying it.
+  struct Slot {
+    Action action;
+    std::uint64_t seq = 0;
+  };
 
   void pop_dead();
+  void release_slot(std::uint32_t slot);
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
@@ -83,9 +98,8 @@ class Scheduler {
   std::uint64_t executed_ = 0;
   std::uint64_t scheduled_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Actions for live events keyed by seq; a cancelled event's key is simply
-  // absent when its queue entry surfaces.
-  std::unordered_map<std::uint64_t, Action> actions_;
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace castanet

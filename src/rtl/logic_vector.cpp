@@ -6,88 +6,252 @@
 
 namespace castanet::rtl {
 
-LogicVector::LogicVector(std::size_t width, Logic fill) : bits_(width, fill) {}
+namespace {
+
+/// Low `n` bits set (n in [0, 64]).
+constexpr std::uint64_t low_mask(std::size_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Reads `n` (<= 64) bits of `src` starting at bit `pos`.
+std::uint64_t extract_bits(const std::uint64_t* src, std::size_t pos,
+                           std::size_t n) {
+  const std::size_t w = pos / 64, b = pos % 64;
+  std::uint64_t v = src[w] >> b;
+  if (b != 0 && b + n > 64) v |= src[w + 1] << (64 - b);
+  return v & low_mask(n);
+}
+
+/// Copies `len` bits from `src` starting at `spos` into `dst` at `dpos`.
+void blit_bits(std::uint64_t* dst, std::size_t dpos, const std::uint64_t* src,
+               std::size_t spos, std::size_t len) {
+  while (len > 0) {
+    const std::size_t dw = dpos / 64, db = dpos % 64;
+    const std::size_t take = std::min(len, 64 - db);
+    const std::uint64_t chunk = extract_bits(src, spos, take);
+    const std::uint64_t m = low_mask(take) << db;
+    dst[dw] = (dst[dw] & ~m) | (chunk << db);
+    dpos += take;
+    spos += take;
+    len -= take;
+  }
+}
+
+}  // namespace
+
+void LogicVector::allocate(std::size_t width) {
+  width_ = width;
+  sbo_.fill(0);
+  if (width > 64) {
+    const std::size_t n = kPlanes * words();
+    heap_.reset(new std::uint64_t[n]{});
+  } else {
+    heap_.reset();
+  }
+}
+
+LogicVector::LogicVector(std::size_t width, Logic fill) {
+  allocate(width);
+  if (width == 0) return;
+  const auto code = static_cast<std::uint8_t>(fill);
+  const std::size_t nw = words();
+  for (std::size_t p = 0; p < kPlanes; ++p) {
+    if (((code >> p) & 1) == 0) continue;
+    std::uint64_t* pl = plane(p);
+    std::fill_n(pl, nw, ~std::uint64_t{0});
+    pl[nw - 1] = tail_mask();
+  }
+}
+
+LogicVector::LogicVector(const LogicVector& o)
+    : width_(o.width_), sbo_(o.sbo_) {
+  if (!o.inlined()) {
+    const std::size_t n = kPlanes * o.words();
+    heap_.reset(new std::uint64_t[n]);
+    std::copy_n(o.heap_.get(), n, heap_.get());
+  }
+}
+
+LogicVector& LogicVector::operator=(const LogicVector& o) {
+  if (this == &o) return *this;
+  if (o.inlined()) {
+    heap_.reset();
+  } else {
+    const std::size_t need = kPlanes * o.words();
+    const std::size_t have = inlined() ? 0 : kPlanes * words();
+    if (have != need) heap_.reset(new std::uint64_t[need]);
+    std::copy_n(o.heap_.get(), need, heap_.get());
+  }
+  width_ = o.width_;
+  sbo_ = o.sbo_;
+  return *this;
+}
+
+LogicVector::LogicVector(LogicVector&& o) noexcept
+    : width_(o.width_), sbo_(o.sbo_), heap_(std::move(o.heap_)) {
+  o.width_ = 0;
+  o.sbo_.fill(0);
+}
+
+LogicVector& LogicVector::operator=(LogicVector&& o) noexcept {
+  if (this == &o) return *this;
+  width_ = o.width_;
+  sbo_ = o.sbo_;
+  heap_ = std::move(o.heap_);
+  o.width_ = 0;
+  o.sbo_.fill(0);
+  return *this;
+}
 
 LogicVector LogicVector::from_string(const std::string& s) {
-  LogicVector v(s.size());
+  LogicVector v;
+  v.allocate(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
     // Leftmost char is the MSB.
-    v.bits_[s.size() - 1 - i] = from_char(s[i]);
+    v.set_bit(s.size() - 1 - i, from_char(s[i]));
   }
   return v;
 }
 
 LogicVector LogicVector::from_uint(std::uint64_t value, std::size_t width) {
   require(width <= 64, "LogicVector::from_uint: width > 64");
-  LogicVector v(width);
-  for (std::size_t i = 0; i < width; ++i) {
-    v.bits_[i] = from_bool((value >> i) & 1);
-  }
+  LogicVector v;
+  v.allocate(width);
+  if (width == 0) return v;
+  v.sbo_[0] = value & v.tail_mask();  // value plane
+  v.sbo_[1] = v.tail_mask();          // every bit a strong '0'/'1'
   return v;
 }
 
 Logic LogicVector::bit(std::size_t i) const {
-  require(i < bits_.size(), "LogicVector::bit: index out of range");
-  return bits_[i];
+  require(i < width_, "LogicVector::bit: index out of range");
+  const std::size_t w = i / 64, b = i % 64;
+  std::uint8_t code = 0;
+  for (std::size_t p = 0; p < kPlanes; ++p) {
+    code |= static_cast<std::uint8_t>((plane(p)[w] >> b) & 1) << p;
+  }
+  return static_cast<Logic>(code);
 }
 
 void LogicVector::set_bit(std::size_t i, Logic v) {
-  require(i < bits_.size(), "LogicVector::set_bit: index out of range");
-  bits_[i] = v;
+  require(i < width_, "LogicVector::set_bit: index out of range");
+  const std::size_t w = i / 64, b = i % 64;
+  const auto code = static_cast<std::uint8_t>(v);
+  const std::uint64_t m = std::uint64_t{1} << b;
+  for (std::size_t p = 0; p < kPlanes; ++p) {
+    std::uint64_t* pl = plane(p);
+    pl[w] = ((code >> p) & 1) != 0 ? (pl[w] | m) : (pl[w] & ~m);
+  }
 }
 
 std::uint64_t LogicVector::to_uint() const {
-  require(bits_.size() <= 64, "LogicVector::to_uint: width > 64");
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (!is_01(bits_[i])) {
-      throw LogicError("LogicVector::to_uint: bit " + std::to_string(i) +
-                       " is '" + std::string(1, to_char(bits_[i])) +
-                       "' (no defined boolean value)");
+  require(width_ <= 64, "LogicVector::to_uint: width > 64");
+  if (width_ != 0 && sbo_[1] != tail_mask()) {
+    // Slow path only to produce the diagnostic: find the offending bit.
+    for (std::size_t i = 0; i < width_; ++i) {
+      if (!is_01(bit(i))) {
+        throw LogicError("LogicVector::to_uint: bit " + std::to_string(i) +
+                         " is '" + std::string(1, to_char(bit(i))) +
+                         "' (no defined boolean value)");
+      }
     }
-    if (to_bool(bits_[i])) out |= std::uint64_t{1} << i;
   }
-  return out;
+  return sbo_[0];
 }
 
 bool LogicVector::is_defined() const {
-  return std::all_of(bits_.begin(), bits_.end(), is_01);
+  if (width_ == 0) return true;
+  const std::uint64_t* p1 = plane(1);
+  const std::size_t nw = words();
+  for (std::size_t w = 0; w + 1 < nw; ++w) {
+    if (p1[w] != ~std::uint64_t{0}) return false;
+  }
+  return p1[nw - 1] == tail_mask();
 }
 
 bool LogicVector::has_unknown() const {
-  return std::any_of(bits_.begin(), bits_.end(), [](Logic b) {
-    return b == Logic::U || b == Logic::X;
-  });
+  // U (0000) and X (0001) are the only codes with planes 1..3 all clear.
+  const std::size_t nw = words();
+  const std::uint64_t* p1 = plane(1);
+  const std::uint64_t* p2 = plane(2);
+  const std::uint64_t* p3 = plane(3);
+  for (std::size_t w = 0; w < nw; ++w) {
+    const std::uint64_t m = (w + 1 == nw) ? tail_mask() : ~std::uint64_t{0};
+    if ((~p1[w] & ~p2[w] & ~p3[w] & m) != 0) return true;
+  }
+  return false;
+}
+
+bool LogicVector::all_strong01() const {
+  if (width_ == 0) return true;
+  const std::size_t nw = words();
+  const std::uint64_t* p1 = plane(1);
+  const std::uint64_t* p2 = plane(2);
+  for (std::size_t w = 0; w < nw; ++w) {
+    const std::uint64_t m = (w + 1 == nw) ? tail_mask() : ~std::uint64_t{0};
+    if ((p1[w] & m) != m || p2[w] != 0) return false;
+  }
+  return true;
 }
 
 LogicVector LogicVector::slice(std::size_t lo, std::size_t len) const {
-  require(lo + len <= bits_.size(), "LogicVector::slice: out of range");
-  LogicVector v(len);
-  std::copy_n(bits_.begin() + static_cast<std::ptrdiff_t>(lo), len,
-              v.bits_.begin());
+  require(lo + len <= width_, "LogicVector::slice: out of range");
+  LogicVector v;
+  v.allocate(len);
+  if (len == 0) return v;
+  for (std::size_t p = 0; p < kPlanes; ++p) {
+    blit_bits(v.plane(p), 0, plane(p), lo, len);
+  }
   return v;
 }
 
 void LogicVector::set_slice(std::size_t lo, const LogicVector& v) {
-  require(lo + v.width() <= bits_.size(),
-          "LogicVector::set_slice: out of range");
-  std::copy(v.bits_.begin(), v.bits_.end(),
-            bits_.begin() + static_cast<std::ptrdiff_t>(lo));
+  require(lo + v.width_ <= width_, "LogicVector::set_slice: out of range");
+  if (v.width_ == 0) return;
+  for (std::size_t p = 0; p < kPlanes; ++p) {
+    blit_bits(plane(p), lo, v.plane(p), 0, v.width_);
+  }
 }
 
 std::string LogicVector::to_string() const {
-  std::string s(bits_.size(), '?');
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    s[bits_.size() - 1 - i] = to_char(bits_[i]);
+  std::string s(width_, '?');
+  for (std::size_t i = 0; i < width_; ++i) {
+    s[width_ - 1 - i] = to_char(bit(i));
   }
   return s;
 }
 
+bool LogicVector::operator==(const LogicVector& o) const {
+  if (width_ != o.width_) return false;
+  if (inlined()) return sbo_ == o.sbo_;
+  return std::equal(heap_.get(), heap_.get() + kPlanes * words(),
+                    o.heap_.get());
+}
+
 LogicVector resolve(const LogicVector& a, const LogicVector& b) {
-  require(a.width() == b.width(), "resolve: width mismatch");
-  LogicVector out(a.width());
-  for (std::size_t i = 0; i < a.width(); ++i) {
-    out.bits_[i] = resolve(a.bits_[i], b.bits_[i]);
+  require(a.width_ == b.width_, "resolve: width mismatch");
+  LogicVector out;
+  out.allocate(a.width_);
+  if (a.width_ == 0) return out;
+  if (a.all_strong01() && b.all_strong01()) {
+    // Two-valued fast path: agreeing drivers keep their value, disagreeing
+    // drivers resolve to 'X' (code 0001) — pure word arithmetic.
+    const std::size_t nw = a.words();
+    const std::uint64_t* a0 = a.plane(0);
+    const std::uint64_t* b0 = b.plane(0);
+    std::uint64_t* o0 = out.plane(0);
+    std::uint64_t* o1 = out.plane(1);
+    for (std::size_t w = 0; w < nw; ++w) {
+      const std::uint64_t m =
+          (w + 1 == nw) ? a.tail_mask() : ~std::uint64_t{0};
+      o0[w] = a0[w] | b0[w];
+      o1[w] = ~(a0[w] ^ b0[w]) & m;
+    }
+    return out;
+  }
+  // Nine-valued fallback: table-driven per-bit IEEE 1164 resolution.
+  for (std::size_t i = 0; i < a.width_; ++i) {
+    out.set_bit(i, resolve(a.bit(i), b.bit(i)));
   }
   return out;
 }

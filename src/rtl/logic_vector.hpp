@@ -3,12 +3,32 @@
 // Bit order follows the VHDL "DOWNTO" convention used throughout the paper
 // (e.g. `atmdata : STD_LOGIC_VECTOR(7 DOWNTO 0)`, Fig. 4): index 0 is the
 // least-significant bit.
+//
+// Storage is *packed*: instead of one byte per std_logic value, the vector
+// keeps four bit-planes of the 4-bit IEEE 1164 code (U=0, X=1, '0'=2, '1'=3,
+// Z=4, W=5, L=6, H=7, '-'=8) in 64-bit words.  The encoding is chosen so
+// that the two planes the kernel touches on every transaction have direct
+// meaning:
+//
+//   plane 0 — the *value* bit ('1'/'H' have it set, '0'/'L' clear),
+//   plane 1 — the *known* bit (set exactly for '0','1','L','H' — the codes
+//             with a defined boolean value),
+//
+// while planes 2 and 3 only distinguish the rare U/X/Z/W/-/weak cases.  A
+// fully two-valued vector therefore answers to_uint(), is_defined() and
+// operator== with a handful of word operations, and the table-driven
+// nine-valued resolution in logic.cpp is needed only when some driver
+// actually carries U/X/Z/W/H/L/-.
+//
+// Widths <= 64 (every scalar and most buses) live entirely in a small
+// in-object buffer; wider vectors (e.g. the 424-bit cell bus) allocate one
+// contiguous block of 4*ceil(width/64) words.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <initializer_list>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "src/rtl/logic.hpp"
 
@@ -24,8 +44,14 @@ class LogicVector {
   /// Low `width` bits of `value`, bit 0 = LSB.
   static LogicVector from_uint(std::uint64_t value, std::size_t width);
 
-  std::size_t width() const { return bits_.size(); }
-  bool empty() const { return bits_.empty(); }
+  LogicVector(const LogicVector& o);
+  LogicVector& operator=(const LogicVector& o);
+  LogicVector(LogicVector&& o) noexcept;
+  LogicVector& operator=(LogicVector&& o) noexcept;
+  ~LogicVector() = default;
+
+  std::size_t width() const { return width_; }
+  bool empty() const { return width_ == 0; }
 
   Logic bit(std::size_t i) const;          ///< i = 0 is the LSB.
   void set_bit(std::size_t i, Logic v);
@@ -47,13 +73,39 @@ class LogicVector {
   /// MSB-first string, as in a VHDL waveform viewer.
   std::string to_string() const;
 
-  bool operator==(const LogicVector& o) const = default;
+  bool operator==(const LogicVector& o) const;
+  bool operator!=(const LogicVector& o) const { return !(*this == o); }
 
   /// Element-wise resolution of two equal-width vectors.
   friend LogicVector resolve(const LogicVector& a, const LogicVector& b);
 
  private:
-  std::vector<Logic> bits_;  // index 0 = LSB
+  static constexpr std::size_t kPlanes = 4;
+
+  std::size_t words() const { return (width_ + 63) / 64; }
+  bool inlined() const { return width_ <= 64; }
+  /// Start of bit-plane `p` (stride words() in heap mode, 1 word inline).
+  std::uint64_t* plane(std::size_t p) {
+    return inlined() ? &sbo_[p] : heap_.get() + p * words();
+  }
+  const std::uint64_t* plane(std::size_t p) const {
+    return inlined() ? &sbo_[p] : heap_.get() + p * words();
+  }
+  /// In-width mask for the last (possibly partial) word.
+  std::uint64_t tail_mask() const {
+    const std::size_t r = width_ % 64;
+    return r == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << r) - 1;
+  }
+  /// True when every bit is a strong '0' or '1' (the fast resolve domain —
+  /// excludes the weak L/H levels, which resolve differently).
+  bool all_strong01() const;
+  void allocate(std::size_t width);
+
+  std::size_t width_ = 0;
+  // Invariant: bits at positions >= width_ are zero in every plane, so
+  // whole-word comparisons implement operator==.
+  std::array<std::uint64_t, kPlanes> sbo_{};          // used when width <= 64
+  std::unique_ptr<std::uint64_t[]> heap_;             // used when width > 64
 };
 
 /// A width-1 vector holding `v` (scalars travel as 1-bit vectors through the

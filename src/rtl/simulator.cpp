@@ -6,6 +6,13 @@
 
 namespace castanet::rtl {
 
+namespace {
+/// Min-heap on time (std::*_heap build max-heaps, so order by `>`).
+constexpr auto kHeapCmp = [](const auto& a, const auto& b) {
+  return a.t > b.t;
+};
+}  // namespace
+
 SignalId Simulator::create_signal(std::string name, std::size_t width,
                                   Logic init) {
   require(width > 0, "create_signal: width must be > 0");
@@ -26,6 +33,7 @@ ProcessId Simulator::add_process(std::string name,
   }
   processes_.push_back({std::move(name), std::move(fn)});
   const auto pid = static_cast<ProcessId>(processes_.size() - 1);
+  runnable_stamp_.resize(processes_.size(), 0);
   for (SignalId s : sensitivity) {
     require(s < signals_.size(), "add_process: unknown signal in sensitivity");
     signals_[s].sensitive.push_back(pid);
@@ -48,17 +56,36 @@ const LogicVector& Simulator::value(SignalId s) const {
   return signals_[s].effective;
 }
 
+Simulator::TimeBucket& Simulator::bucket_for(SimTime when) {
+  const auto [it, inserted] = bucket_index_.try_emplace(when.ps(), 0);
+  if (inserted) {
+    std::uint32_t id;
+    if (!free_buckets_.empty()) {
+      id = free_buckets_.back();
+      free_buckets_.pop_back();
+    } else {
+      id = static_cast<std::uint32_t>(buckets_.size());
+      buckets_.emplace_back();
+    }
+    it->second = id;
+    heap_.push_back({when, id});
+    std::push_heap(heap_.begin(), heap_.end(), kHeapCmp);
+  }
+  return buckets_[it->second];
+}
+
 void Simulator::schedule_write(SignalId s, LogicVector v, SimTime delay) {
   require(s < signals_.size(), "schedule_write: unknown signal");
-  require(v.width() == signals_[s].width,
-          "schedule_write: width mismatch on signal '" + signals_[s].name +
-              "'");
+  if (v.width() != signals_[s].width) {
+    throw LogicError("schedule_write: width mismatch on signal '" +
+                     signals_[s].name + "'");
+  }
   require(delay >= SimTime::zero(), "schedule_write: negative delay");
   Transaction t{s, current_process_, std::move(v)};
   if (delay == SimTime::zero()) {
     next_delta_.push_back(std::move(t));
   } else {
-    future_[now_ + delay].push_back(std::move(t));
+    bucket_for(now_ + delay).txns.push_back(std::move(t));
   }
 }
 
@@ -85,68 +112,69 @@ bool Simulator::fell(SignalId s) const {
 
 void Simulator::schedule_callback(SimTime delay, std::function<void()> fn) {
   require(delay >= SimTime::zero(), "schedule_callback: negative delay");
-  callbacks_[now_ + delay].push_back(std::move(fn));
+  bucket_for(now_ + delay).callbacks.push_back(std::move(fn));
 }
 
 void Simulator::add_change_observer(ChangeObserver obs) {
   observers_.push_back(std::move(obs));
 }
 
-LogicVector Simulator::resolved_value(const SignalState& st) const {
-  if (st.drivers.empty()) return st.effective;
-  LogicVector out = st.drivers.front().value;
-  for (std::size_t i = 1; i < st.drivers.size(); ++i) {
-    out = resolve(out, st.drivers[i].value);
-  }
-  return out;
+void Simulator::enqueue_runnable(ProcessId p) {
+  if (runnable_stamp_[p] == delta_serial_) return;
+  runnable_stamp_[p] = delta_serial_;
+  runnable_.push_back(p);
 }
 
-void Simulator::apply(const Transaction& t, std::vector<ProcessId>& runnable) {
+void Simulator::apply(Transaction& t) {
   SignalState& st = signals_[t.sig];
   auto it = std::find_if(st.drivers.begin(), st.drivers.end(),
                          [&](const DriverSlot& d) { return d.pid == t.pid; });
   if (it == st.drivers.end()) {
-    st.drivers.push_back({t.pid, t.value});
+    st.drivers.push_back({t.pid, std::move(t.value)});
+    it = st.drivers.end() - 1;
   } else {
-    it->value = t.value;
+    it->value = std::move(t.value);
   }
   ++stats_.transactions;
-  LogicVector next = resolved_value(st);
-  if (next != st.effective) {
-    st.previous = st.effective;
-    st.effective = std::move(next);
+  // Single-driver signals (the overwhelming majority) resolve to the sole
+  // driver's value: compare in place, copy only on an actual event.  The
+  // nine-valued multi-driver resolution runs only for genuinely resolved
+  // (bus) nets.
+  const LogicVector* next = &it->value;
+  LogicVector resolved;
+  if (st.drivers.size() > 1) {
+    resolved = st.drivers.front().value;
+    for (std::size_t i = 1; i < st.drivers.size(); ++i) {
+      resolved = resolve(resolved, st.drivers[i].value);
+    }
+    next = &resolved;
+  }
+  if (!(*next == st.effective)) {
+    st.previous = std::move(st.effective);
+    st.effective = *next;
     st.changed_serial = delta_serial_;
     ++stats_.value_changes;
-    for (ProcessId p : st.sensitive) runnable.push_back(p);
+    for (ProcessId p : st.sensitive) enqueue_runnable(p);
     for (const auto& obs : observers_) obs(t.sig, st.effective, now_);
   }
 }
 
-void Simulator::run_delta_loop(std::vector<Transaction> first_batch,
+void Simulator::run_delta_loop(std::vector<Transaction>& batch,
                                const std::vector<ProcessId>& preactivated) {
-  std::vector<Transaction> batch = std::move(first_batch);
-  std::vector<ProcessId> extra = preactivated;
   bool first = true;
-  while (!batch.empty() || !next_delta_.empty() || (first && !extra.empty())) {
-    if (batch.empty()) {
-      batch = std::move(next_delta_);
-      next_delta_.clear();
-    }
+  while (!batch.empty() || !next_delta_.empty() ||
+         (first && !preactivated.empty())) {
+    if (batch.empty()) batch.swap(next_delta_);
     ++delta_serial_;
     ++stats_.delta_cycles;
-    std::vector<ProcessId> runnable;
-    for (const Transaction& t : batch) apply(t, runnable);
+    runnable_.clear();
+    for (Transaction& t : batch) apply(t);
     batch.clear();
     if (first) {
-      runnable.insert(runnable.end(), extra.begin(), extra.end());
+      for (ProcessId p : preactivated) enqueue_runnable(p);
       first = false;
     }
-    // De-duplicate: a process runs once per delta regardless of how many of
-    // its sensitivity signals changed.
-    std::sort(runnable.begin(), runnable.end());
-    runnable.erase(std::unique(runnable.begin(), runnable.end()),
-                   runnable.end());
-    for (ProcessId p : runnable) {
+    for (ProcessId p : runnable_) {
       current_process_ = p;
       ++stats_.process_activations;
       processes_[p].fn();
@@ -164,15 +192,13 @@ void Simulator::initialize() {
   if (processes_.empty()) return;
   std::vector<ProcessId> all;
   for (ProcessId p = 1; p < processes_.size(); ++p) all.push_back(p);
-  run_delta_loop({}, all);
+  batch_scratch_.clear();
+  run_delta_loop(batch_scratch_, all);
 }
 
 SimTime Simulator::next_activity() const {
-  SimTime t = SimTime::max();
-  if (!future_.empty()) t = std::min(t, future_.begin()->first);
-  if (!callbacks_.empty()) t = std::min(t, callbacks_.begin()->first);
-  if (!next_delta_.empty()) t = now_;
-  return t;
+  if (!next_delta_.empty()) return now_;
+  return heap_.empty() ? SimTime::max() : heap_.front().t;
 }
 
 bool Simulator::quiescent() const {
@@ -185,24 +211,32 @@ bool Simulator::step_time() {
   if (t == SimTime::max()) return false;
   now_ = t;
   ++stats_.time_points;
+  batch_scratch_.clear();
+  cb_scratch_.clear();
+  if (!heap_.empty() && heap_.front().t == t) {
+    const std::uint32_t id = heap_.front().bucket;
+    std::pop_heap(heap_.begin(), heap_.end(), kHeapCmp);
+    heap_.pop_back();
+    bucket_index_.erase(t.ps());
+    TimeBucket& b = buckets_[id];
+    batch_scratch_.swap(b.txns);
+    cb_scratch_.swap(b.callbacks);
+    free_buckets_.push_back(id);
+  }
   // Callbacks first: stimulus generators may schedule zero-delay writes that
   // then land in the first delta of this time point.
-  if (auto it = callbacks_.find(t); it != callbacks_.end()) {
-    auto fns = std::move(it->second);
-    callbacks_.erase(it);
-    for (auto& fn : fns) fn();
-  }
-  std::vector<Transaction> batch;
-  if (auto it = future_.find(t); it != future_.end()) {
-    batch = std::move(it->second);
-    future_.erase(it);
-  }
-  run_delta_loop(std::move(batch), {});
+  for (auto& fn : cb_scratch_) fn();
+  run_delta_loop(batch_scratch_, {});
   return true;
 }
 
 void Simulator::run_until(SimTime limit) {
   initialize();
+  // Shared semantics with dsim::Scheduler::run_until: execute every event
+  // with time <= limit, then pin now() to limit.  When advance_to()-style
+  // window grants interleave with run_until, the caller must keep limits
+  // monotone — simulated time never regresses.
+  require(limit >= now_, "Simulator::run_until: limit precedes now()");
   while (true) {
     const SimTime t = next_activity();
     if (t == SimTime::max() || t > limit) break;

@@ -8,6 +8,12 @@
 // time.  Multiply-driven signals are resolved per IEEE 1164, which the test
 // board needs for bidirectional bus ports (§3.3).
 //
+// Scheduling structures are built for the hot path: future transactions and
+// callbacks live in per-time-point buckets indexed by a binary min-heap of
+// time points (instead of a balanced tree), bucket storage is pooled and
+// recycled, and runnable processes are deduplicated with a delta-generation
+// stamp per process instead of sort+unique scans.
+//
 // The kernel counts transactions, events, process activations and delta
 // cycles; experiment E7 uses these to reproduce the paper's claim that the
 // event-driven HDL simulator evaluates an order of magnitude more events
@@ -16,8 +22,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/dsim/time.hpp"
@@ -85,6 +91,8 @@ class Simulator {
   /// activity is pending.
   bool step_time();
   /// Executes all activity with time <= limit, then sets now to limit.
+  /// Shares its semantics with dsim::Scheduler::run_until; `limit` must not
+  /// precede now() — simulated time never regresses.
   void run_until(SimTime limit);
   bool quiescent() const;
 
@@ -118,11 +126,23 @@ class Simulator {
     ProcessId pid;
     LogicVector value;
   };
+  /// All activity scheduled for one simulated time point.  Buckets are
+  /// pooled: a popped bucket's index goes on the free list and its vectors
+  /// keep their capacity for reuse.
+  struct TimeBucket {
+    std::vector<Transaction> txns;
+    std::vector<std::function<void()>> callbacks;
+  };
+  struct HeapEntry {
+    SimTime t;
+    std::uint32_t bucket;
+  };
 
-  void apply(const Transaction& t, std::vector<ProcessId>& runnable);
-  void run_delta_loop(std::vector<Transaction> first_batch,
+  TimeBucket& bucket_for(SimTime when);
+  void enqueue_runnable(ProcessId p);
+  void apply(Transaction& t);
+  void run_delta_loop(std::vector<Transaction>& batch,
                       const std::vector<ProcessId>& preactivated);
-  LogicVector resolved_value(const SignalState& st) const;
 
   SimTime now_ = SimTime::zero();
   bool initialized_ = false;
@@ -131,9 +151,25 @@ class Simulator {
 
   std::vector<SignalState> signals_;
   std::vector<ProcessState> processes_;  // index 0 reserved (external)
-  std::map<SimTime, std::vector<Transaction>> future_;
   std::vector<Transaction> next_delta_;
-  std::map<SimTime, std::vector<std::function<void()>>> callbacks_;
+
+  // Future-activity queue: binary min-heap of distinct time points, each
+  // pointing at a pooled bucket; bucket_index_ dedups same-time schedules.
+  std::vector<HeapEntry> heap_;
+  std::vector<TimeBucket> buckets_;
+  std::vector<std::uint32_t> free_buckets_;
+  std::unordered_map<std::int64_t, std::uint32_t> bucket_index_;
+
+  // Per-delta runnable set, deduplicated by generation stamp: a process is
+  // enqueued at most once per delta regardless of how many of its
+  // sensitivity signals changed.
+  std::vector<ProcessId> runnable_;
+  std::vector<std::uint64_t> runnable_stamp_;  // last delta_serial_ enqueued
+
+  // Scratch buffers recycled across time points.
+  std::vector<Transaction> batch_scratch_;
+  std::vector<std::function<void()>> cb_scratch_;
+
   std::vector<ChangeObserver> observers_;
   KernelStats stats_;
 };
