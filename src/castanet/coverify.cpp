@@ -112,10 +112,14 @@ void CoVerification::run_until_serial(SimTime limit) {
 //
 // The grant stream the worker sees is the same stream of (messages, time
 // update) pairs the serial loop would feed the protocol, in the same order —
-// so the HDL side computes bit-identical behavior.  Coalescing consecutive
-// grants into one catch-up is safe because windows are monotone and
-// deliverable messages still apply at their own time stamps; it only merges
-// catch-up iterations, it never reorders or drops protocol input.
+// so for a given DUT input stream the HDL side computes bit-identical
+// behavior.  Coalescing consecutive grants into one catch-up is safe because
+// windows are monotone and deliverable messages still apply at their own
+// time stamps; it only merges catch-up iterations, it never reorders or
+// drops protocol input.  Responses re-enter the network later than in serial
+// mode (clamped to the network's run-ahead now()), so the input stream
+// itself is only guaranteed unchanged in feed-forward topologies — see the
+// determinism caveat in coverify.hpp.
 
 void CoVerification::start_worker() {
   cmd_chan_ =

@@ -15,9 +15,20 @@
 //     two-process OPNET<->VSS structure.  The §3.1 conservative windows are
 //     the only synchronization points; the worker coalesces queued grants,
 //     so the HDL side catches up in larger batches while the network side
-//     runs ahead.  DUT behavior is bit-identical to serial mode (messages
-//     apply at their own time stamps); only the wall-clock interleaving and
-//     the re-entry times of responses into the network model may differ.
+//     runs ahead.
+//
+//     Determinism caveat: bit-identity with serial mode holds for
+//     feed-forward topologies (sources -> DUT -> sinks), where DUT
+//     responses do not influence what is later sent TO the DUT.  Messages
+//     into the DUT apply at their own time stamps, so the DUT input stream
+//     — and therefore every DUT output — is unchanged.  Responses, however,
+//     are drained on the network thread after the network has run ahead,
+//     and schedule_response clamps their re-entry to the network's current
+//     time: response-triggered network events can execute at later times
+//     than in serial mode.  In a topology where those events feed back into
+//     DUT-input generation, the DUT input stream itself can legally differ
+//     from serial mode.  Use serial mode when a feedback rig must be
+//     reproduced exactly.
 #pragma once
 
 #include <atomic>

@@ -127,14 +127,25 @@ class SpscChannel {
     {
       std::unique_lock<std::mutex> lk(mu_);
       for (T& v : batch) {
-        space_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
+        if (!closed_ && queue_.size() >= capacity_) {
+          // About to block mid-batch: wake any parked consumer first.  The
+          // partial batch is already published through size_ below, but a
+          // consumer parked in receive()/receive_some() needs the notify,
+          // and one polling try_receive* needs a current size_ — a stale 0
+          // here would mean nobody ever drains and this wait never returns.
+          if (wake) {
+            ready_.notify_one();
+            wake = false;
+          }
+          space_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
+        }
         if (closed_) break;
         queue_.push_back(std::move(v));
+        size_.store(queue_.size(), std::memory_order_release);
         ++accepted;
         if (queue_.size() > max_occupancy_) max_occupancy_ = queue_.size();
         wake = wake || queue_.size() >= wake_threshold_;
       }
-      size_.store(queue_.size(), std::memory_order_release);
     }
     batch.clear();
     if (wake) ready_.notify_one();
@@ -168,9 +179,15 @@ class SpscChannel {
   bool receive_some(std::vector<T>& out, std::size_t min_items,
                     std::chrono::microseconds max_wait) {
     std::unique_lock<std::mutex> lk(mu_);
-    wake_threshold_ = min_items < 1 ? 1 : min_items;
-    ready_.wait_for(lk, max_wait,
-                    [&] { return closed_ || queue_.size() >= wake_threshold_; });
+    // A pending nudge() is sticky: it forces this call to drain immediately
+    // even if it arrived while the consumer was mid-batch (not parked), in
+    // which case a one-shot wake_threshold_ write would have been
+    // overwritten right here and the backlog would wait out max_wait.
+    wake_threshold_ = (drain_now_ || min_items < 1) ? 1 : min_items;
+    ready_.wait_for(lk, max_wait, [&] {
+      return closed_ || drain_now_ || queue_.size() >= wake_threshold_;
+    });
+    drain_now_ = false;
     wake_threshold_ = 1;
     if (queue_.empty()) return !closed_;
     while (!queue_.empty()) {
@@ -228,12 +245,14 @@ class SpscChannel {
                     [&] { return closed_ || queue_.size() < capacity_; });
   }
 
-  /// Wakes a consumer parked in receive_some() below its backlog threshold
-  /// (e.g. when the producer has sent everything it will send for a while
-  /// and wants the backlog processed now rather than at the next timeout).
+  /// Asks the consumer to drain now rather than at its next backlog
+  /// threshold or timeout (e.g. when the producer has sent everything it
+  /// will send for a while).  Sticky: if the consumer is mid-batch rather
+  /// than parked, its next receive_some() call consumes the request.
   void nudge() {
     {
       std::lock_guard<std::mutex> lk(mu_);
+      drain_now_ = true;
       wake_threshold_ = 1;
     }
     ready_.notify_one();
@@ -267,6 +286,7 @@ class SpscChannel {
   std::atomic<std::size_t> size_{0};
   std::size_t max_occupancy_ = 0;
   std::size_t wake_threshold_ = 1;  ///< receive_some() hysteresis
+  bool drain_now_ = false;  ///< sticky nudge(); consumed by receive_some()
   bool closed_ = false;
 };
 

@@ -78,10 +78,11 @@ bool Scheduler::step() {
 
 std::uint64_t Scheduler::run_until(SimTime limit) {
   // Shared semantics with rtl::Simulator::run_until: execute every event
-  // with time <= limit, then pin now() to limit.  When advance_to() window
-  // grants interleave with run_until, limits must stay monotone — simulated
-  // time never regresses.
-  require(limit >= now_, "Scheduler::run_until: limit precedes now()");
+  // with time <= limit, then pin now() to limit.  A limit already in the
+  // past is a no-op — simulated time never regresses, and callers may
+  // safely re-issue a stale horizon.  Only advance_to() asserts strict
+  // monotonicity, because skipping backwards there would skip events.
+  if (limit < now_) return 0;
   std::uint64_t n = 0;
   while (true) {
     pop_dead();

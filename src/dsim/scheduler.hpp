@@ -56,8 +56,8 @@ class Scheduler {
   bool step();
   /// Runs all events with time <= limit (inclusive); time ends at
   /// min(limit, last event time).  Returns number of events executed.
-  /// Shares its semantics with rtl::Simulator::run_until; `limit` must not
-  /// precede now() — simulated time never regresses.
+  /// Shares its semantics with rtl::Simulator::run_until; a `limit` that
+  /// precedes now() is a no-op — simulated time never regresses.
   std::uint64_t run_until(SimTime limit);
   /// Runs to exhaustion (or until `max_events` executed; 0 = unlimited).
   std::uint64_t run(std::uint64_t max_events = 0);

@@ -233,10 +233,10 @@ bool Simulator::step_time() {
 void Simulator::run_until(SimTime limit) {
   initialize();
   // Shared semantics with dsim::Scheduler::run_until: execute every event
-  // with time <= limit, then pin now() to limit.  When advance_to()-style
-  // window grants interleave with run_until, the caller must keep limits
-  // monotone — simulated time never regresses.
-  require(limit >= now_, "Simulator::run_until: limit precedes now()");
+  // with time <= limit, then pin now() to limit.  A limit already in the
+  // past is a no-op — simulated time never regresses, and callers (e.g.
+  // window-grant loops re-issuing a stale horizon) may safely pass one.
+  if (limit < now_) return;
   while (true) {
     const SimTime t = next_activity();
     if (t == SimTime::max() || t > limit) break;

@@ -91,8 +91,8 @@ class Simulator {
   /// activity is pending.
   bool step_time();
   /// Executes all activity with time <= limit, then sets now to limit.
-  /// Shares its semantics with dsim::Scheduler::run_until; `limit` must not
-  /// precede now() — simulated time never regresses.
+  /// Shares its semantics with dsim::Scheduler::run_until; a `limit` that
+  /// precedes now() is a no-op — simulated time never regresses.
   void run_until(SimTime limit);
   bool quiescent() const;
 

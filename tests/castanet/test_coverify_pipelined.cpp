@@ -1,6 +1,9 @@
 // Pipelined co-simulation: the RTL worker thread must produce bit-identical
 // DUT behavior to serial mode — same comparator verdicts, no causality
 // violations — under coalescing, channel back-pressure, and repeated runs.
+// The rigs here are deliberately feed-forward (source -> DUT -> sink): that
+// is the scope of the bit-identity guarantee (see the determinism caveat in
+// coverify.hpp); feedback topologies may legally diverge in pipelined mode.
 // Built as its own binary (ctest label `cosim_threaded`) so the threaded
 // paths can be run in isolation under TSan.
 #include <gtest/gtest.h>

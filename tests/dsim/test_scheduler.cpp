@@ -94,6 +94,20 @@ TEST(Scheduler, RunUntilAdvancesTimeEvenWithoutEvents) {
   EXPECT_EQ(s.now(), SimTime::from_us(5));
 }
 
+TEST(Scheduler, RunUntilStaleLimitIsNoOp) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(SimTime::from_ns(20), [&] { ++fired; });
+  s.run_until(SimTime::from_ns(10));
+  // A limit in the past executes nothing and never moves time backwards.
+  EXPECT_EQ(s.run_until(SimTime::from_ns(5)), 0u);
+  EXPECT_EQ(s.now(), SimTime::from_ns(10));
+  EXPECT_EQ(fired, 0);
+  // Forward progress still works afterwards.
+  EXPECT_EQ(s.run_until(SimTime::from_ns(20)), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Scheduler, ScheduleInIsRelative) {
   Scheduler s;
   SimTime seen;

@@ -208,6 +208,19 @@ TEST(RtlSimulator, RunUntilAdvancesTimeWithoutActivity) {
   EXPECT_EQ(sim.now(), SimTime::from_us(3));
 }
 
+TEST(RtlSimulator, RunUntilStaleLimitIsNoOp) {
+  Simulator sim;
+  const SignalId s = sim.create_signal("s", 1, Logic::L0);
+  sim.schedule_write(s, Logic::L1, SimTime::from_ns(20));
+  sim.run_until(SimTime::from_ns(10));
+  // A limit in the past executes nothing and never moves time backwards.
+  sim.run_until(SimTime::from_ns(5));
+  EXPECT_EQ(sim.now(), SimTime::from_ns(10));
+  EXPECT_EQ(sim.value(s).bit(0), Logic::L0);
+  sim.run_until(SimTime::from_ns(20));
+  EXPECT_EQ(sim.value(s).bit(0), Logic::L1);
+}
+
 TEST(RtlSimulator, ChangeObserverSeesAllChanges) {
   Simulator sim;
   const SignalId s = sim.create_signal("s", 4, Logic::L0);
