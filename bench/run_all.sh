@@ -1,6 +1,6 @@
 #!/bin/sh
 # Runs every bench_e* binary with --json and composes the per-bench reports
-# into one machine-readable file (default: BENCH_PR1.json in the repo root).
+# into one machine-readable file (default: BENCH_PR2.json in the repo root).
 #
 #   bench/run_all.sh [output.json]
 #
@@ -14,7 +14,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=${BUILD_DIR:-build}
-PR=${PR_NUMBER:-1}
+PR=${PR_NUMBER:-2}
 OUT=${1:-BENCH_PR${PR}.json}
 : "${CASTANET_E1_REPS:=9}"
 export CASTANET_E1_REPS

@@ -1,19 +1,32 @@
-// Hardware in the simulation loop (§3.3): real-time functional chip
-// verification on the test board.
+// Hardware in the simulation loop (§3.3), driven by the N-backend session:
+// ONE testbench feeds THREE backends in lockstep — the RTL accounting unit
+// under the HDL kernel (primary), the algorithm reference model, and the
+// "fabricated" device on the hardware test board (the RTL model behind a
+// pin-level adapter that exhibits timing violations above its rated clock).
 //
-// The same recorded trace that verified the RTL accounting unit is replayed
-// through the hardware test board against the "fabricated" device (the RTL
-// model behind a pin-level adapter that exhibits timing violations above its
-// rated clock).  At 10 MHz the silicon behaves; at the full 20 MHz board
-// clock, setup violations corrupt octets — a class of bug that pure
-// functional simulation cannot reveal, which is exactly the paper's argument
-// for real-time verification.
+// At the end of each run every backend reads its counters back (the RTL and
+// board over their µP buses, the reference directly) and the session
+// comparator cross-checks them:
+//   * board at the rated 10 MHz          -> all three backends agree;
+//   * board at the full 20 MHz clock     -> setup violations corrupt cells,
+//     and the comparator pins the divergence to the board backend — a class
+//     of bug pure functional simulation cannot reveal, the paper's argument
+//     for real-time verification;
+//   * 20 MHz board with clock gating 2   -> the DUT sees 10 MHz again and
+//     the rig is clean.
 //
 // Build & run:  ./build/examples/board_in_the_loop
+#include <cstdint>
 #include <cstdio>
+#include <optional>
+#include <string>
 
-#include "src/castanet/board_driver.hpp"
+#include "src/castanet/backend.hpp"
+#include "src/castanet/mapping.hpp"
+#include "src/castanet/session.hpp"
+#include "src/hw/accounting.hpp"
 #include "src/hw/reference.hpp"
+#include "src/traffic/processes.hpp"
 #include "src/traffic/sources.hpp"
 #include "src/traffic/trace.hpp"
 
@@ -21,95 +34,175 @@ using namespace castanet;
 
 namespace {
 
-void print_run(const char* label, const cosim::BoardCellStream::Result& r,
-               const hw::AccountingUnit& unit, const hw::AccountingRef& ref) {
+constexpr std::uint64_t kRatedHz = 10'000'000;  // the device's rated clock
+
+struct RigOutcome {
+  bool clean = false;
+  std::optional<cosim::Divergence> first;
+  std::uint64_t timing_violations = 0;
+  std::uint64_t causality_errors = 0;
+  std::string report;
+};
+
+/// One full three-backend session over `trace`, with the board's test
+/// clock at `board_clock_hz` and the board's clock-gating factor applied.
+RigOutcome run_rig(const traffic::CellTrace& trace,
+                   std::uint64_t board_clock_hz, unsigned gating_factor) {
+  const SimTime kClk = clock_period_hz(20'000'000);
+  netsim::Simulation net;
+  netsim::Node& env = net.add_node("env");
+
+  cosim::ConservativeSync::Params sync;
+  sync.policy = cosim::SyncPolicy::kGlobalOrder;
+  sync.clock_period = kClk;
+
+  // --- backend 0 (primary): the RTL accounting unit -----------------------
+  rtl::Simulator hdl;
+  rtl::Signal clk(&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0));
+  rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
+  rtl::ClockGen clock(hdl, clk, kClk);
+  hw::CellPort snoop = hw::make_cell_port(hdl, "snoop");
+  hw::CellPortDriver driver(hdl, "drv", clk, snoop);
+  hw::AccountingUnit acct(hdl, "acct", clk, rst, snoop, 8);
+  cosim::BusMaster bus(hdl, "bus", clk, acct.addr, acct.data, acct.cs,
+                       acct.rw);
+  acct.set_tariff(0, hw::Tariff{1, 0});
+  acct.bind_connection({1, 100}, 0, 0);
+
+  cosim::RtlBackend rtl("rtl", hdl, sync);
+  rtl.entity().register_input(0, 53, [&](const cosim::TimedMessage& m) {
+    driver.enqueue(*m.cell);
+  });
+  rtl.set_finish_hook([&](cosim::RtlBackend& b, SimTime) {
+    // Read the counters out over the microprocessor bus, like the embedded
+    // control software would, and respond with [count, clp1, charge].
+    std::uint16_t lo = 0, mid = 0, clp_lo = 0, chg_lo = 0, chg_mid = 0;
+    bus.write(0x00, 0);
+    bus.read(0x01, [&](std::uint16_t v) { lo = v; });
+    bus.read(0x02, [&](std::uint16_t v) { mid = v; });
+    bus.read(0x07, [&](std::uint16_t v) { clp_lo = v; });
+    bus.read(0x04, [&](std::uint16_t v) { chg_lo = v; });
+    bus.read(0x05, [&](std::uint16_t v) { chg_mid = v; });
+    while (!bus.idle()) hdl.run_until(hdl.now() + kClk);
+    hdl.run_until(hdl.now() + kClk * 2);
+    b.entity().send_word_response(
+        0, {std::uint64_t{mid} << 16 | lo, clp_lo,
+            std::uint64_t{chg_mid} << 16 | chg_lo});
+  });
+
+  // --- backend 1: the algorithm reference model ---------------------------
+  hw::AccountingRef ref(8);
+  ref.set_tariff(0, hw::Tariff{1, 0});
+  ref.bind_connection({1, 100}, 0, 0);
+  cosim::ReferenceBackend refb("reference", sync);
+  refb.register_input(0, 1, [&](const cosim::TimedMessage& m) {
+    ref.observe(*m.cell);
+  });
+  refb.set_finish_hook([&](cosim::ReferenceBackend& b, SimTime at) {
+    b.respond_words(0, at, {ref.count(0), ref.clp1_count(0), ref.charge(0)});
+  });
+
+  // --- backend 2: the fabricated device on the test board -----------------
+  board::HardwareTestBoard board;
+  board.configure(cosim::make_cell_stream_config(gating_factor));
+  cosim::AccountingBoardDut dut = cosim::build_accounting_dut(8, kRatedHz);
+  dut.adapter->set_max_safe_hz(kRatedHz, /*fault_period=*/7);
+  dut.unit->set_tariff(0, hw::Tariff{1, 0});
+  dut.unit->bind_connection({1, 100}, 0, 0);
+  dut.adapter->reset();
+  cosim::BoardBackend::Params bp;
+  bp.sync = sync;
+  bp.stream = {4096, board_clock_hz};
+  cosim::BoardBackend brd("board", board, *dut.adapter, bp);
+  brd.register_cell_input(0, 53);
+  brd.set_finish_hook([&](cosim::BoardBackend& b, SimTime at) {
+    // Same µP readback, but through the board's bidirectional bus.
+    cosim::board_bus_write(board, *dut.adapter, 0x00, 0);
+    const auto rd = [&](std::uint16_t lo_reg) -> std::uint64_t {
+      const std::uint64_t lo = cosim::board_bus_read(board, *dut.adapter,
+                                                     lo_reg);
+      const std::uint64_t mid = cosim::board_bus_read(board, *dut.adapter,
+                                                      lo_reg + 1);
+      return mid << 16 | lo;
+    };
+    const std::uint64_t count = rd(0x01);
+    const std::uint64_t clp1 =
+        cosim::board_bus_read(board, *dut.adapter, 0x07);
+    const std::uint64_t charge = rd(0x04);
+    b.respond_words(0, at, {count, clp1, charge});
+  });
+
+  // --- one testbench drives all three -------------------------------------
+  cosim::VerificationSession::Params sp;
+  sp.clock_period = kClk;
+  cosim::VerificationSession session(net, env, 1, sp);
+  session.attach(rtl);
+  session.attach(refb);
+  session.attach(brd);
+  session.set_response_handler([](const cosim::TimedMessage&) {});
+
+  auto& gen = env.add_process<traffic::GeneratorProcess>(
+      "gen", std::make_unique<traffic::TraceSource>(trace), trace.size());
+  net.connect(gen, 0, session.gateway(), 0);
+
+  session.run_until(trace.arrivals().back().time + SimTime::from_ms(1));
+  cosim::SessionComparator& cmp = session.comparator();
+  cmp.finish();
+
+  RigOutcome out;
+  out.clean = cmp.clean();
+  out.first = cmp.first_divergence(0);
+  out.timing_violations = brd.totals().timing_violations;
+  for (const auto& b : session.stats().backends)
+    out.causality_errors += b.causality_errors;
+  out.report = cmp.report();
+  return out;
+}
+
+void print_outcome(const char* label, const RigOutcome& o) {
   std::printf("%s\n", label);
-  std::printf("  test cycles ........ %llu\n",
-              static_cast<unsigned long long>(r.test_cycles));
-  std::printf("  board cycles ....... %llu\n",
-              static_cast<unsigned long long>(r.totals.cycles));
-  std::printf("  HW activity time ... %.1f us\n",
-              r.totals.hw_time.seconds() * 1e6);
-  std::printf("  SW activity time ... %.1f us (SCSI + setup)\n",
-              r.totals.sw_time.seconds() * 1e6);
   std::printf("  timing violations .. %llu\n",
-              static_cast<unsigned long long>(r.timing_violations));
-  std::printf("  cells counted ...... %llu (reference: %llu) -> %s\n",
-              static_cast<unsigned long long>(unit.count(0)),
-              static_cast<unsigned long long>(ref.count(0)),
-              unit.count(0) == ref.count(0) ? "MATCH" : "MISMATCH");
+              static_cast<unsigned long long>(o.timing_violations));
+  std::printf("  causality errors ... %llu\n",
+              static_cast<unsigned long long>(o.causality_errors));
+  std::printf("  %s", o.report.c_str());
+  if (o.first) {
+    std::printf(
+        "  first divergence: backend %zu, stream %u, response #%llu\n"
+        "    primary (RTL) time %s vs backend time %s\n",
+        o.first->backend, o.first->stream,
+        static_cast<unsigned long long>(o.first->index),
+        o.first->primary_time.to_string().c_str(),
+        o.first->backend_time.to_string().c_str());
+  }
 }
 
 }  // namespace
 
 int main() {
-  // A device rated for 10 MHz operation.
-  constexpr std::uint64_t kRatedHz = 10'000'000;
-
   // Stimulus: 120 cells, back-to-back at the board's cell time.
   traffic::CbrSource src({1, 100}, 1, SimTime::from_ns(50 * 53));
   const traffic::CellTrace trace = traffic::CellTrace::record(src, 120);
-  hw::AccountingRef ref(8);
-  ref.set_tariff(0, hw::Tariff{1, 0});
-  ref.bind_connection({1, 100}, 0, 0);
-  for (const auto& a : trace.arrivals()) ref.observe(a.cell);
 
-  // --- run 1: within the rated clock -------------------------------------
-  {
-    board::HardwareTestBoard board;
-    board.configure(cosim::make_cell_stream_config());
-    cosim::AccountingBoardDut dut = cosim::build_accounting_dut(8, kRatedHz);
-    dut.adapter->set_max_safe_hz(kRatedHz, /*fault_period=*/7);
-    dut.unit->set_tariff(0, hw::Tariff{1, 0});
-    dut.unit->bind_connection({1, 100}, 0, 0);
-    dut.adapter->reset();
-    cosim::BoardCellStream stream(board, {4096, kRatedHz});
-    const auto result = stream.run(*dut.adapter, trace.arrivals());
-    print_run("=== board run at 10 MHz (rated speed) ===", result, *dut.unit,
-              ref);
+  const RigOutcome rated = run_rig(trace, kRatedHz, /*gating_factor=*/1);
+  print_outcome("=== RTL + reference + board at 10 MHz (rated) ===", rated);
 
-    // Register readback over the bidirectional bus through the board.
-    cosim::board_bus_write(board, *dut.adapter, 0x00, 0);
-    const std::uint16_t count_lo =
-        cosim::board_bus_read(board, *dut.adapter, 0x01);
-    std::printf("  µP readback ........ COUNT_LO = %u\n", count_lo);
-    std::printf("  SCSI traffic ....... %llu bytes in %llu transfers\n",
-                static_cast<unsigned long long>(board.scsi().total_bytes()),
-                static_cast<unsigned long long>(board.scsi().transfers()));
-  }
+  const RigOutcome hot =
+      run_rig(trace, board::kMaxBoardClockHz, /*gating_factor=*/1);
+  print_outcome("=== RTL + reference + board at 20 MHz (overclocked) ===",
+                hot);
+  std::printf(
+      "  -> at-speed verification exposed %llu setup violations that the\n"
+      "     functional co-simulation could not show\n",
+      static_cast<unsigned long long>(hot.timing_violations));
 
-  // --- run 2: at the full 20 MHz board clock ------------------------------
-  {
-    board::HardwareTestBoard board;
-    board.configure(cosim::make_cell_stream_config());
-    cosim::AccountingBoardDut dut = cosim::build_accounting_dut(8, kRatedHz);
-    dut.adapter->set_max_safe_hz(kRatedHz, /*fault_period=*/7);
-    dut.unit->set_tariff(0, hw::Tariff{1, 0});
-    dut.unit->bind_connection({1, 100}, 0, 0);
-    dut.adapter->reset();
-    cosim::BoardCellStream stream(board, {4096, board::kMaxBoardClockHz});
-    const auto result = stream.run(*dut.adapter, trace.arrivals());
-    print_run("=== board run at 20 MHz (overclocked) ===", result, *dut.unit,
-              ref);
-    std::printf(
-        "  -> at-speed verification exposed %llu setup violations that the\n"
-        "     functional co-simulation could not show\n",
-        static_cast<unsigned long long>(result.timing_violations));
-  }
+  const RigOutcome gated =
+      run_rig(trace, board::kMaxBoardClockHz, /*gating_factor=*/2);
+  print_outcome(
+      "=== RTL + reference + board at 20 MHz, gating factor 2 ===", gated);
 
-  // --- run 3: clock gating keeps a slow DUT usable at full board clock ----
-  {
-    board::HardwareTestBoard board;
-    board.configure(cosim::make_cell_stream_config(/*gating_factor=*/2));
-    cosim::AccountingBoardDut dut = cosim::build_accounting_dut(8, kRatedHz);
-    dut.adapter->set_max_safe_hz(kRatedHz, /*fault_period=*/7);
-    dut.unit->set_tariff(0, hw::Tariff{1, 0});
-    dut.unit->bind_connection({1, 100}, 0, 0);
-    dut.adapter->reset();
-    cosim::BoardCellStream stream(board, {4096, board::kMaxBoardClockHz});
-    const auto result = stream.run(*dut.adapter, trace.arrivals());
-    print_run("=== board run at 20 MHz with gating factor 2 (DUT at 10 MHz) ===",
-              result, *dut.unit, ref);
-  }
-  return 0;
+  const bool ok = rated.clean && rated.causality_errors == 0 && !hot.clean &&
+                  hot.first && hot.first->backend == 2 && gated.clean;
+  std::printf("overall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }

@@ -1,18 +1,24 @@
 // Co-verification of the 4-port ATM switch (§2's evaluation device).
 //
 // Mixed traffic (CBR trunks, a Poisson data aggregate, a bursty on/off
-// source) is first recorded into cell traces — the reusable test vectors of
-// Fig. 1 — then replayed simultaneously (a) through the algorithm reference
-// model and (b) into the RTL switch through the CASTANET coupling.  The
-// comparator checks the two outputs per virtual connection, and a VCD
-// waveform of port 0 is dumped for the HDL-debugger workflow.
+// source) is recorded into cell traces — the reusable test vectors of
+// Fig. 1 — then ONE testbench drives two backends in lockstep through a
+// VerificationSession: the RTL switch under the HDL kernel (primary) and
+// the algorithm reference model.  The session comparator cross-checks the
+// two backends' output streams per port, and a VCD waveform of port 0 is
+// dumped for the HDL-debugger workflow.
 //
 // Build & run:  ./build/examples/switch_coverify [cells-per-source]
+//                                                [--vcd PATH]
+// The VCD defaults to <binary-dir>/switch_port0.vcd so runs never litter
+// the source tree.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
-#include "src/castanet/comparator.hpp"
-#include "src/castanet/coverify.hpp"
+#include "src/castanet/backend.hpp"
+#include "src/castanet/session.hpp"
 #include "src/hw/atm_switch.hpp"
 #include "src/hw/reference.hpp"
 #include "src/rtl/waveform.hpp"
@@ -22,8 +28,22 @@
 using namespace castanet;
 
 int main(int argc, char** argv) {
-  const std::size_t cells_per_source =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40;
+  std::size_t cells_per_source = 40;
+  std::string vcd_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
+      vcd_path = argv[++i];
+    } else {
+      cells_per_source = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  if (vcd_path.empty()) {
+    const std::string self(argv[0]);
+    const std::size_t slash = self.find_last_of('/');
+    vcd_path = (slash == std::string::npos ? std::string(".")
+                                           : self.substr(0, slash)) +
+               "/switch_port0.vcd";
+  }
   constexpr std::size_t kPorts = 4;
   const SimTime kClk = clock_period_hz(20'000'000);
 
@@ -54,7 +74,7 @@ int main(int argc, char** argv) {
   rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
   rtl::ClockGen clock(hdl, clk, kClk);
   hw::AtmSwitch sw(hdl, "sw", clk, rst);
-  rtl::VcdWriter vcd(hdl, "switch_port0.vcd", /*timescale_ps=*/1000);
+  rtl::VcdWriter vcd(hdl, vcd_path, /*timescale_ps=*/1000);
   vcd.track(sw.phys_in(0).data.id());
   vcd.track(sw.phys_in(0).sync.id());
   vcd.track(sw.phys_in(0).valid.id());
@@ -81,54 +101,70 @@ int main(int argc, char** argv) {
     ref.table(p).install(in, route);
   }
 
-  // --- the coupling --------------------------------------------------------
-  cosim::CoVerification::Params params;
-  params.sync.policy = cosim::SyncPolicy::kGlobalOrder;
-  params.sync.clock_period = kClk;
-  cosim::CoVerification cov(net, hdl, env, kPorts, params);
-  cosim::ResponseComparator cmp;
+  // --- the session: one testbench, two backends ---------------------------
+  cosim::ConservativeSync::Params sync;
+  sync.policy = cosim::SyncPolicy::kGlobalOrder;
+  sync.clock_period = kClk;
+  cosim::RtlBackend rtl("rtl", hdl, sync);
+  cosim::ReferenceBackend refb("reference", sync);
+
+  cosim::VerificationSession::Params params;
+  params.clock_period = kClk;
+  cosim::VerificationSession session(net, env, kPorts, params);
+  session.attach(rtl);   // index 0: primary
+  session.attach(refb);  // checked against the primary per output stream
+
   for (std::size_t p = 0; p < kPorts; ++p) {
-    cov.entity().register_input(
+    rtl.entity().register_input(
         static_cast<cosim::MessageType>(p), 53,
         [&, p](const cosim::TimedMessage& m) { drivers[p]->enqueue(*m.cell); });
-    monitors[p]->set_callback([&](const atm::Cell& c) { cmp.actual(c); });
+    // Monitors report on the out-port's stream; each out port is fed by
+    // exactly one in port here, so per-stream FIFO order is well defined.
+    monitors[p]->set_callback([&, p](const atm::Cell& c) {
+      rtl.entity().send_cell_response(static_cast<cosim::MessageType>(p), c);
+    });
+    refb.register_input(
+        static_cast<cosim::MessageType>(p), 1,
+        [&, p](const cosim::TimedMessage& m) {
+          if (const auto routed = ref.route(p, *m.cell)) {
+            refb.respond(routed->out_port, m.timestamp, routed->cell);
+          }
+        });
     auto& gen = env.add_process<traffic::GeneratorProcess>(
         "gen" + std::to_string(p),
         std::make_unique<traffic::TraceSource>(traces[p]),
         traces[p].size());
-    net.connect(gen, 0, cov.gateway(), static_cast<unsigned>(p));
+    net.connect(gen, 0, session.gateway(), static_cast<unsigned>(p));
   }
-  cov.set_response_handler([](const cosim::TimedMessage&) {});
-
-  // --- reference pass over the same vectors -------------------------------
-  for (std::size_t p = 0; p < kPorts; ++p) {
-    for (const auto& arrival : traces[p].arrivals()) {
-      if (const auto routed = ref.route(p, arrival.cell)) {
-        cmp.expect(routed->cell);
-      }
-    }
-  }
+  session.set_response_handler([](const cosim::TimedMessage&) {});
 
   // --- run -----------------------------------------------------------------
   SimTime horizon = SimTime::zero();
   for (const auto& t : traces) {
     if (!t.empty()) horizon = std::max(horizon, t.arrivals().back().time);
   }
-  cov.run_until(horizon + SimTime::from_ms(2));
+  session.run_until(horizon + SimTime::from_ms(2));
+  cosim::SessionComparator& cmp = session.comparator();
   cmp.finish();
 
-  const auto stats = cov.stats();
+  const auto stats = session.stats();
   std::printf("switch co-verification, %zu cells/source x %zu sources\n",
               cells_per_source, traces.size());
   std::printf("  GCU switched .......... %llu cells\n",
               static_cast<unsigned long long>(sw.gcu().cells_switched()));
   std::printf("  messages exchanged .... %llu -> / %llu <-\n",
               static_cast<unsigned long long>(stats.messages_to_hdl),
-              static_cast<unsigned long long>(stats.messages_to_net));
-  std::printf("  causality errors ...... %llu\n",
-              static_cast<unsigned long long>(stats.causality_errors));
-  std::printf("  VCD changes written ... %llu (switch_port0.vcd)\n",
-              static_cast<unsigned long long>(vcd.changes_written()));
+              static_cast<unsigned long long>(
+                  rtl.response_channel().messages_sent()));
+  for (const auto& b : stats.backends) {
+    std::printf("  backend %-11s ... %llu windows, %llu causality errors\n",
+                b.name.c_str(),
+                static_cast<unsigned long long>(b.windows),
+                static_cast<unsigned long long>(b.causality_errors));
+  }
+  std::printf("  VCD changes written ... %llu (%s)\n",
+              static_cast<unsigned long long>(vcd.changes_written()),
+              vcd_path.c_str());
   std::printf("comparison: %s\n%s", cmp.clean() ? "PASS" : "FAIL",
               cmp.report().c_str());
   return cmp.clean() ? 0 : 1;

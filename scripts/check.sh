@@ -1,0 +1,46 @@
+#!/bin/sh
+# Tier-1 gate, runnable locally and from CI: configure, build, run the full
+# test suite, and (optionally) repeat the threaded co-simulation tests under
+# ThreadSanitizer.
+#
+#   scripts/check.sh           # build + ctest
+#   scripts/check.sh --tsan    # additionally: TSan build, ctest -L cosim_threaded
+#
+# Environment:
+#   BUILD_DIR       plain build tree   (default: build)
+#   TSAN_BUILD_DIR  TSan build tree    (default: build-tsan)
+#   JOBS            parallel build jobs (default: nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD_DIR:-build}
+TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configure + build ($BUILD)"
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== ctest ($BUILD)"
+ctest --test-dir "$BUILD" --output-on-failure
+
+if [ "$run_tsan" -eq 1 ]; then
+  # The threaded co-simulation paths (pipelined VerificationSession /
+  # CoVerification workers, SPSC channels) carry their own ctest label so
+  # the slow TSan pass is restricted to the tests that exercise threads.
+  echo "== configure + build ($TSAN_BUILD, CASTANET_SANITIZE=thread)"
+  cmake -B "$TSAN_BUILD" -S . -DCASTANET_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_cosim_pipelined
+  echo "== ctest -L cosim_threaded ($TSAN_BUILD)"
+  ctest --test-dir "$TSAN_BUILD" -L cosim_threaded --output-on-failure
+fi
+
+echo "check.sh: all green"

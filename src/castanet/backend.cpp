@@ -1,0 +1,170 @@
+#include "src/castanet/backend.hpp"
+
+#include <algorithm>
+
+#include "src/core/error.hpp"
+
+namespace castanet::cosim {
+
+void DutBackend::catch_up(SimTime limit) {
+  catch_up(limit, nullptr);
+}
+
+bool DutBackend::catch_up(SimTime limit,
+                          const std::function<bool()>& after_step) {
+  for (;;) {
+    const SimTime w = window();
+    const SimTime target = std::min(w - SimTime::from_ps(1), limit);
+    if (target <= now()) return true;
+    advance_to(target);
+    if (after_step && !after_step()) return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RtlBackend
+
+RtlBackend::RtlBackend(std::string name, rtl::Simulator& hdl,
+                       ConservativeSync::Params sync_params,
+                       MessageChannel::Params channel_params)
+    : DutBackend(std::move(name)),
+      hdl_(hdl),
+      from_net_(channel_params),
+      to_net_(channel_params),
+      entity_(std::make_unique<CosimEntity>(hdl, from_net_, to_net_,
+                                            sync_params)) {}
+
+SimTime RtlBackend::now() const { return hdl_.now(); }
+
+void RtlBackend::advance_to(SimTime target) {
+  entity_->advance_hdl_to(target);
+}
+
+void RtlBackend::finish(SimTime at) {
+  if (finish_hook_) finish_hook_(*this, at);
+}
+
+void RtlBackend::drain_responses(std::vector<TimedMessage>& out) {
+  while (auto m = to_net_.receive()) out.push_back(std::move(*m));
+}
+
+// ---------------------------------------------------------------------------
+// ReferenceBackend
+
+ReferenceBackend::ReferenceBackend(std::string name,
+                                   ConservativeSync::Params sync_params)
+    : DutBackend(std::move(name)), sync_(sync_params) {}
+
+void ReferenceBackend::register_input(MessageType type,
+                                      std::uint64_t delta_cycles,
+                                      ApplyFn apply) {
+  sync_.declare_input(type, delta_cycles);
+  apply_[type] = std::move(apply);
+}
+
+void ReferenceBackend::respond(MessageType stream, SimTime ts,
+                               const atm::Cell& c) {
+  responses_.push_back(make_cell_message(stream, ts, c));
+}
+
+void ReferenceBackend::respond_words(MessageType stream, SimTime ts,
+                                     std::vector<std::uint64_t> words) {
+  responses_.push_back(make_word_message(stream, ts, std::move(words)));
+}
+
+void ReferenceBackend::advance_to(SimTime target) {
+  // Instantaneous δ: each deliverable message is one function call at its
+  // own time stamp (take_deliverable returns them sorted by time).
+  auto messages = sync_.take_deliverable(target + SimTime::from_ps(1));
+  for (TimedMessage& m : messages) {
+    auto it = apply_.find(m.type);
+    require(it != apply_.end(),
+            "ReferenceBackend: no apply fn for message type");
+    it->second(m);
+    ++applied_;
+  }
+  now_ = target;
+  sync_.note_hdl_time(now_);
+}
+
+void ReferenceBackend::finish(SimTime at) {
+  if (finish_hook_) finish_hook_(*this, at);
+}
+
+void ReferenceBackend::drain_responses(std::vector<TimedMessage>& out) {
+  out.insert(out.end(), std::make_move_iterator(responses_.begin()),
+             std::make_move_iterator(responses_.end()));
+  responses_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// BoardBackend
+
+BoardBackend::BoardBackend(std::string name, board::HardwareTestBoard& board,
+                           board::BehavioralDut& dut, Params p)
+    : DutBackend(std::move(name)),
+      sync_(p.sync),
+      board_(board),
+      dut_(dut),
+      stream_(board, p.stream),
+      p_(p) {
+  require(p_.cells_per_batch > 0, "BoardBackend: cells_per_batch must be > 0");
+}
+
+void BoardBackend::register_cell_input(MessageType type,
+                                       std::uint64_t delta_cycles) {
+  sync_.declare_input(type, delta_cycles);
+  cell_stream_ = type;
+}
+
+void BoardBackend::respond_words(MessageType stream, SimTime ts,
+                                 std::vector<std::uint64_t> words) {
+  responses_.push_back(make_word_message(stream, ts, std::move(words)));
+}
+
+void BoardBackend::advance_to(SimTime target) {
+  auto messages = sync_.take_deliverable(target + SimTime::from_ps(1));
+  for (TimedMessage& m : messages) {
+    if (!m.cell) continue;  // the board cell stream carries cells only
+    pending_.push_back({m.timestamp, *m.cell});
+  }
+  if (pending_.size() >= p_.cells_per_batch) run_pending();
+  now_ = target;
+  sync_.note_hdl_time(now_);
+}
+
+void BoardBackend::run_pending() {
+  if (pending_.empty()) return;
+  // Rebase the batch to its first cell: vector memories then hold only the
+  // batch's span instead of growing with absolute simulated time.
+  const SimTime origin = pending_.front().time;
+  std::vector<traffic::CellArrival> rebased;
+  rebased.reserve(pending_.size());
+  for (const traffic::CellArrival& a : pending_)
+    rebased.push_back({a.time - origin, a.cell});
+  const BoardCellStream::Result r = stream_.run(dut_, rebased);
+  totals_.totals.cycles += r.totals.cycles;
+  totals_.totals.sw_time += r.totals.sw_time;
+  totals_.totals.hw_time += r.totals.hw_time;
+  totals_.test_cycles += r.test_cycles;
+  // The adapter's violation counter is cumulative across runs; mirror it
+  // rather than summing per-batch snapshots.
+  totals_.timing_violations = r.timing_violations;
+  for (const atm::Cell& c : r.responses)
+    responses_.push_back(make_cell_message(cell_stream_, origin, c));
+  pending_.clear();
+}
+
+void BoardBackend::finish(SimTime at) {
+  run_pending();
+  if (finish_hook_) finish_hook_(*this, at);
+  now_ = std::max(now_, at);
+}
+
+void BoardBackend::drain_responses(std::vector<TimedMessage>& out) {
+  out.insert(out.end(), std::make_move_iterator(responses_.begin()),
+             std::make_move_iterator(responses_.end()));
+  responses_.clear();
+}
+
+}  // namespace castanet::cosim

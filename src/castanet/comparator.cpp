@@ -1,6 +1,10 @@
 #include "src/castanet/comparator.hpp"
 
+#include <algorithm>
 #include <sstream>
+
+#include "src/castanet/message.hpp"
+#include "src/core/error.hpp"
 
 namespace castanet::cosim {
 
@@ -76,6 +80,184 @@ std::string ResponseComparator::report() const {
   for (const Mismatch& m : mismatches_) {
     os << "  [vc " << m.vc.vpi << "/" << m.vc.vci << " #" << m.index << "] "
        << m.detail << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// SessionComparator
+
+namespace {
+
+/// Content equality; time stamps deliberately excluded (backends run on
+/// different clocks).  Returns an empty string when equal, else a
+/// description of the first difference.
+std::string diff_payload(const std::optional<atm::Cell>& a_cell,
+                         const std::vector<std::uint64_t>& a_words,
+                         const std::optional<atm::Cell>& b_cell,
+                         const std::vector<std::uint64_t>& b_words) {
+  if (a_cell.has_value() != b_cell.has_value()) {
+    return a_cell ? "primary sent a cell, backend sent words/none"
+                  : "backend sent a cell, primary sent words/none";
+  }
+  if (a_cell && !(*a_cell == *b_cell)) {
+    if (!(a_cell->header == b_cell->header)) {
+      return "cell header differs: primary " + a_cell->to_string() +
+             " vs " + b_cell->to_string();
+    }
+    std::size_t octet = 0;
+    while (octet < atm::kPayloadBytes &&
+           a_cell->payload[octet] == b_cell->payload[octet]) {
+      ++octet;
+    }
+    return "cell payload differs from octet " + std::to_string(octet);
+  }
+  if (a_words != b_words) {
+    std::size_t i = 0;
+    while (i < std::min(a_words.size(), b_words.size()) &&
+           a_words[i] == b_words[i]) {
+      ++i;
+    }
+    std::ostringstream os;
+    os << "word " << i << " differs: primary ";
+    if (i < a_words.size()) os << a_words[i]; else os << "<none>";
+    os << " vs ";
+    if (i < b_words.size()) os << b_words[i]; else os << "<none>";
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace
+
+void SessionComparator::attach(std::size_t backends, std::size_t primary) {
+  require(backends > 0, "SessionComparator: need at least one backend");
+  require(primary < backends, "SessionComparator: primary out of range");
+  backends_ = backends;
+  primary_ = primary;
+}
+
+void SessionComparator::note_response(std::size_t backend,
+                                      const TimedMessage& m) {
+  require(backends_ > 0, "SessionComparator: attach() before responses");
+  require(backend < backends_, "SessionComparator: backend out of range");
+  if (m.time_update_only) return;
+  Stream& s = streams_[m.type];
+  Slot slot;
+  slot.time = m.timestamp;
+  slot.cell = m.cell;
+  slot.words = m.words;
+  if (backend == primary_) {
+    s.primary.push_back(std::move(slot));
+    ++s.primary_seen;
+    for (auto& [idx, lane] : s.others) match_ready(m.type, s, idx, lane);
+  } else {
+    auto [it, inserted] = s.others.try_emplace(backend);
+    PerBackendStream& lane = it->second;
+    if (inserted) lane.taken = s.matched_floor;
+    lane.pending.push_back(std::move(slot));
+    match_ready(m.type, s, backend, lane);
+  }
+  drop_consumed(s);
+}
+
+void SessionComparator::match_ready(std::uint32_t stream_id, Stream& s,
+                                    std::size_t backend,
+                                    PerBackendStream& lane) {
+  while (!lane.dead && !lane.pending.empty() &&
+         lane.taken < s.primary_seen) {
+    const Slot& want = s.primary[lane.taken - s.matched_floor];
+    const Slot& got = lane.pending.front();
+    ++compared_;
+    const std::string diff =
+        diff_payload(want.cell, want.words, got.cell, got.words);
+    if (diff.empty()) {
+      ++matched_;
+    } else {
+      // First divergence on this (backend, stream) pair; freeze the lane so
+      // one root cause does not cascade into a mismatch per response.
+      divergences_.push_back({backend, stream_id, lane.taken, want.time,
+                              got.time, diff});
+      lane.dead = true;
+      lane.pending.clear();
+      return;
+    }
+    lane.pending.pop_front();
+    ++lane.taken;
+  }
+}
+
+void SessionComparator::drop_consumed(Stream& s) {
+  // A primary slot can be discarded once every other backend has compared
+  // it.  Before all backends_ - 1 lanes exist, nothing may be dropped: a
+  // backend whose first response is still to come must find the early
+  // primary slots intact.
+  if (backends_ == 1) {
+    s.matched_floor = s.primary_seen;
+    s.primary.clear();
+    return;
+  }
+  if (s.others.size() < backends_ - 1) return;
+  std::uint64_t floor = s.primary_seen;
+  for (const auto& [idx, lane] : s.others) {
+    if (lane.dead) continue;  // frozen lanes never consume again
+    floor = std::min(floor, lane.taken);
+  }
+  while (s.matched_floor < floor) {
+    s.primary.pop_front();
+    ++s.matched_floor;
+  }
+}
+
+void SessionComparator::finish() {
+  for (auto& [stream_id, s] : streams_) {
+    for (auto& [idx, lane] : s.others) {
+      if (lane.dead) continue;
+      if (lane.taken < s.primary_seen) {
+        // Backend fell short of the primary's response count.
+        const Slot& missing = s.primary[lane.taken - s.matched_floor];
+        divergences_.push_back(
+            {idx, stream_id, lane.taken, missing.time, SimTime::zero(),
+             "backend produced " + std::to_string(lane.taken) +
+                 " responses, primary produced " +
+                 std::to_string(s.primary_seen)});
+        lane.dead = true;
+      } else if (!lane.pending.empty()) {
+        // Backend produced responses the primary never did.
+        divergences_.push_back(
+            {idx, stream_id, lane.taken, SimTime::zero(),
+             lane.pending.front().time,
+             "backend produced " +
+                 std::to_string(lane.taken + lane.pending.size()) +
+                 " responses, primary produced " +
+                 std::to_string(s.primary_seen)});
+        lane.dead = true;
+      }
+      lane.pending.clear();
+    }
+  }
+}
+
+std::optional<Divergence> SessionComparator::first_divergence(
+    std::uint32_t stream) const {
+  std::optional<Divergence> best;
+  for (const Divergence& d : divergences_) {
+    if (d.stream != stream) continue;
+    if (!best || d.index < best->index) best = d;
+  }
+  return best;
+}
+
+std::string SessionComparator::report() const {
+  std::ostringstream os;
+  os << "cross-backend comparison over " << backends_ << " backends: "
+     << compared_ << " responses compared, " << matched_ << " matched, "
+     << divergences_.size() << " divergences\n";
+  for (const Divergence& d : divergences_) {
+    os << "  [backend " << d.backend << " stream " << d.stream << " #"
+       << d.index << " @ primary " << d.primary_time.to_string()
+       << " / backend " << d.backend_time.to_string() << "] " << d.detail
+       << "\n";
   }
   return os.str();
 }

@@ -1,383 +1,43 @@
 #include "src/castanet/coverify.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cstdlib>
-
-#include "src/core/error.hpp"
-
 namespace castanet::cosim {
+
+namespace {
+
+VerificationSession::Params session_params(const CoVerification::Params& p) {
+  VerificationSession::Params sp;
+  sp.ipc_overhead_per_message = p.ipc_overhead_per_message;
+  sp.response_latency = p.response_latency;
+  sp.pipelined = p.pipelined;
+  sp.channel_capacity = p.channel_capacity;
+  sp.clock_announce_stride = p.clock_announce_stride;
+  sp.clock_period = p.sync.clock_period;
+  return sp;
+}
+
+}  // namespace
 
 CoVerification::CoVerification(netsim::Simulation& net, rtl::Simulator& hdl,
                                netsim::Node& node, unsigned streams,
                                Params params)
-    : net_(net), hdl_(hdl),
-      net_to_hdl_(MessageChannel::Params{params.ipc_overhead_per_message}),
-      hdl_to_net_(MessageChannel::Params{params.ipc_overhead_per_message}),
-      params_(params) {
-  gateway_ = &node.add_process<GatewayProcess>("castanet_if", net_to_hdl_,
-                                               streams);
-  entity_ = std::make_unique<CosimEntity>(hdl, net_to_hdl_, hdl_to_net_,
-                                          params.sync);
-}
-
-CoVerification::~CoVerification() {
-  // run_until always joins before returning, so a live worker here means an
-  // unwind tore through the orchestrator; make sure the thread cannot
-  // outlive the members it touches.
-  if (worker_.joinable()) {
-    if (cmd_chan_) cmd_chan_->close();
-    if (resp_chan_) resp_chan_->close();
-    worker_.join();
-  }
-}
-
-void CoVerification::schedule_response(TimedMessage m) {
-  // A response computed at HDL time t re-enters the network model no
-  // earlier than t (plus the configured latency) and never in the
-  // network's past.
-  SimTime when = m.timestamp + params_.response_latency;
-  if (when < net_.now()) when = net_.now();
-  net_.scheduler().schedule_at(when, [this, msg = std::move(m)] {
-    if (on_response_) {
-      on_response_(msg);
-      return;
-    }
-    if (msg.cell) {
-      netsim::Packet p;
-      p.set_id(net_.next_packet_id());
-      p.set_creation_time(net_.now());
-      p.set_cell(*msg.cell);
-      gateway_->emit_response(msg.type, std::move(p));
-    }
-  });
-}
-
-void CoVerification::pump_responses() {
-  while (auto m = hdl_to_net_.receive()) schedule_response(std::move(*m));
-}
-
-void CoVerification::catch_up_hdl(SimTime limit) {
-  // Keep granting windows until the protocol stops making progress.  The
-  // message-driven policies converge in one iteration; lockstep needs one
-  // iteration per clock period.
-  for (;;) {
-    const SimTime w = entity_->window();
-    const SimTime target = std::min(w - SimTime::from_ps(1), limit);
-    if (target <= hdl_.now()) break;
-    entity_->advance_hdl_to(target);
-    pump_responses();
-  }
-}
-
-void CoVerification::run_until(SimTime limit) {
-  if (params_.pipelined) {
-    run_until_pipelined(limit);
-  } else {
-    run_until_serial(limit);
-  }
-}
-
-void CoVerification::run_until_serial(SimTime limit) {
-  net_.start();
-  while (true) {
-    const SimTime next = net_.scheduler().next_event_time();
-    if (next > limit) break;
-    net_.scheduler().step();
-    ++net_events_;
-
-    // Announce the originator's clock, then let the HDL side catch up.
-    entity_->pump();
-    entity_->sync().push(make_time_update(net_.now()));
-    catch_up_hdl(limit);
-    pump_responses();
-  }
-  // Final catch-up: grant the HDL side the rest of the horizon.  Responses
-  // scheduled back into the network may create new events, so iterate until
-  // both sides are quiescent up to the limit.
-  for (;;) {
-    net_.scheduler().advance_to(
-        std::min(limit, net_.scheduler().next_event_time()));
-    entity_->pump();
-    entity_->sync().push(make_time_update(limit));
-    catch_up_hdl(limit);
-    pump_responses();
-    if (net_.scheduler().next_event_time() > limit) break;
-    net_.run_until(limit);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Pipelined mode.
-//
-// The grant stream the worker sees is the same stream of (messages, time
-// update) pairs the serial loop would feed the protocol, in the same order —
-// so for a given DUT input stream the HDL side computes bit-identical
-// behavior.  Coalescing consecutive grants into one catch-up is safe because
-// windows are monotone and deliverable messages still apply at their own
-// time stamps; it only merges catch-up iterations, it never reorders or
-// drops protocol input.  Responses re-enter the network later than in serial
-// mode (clamped to the network's run-ahead now()), so the input stream
-// itself is only guaranteed unchanged in feed-forward topologies — see the
-// determinism caveat in coverify.hpp.
-
-void CoVerification::start_worker() {
-  cmd_chan_ =
-      std::make_unique<SpscChannel<WorkerCmd>>(params_.channel_capacity);
-  resp_chan_ =
-      std::make_unique<SpscChannel<TimedMessage>>(params_.channel_capacity);
-  {
-    std::lock_guard<std::mutex> lk(done_mu_);
-    cmds_sent_ = 0;
-    cmds_done_ = 0;
-    worker_dead_ = false;
-    worker_exited_ = false;
-    worker_error_ = nullptr;
-  }
-  worker_ = std::thread([this] { worker_main(); });
-}
-
-void CoVerification::worker_main() {
-  try {
-    // Coalesce grants into large catch-up batches — this is where the
-    // pipeline wins: one window computation and one kernel run per batch
-    // instead of per net event.  The hysteresis in receive_some keeps this
-    // thread parked until a real backlog exists, so on a shared core the
-    // network side gets long uninterrupted runs between batches.
-    // Cap the hint well below the channel capacity: letting thousands of
-    // commands pile up in the deque before draining streams hundreds of KB
-    // through the cache and evicts the kernel's working set, which costs
-    // more than the extra wake-ups save.
-    const std::size_t backlog_hint = std::min<std::size_t>(
-        std::size_t{64},
-        std::max<std::size_t>(std::size_t{1}, params_.channel_capacity / 4));
-    // Per-advance grant chunk.  Coalescing amortizes window computation and
-    // wake-ups, but an unbounded chunk pre-schedules so many far-future
-    // deliverables that the kernel's working set falls out of cache; a
-    // moderate chunk keeps both effects in check (16 measured best on
-    // E1-B; override with CASTANET_COSIM_CHUNK to re-tune).
-    std::size_t chunk = 16;
-    if (const char* env = std::getenv("CASTANET_COSIM_CHUNK")) {
-      chunk = std::strtoull(env, nullptr, 10);
-      if (chunk == 0) chunk = 1;
-    }
-    std::vector<WorkerCmd> cmds;
-    for (;;) {
-      // Park until a real backlog exists; flush_worker() nudges us awake
-      // when the producer has nothing further to send, so the long timeout
-      // is only a fallback and the idle worker does not preempt the
-      // network thread at a polling cadence.
-      if (!cmd_chan_->receive_some(cmds, backlog_hint,
-                                   std::chrono::milliseconds(10))) {
-        break;
-      }
-      if (cmds.empty()) continue;  // timed out waiting for a backlog
-      for (std::size_t i = 0; i < cmds.size(); i += chunk) {
-        const std::size_t end = std::min(cmds.size(), i + chunk);
-        SimTime horizon = SimTime::zero();
-        for (std::size_t c = i; c < end; ++c) {
-          for (TimedMessage& m : cmds[c].msgs) entity_->sync().push(m);
-          horizon = std::max(horizon, cmds[c].limit);
-        }
-        // One clock update per chunk: net_now is monotone in send order, so
-        // the last command's clock subsumes the earlier ones (the messages
-        // carry their own time stamps and are unaffected).
-        entity_->sync().push(make_time_update(cmds[end - 1].net_now));
-        worker_catch_up(horizon);
-        worker_batches_.fetch_add(1, std::memory_order_relaxed);
-        const std::uint64_t done =
-            cmds_done_.fetch_add(end - i, std::memory_order_release) +
-            (end - i);
-        // Only wake the flushing thread when everything it sent has run;
-        // mid-run notifications would preempt this thread once per chunk.
-        // The empty lock/unlock pairs the counter update with a flusher
-        // that has checked the predicate but not yet parked on done_cv_.
-        if (done >= cmds_sent_.load(std::memory_order_acquire)) {
-          { std::lock_guard<std::mutex> lk(done_mu_); }
-          done_cv_.notify_one();
-        }
-      }
-      cmds.clear();
-    }
-  } catch (...) {
-    {
-      std::lock_guard<std::mutex> lk(done_mu_);
-      worker_error_ = std::current_exception();
-      worker_dead_ = true;
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lk(done_mu_);
-    worker_exited_ = true;
-  }
-  done_cv_.notify_all();
-}
-
-void CoVerification::worker_catch_up(SimTime limit) {
-  // Same convergence loop as catch_up_hdl, but DUT responses are forwarded
-  // over the SPSC channel for the network-side thread to schedule.  The
-  // responses of one advance are shipped as a batch: one lock acquisition
-  // instead of one per message.
-  std::vector<TimedMessage> out;
-  for (;;) {
-    const SimTime w = entity_->window();
-    const SimTime target = std::min(w - SimTime::from_ps(1), limit);
-    if (target <= hdl_.now()) break;
-    entity_->advance_hdl_to(target);
-    while (auto m = hdl_to_net_.receive()) out.push_back(std::move(*m));
-    if (!out.empty()) {
-      const std::size_t n = out.size();
-      if (resp_chan_->send_all(out) < n) return;  // closed: shutting down
-    }
-  }
-}
-
-void CoVerification::send_command(WorkerCmd cmd) {
-  while (!cmd_chan_->try_send(cmd)) {
-    // Full channel: the HDL side is the bottleneck right now.  Drain
-    // responses while stalled so the worker can never deadlock blocked on a
-    // full response channel while we block on a full command channel.
-    ++window_grant_stalls_;
-    drain_worker_responses();
-    cmd_chan_->wait_space();
-    if (worker_dead_.load(std::memory_order_acquire))
-      return;  // error is rethrown by shutdown_worker()
-  }
-  cmds_sent_.fetch_add(1, std::memory_order_release);
-}
-
-void CoVerification::drain_worker_responses() {
-  // Batch drain: one lock acquisition for everything queued (and none at
-  // all while the channel is empty, which is the common case for the
-  // per-event poll in the net loop).
-  resp_scratch_.clear();
-  if (resp_chan_->try_receive_all(resp_scratch_) == 0) return;
-  for (TimedMessage& m : resp_scratch_) schedule_response(std::move(m));
-  resp_scratch_.clear();
-}
-
-void CoVerification::flush_worker() {
-  // The worker notifies done_cv_ once everything sent has executed, so the
-  // wait is notification-driven; the timeout is only a fallback that lets
-  // us drain the response channel if the worker ever blocks on it full.
-  // Keep it long: every spurious wake-up here preempts the worker on a
-  // shared core and evicts part of its working set.
-  cmd_chan_->nudge();  // the backlog may be below the worker's wake threshold
-  for (;;) {
-    drain_worker_responses();
-    std::unique_lock<std::mutex> lk(done_mu_);
-    if (worker_dead_.load(std::memory_order_acquire) ||
-        cmds_done_.load(std::memory_order_acquire) >=
-            cmds_sent_.load(std::memory_order_acquire))
-      break;
-    done_cv_.wait_for(lk, std::chrono::milliseconds(20));
-  }
-  // The last batch may have produced responses after our final drain above.
-  drain_worker_responses();
-}
-
-void CoVerification::shutdown_worker() {
-  cmd_chan_->close();
-  // Keep draining responses until the worker returns, so it cannot sit
-  // blocked on a full response channel while we wait to join.
-  for (;;) {
-    drain_worker_responses();
-    std::unique_lock<std::mutex> lk(done_mu_);
-    if (worker_exited_) break;
-    done_cv_.wait_for(lk, std::chrono::milliseconds(5));
-  }
-  resp_chan_->close();
-  worker_.join();
-  drain_worker_responses();
-  max_channel_occupancy_ = std::max(
-      {max_channel_occupancy_,
-       static_cast<std::uint64_t>(cmd_chan_->max_occupancy()),
-       static_cast<std::uint64_t>(resp_chan_->max_occupancy())});
-  std::exception_ptr err;
-  {
-    std::lock_guard<std::mutex> lk(done_mu_);
-    err = worker_error_;
-    worker_error_ = nullptr;
-  }
-  cmd_chan_.reset();
-  resp_chan_.reset();
-  if (err) std::rethrow_exception(err);
-}
-
-void CoVerification::run_until_pipelined(SimTime limit) {
-  net_.start();
-  start_worker();
-  SimTime announced = SimTime::zero();
-  try {
-    while (true) {
-      const SimTime next = net_.scheduler().next_event_time();
-      if (next > limit) break;
-      net_.scheduler().step();
-      ++net_events_;
-
-      // Same protocol input the serial loop would push — gateway output
-      // first, then the originator's clock — shipped as one grant.  The
-      // network side immediately moves on to its next event.  Pure clock
-      // announcements that advanced less than clock_announce_stride HDL
-      // clock periods since the last grant are elided: they only refine
-      // the catch-up granularity (message-carrying grants and the final
-      // horizon grant carry net time themselves), so shipping each tiny
-      // step is channel overhead with no protocol effect.
-      WorkerCmd cmd;
-      while (auto m = net_to_hdl_.receive()) cmd.msgs.push_back(std::move(*m));
-      cmd.net_now = net_.now();
-      cmd.limit = limit;
-      if (!cmd.msgs.empty() ||
-          cmd.net_now - announced >=
-              params_.sync.clock_period *
-                  std::max<std::uint32_t>(1, params_.clock_announce_stride)) {
-        announced = cmd.net_now;
-        send_command(std::move(cmd));
-      }
-      drain_worker_responses();
-      if (worker_dead_.load(std::memory_order_acquire)) break;
-    }
-    // Final catch-up, mirroring the serial epilogue: grant the rest of the
-    // horizon, wait for the worker to finish it, and iterate because
-    // responses re-entering the network can create new events below the
-    // limit.
-    for (;;) {
-      net_.scheduler().advance_to(
-          std::min(limit, net_.scheduler().next_event_time()));
-      WorkerCmd cmd;
-      while (auto m = net_to_hdl_.receive()) cmd.msgs.push_back(std::move(*m));
-      cmd.net_now = limit;
-      cmd.limit = limit;
-      send_command(std::move(cmd));
-      flush_worker();
-      if (worker_dead_.load(std::memory_order_acquire)) break;
-      if (net_.scheduler().next_event_time() > limit) break;
-      net_.run_until(limit);
-    }
-  } catch (...) {
-    try {
-      shutdown_worker();
-    } catch (...) {
-      // Prefer the original exception over a secondary worker failure.
-    }
-    throw;
-  }
-  shutdown_worker();
+    : backend_("rtl", hdl, params.sync,
+               MessageChannel::Params{params.ipc_overhead_per_message}),
+      session_(net, node, streams, session_params(params)) {
+  session_.attach(backend_);
 }
 
 CoVerification::Stats CoVerification::stats() const {
-  // Only meaningful between run_until calls; the join in shutdown_worker()
-  // orders every worker-side write before this read.
+  const VerificationSession::Stats ss = session_.stats();
   Stats s;
-  s.net_events = net_events_;
-  s.messages_to_hdl = net_to_hdl_.messages_sent();
-  s.messages_to_net = hdl_to_net_.messages_sent();
-  s.windows = entity_->sync().windows_granted();
-  s.max_lag_seconds = entity_->sync().max_lag_seconds();
-  s.causality_errors = entity_->sync().causality_errors();
-  s.window_grant_stalls = window_grant_stalls_;
-  s.max_channel_occupancy = max_channel_occupancy_;
-  s.worker_batches = worker_batches_;
+  s.net_events = ss.net_events;
+  s.messages_to_hdl = ss.messages_to_hdl;
+  s.messages_to_net = backend_.response_channel().messages_sent();
+  s.windows = ss.backends[0].windows;
+  s.max_lag_seconds = ss.backends[0].max_lag_seconds;
+  s.causality_errors = ss.backends[0].causality_errors;
+  s.window_grant_stalls = ss.window_grant_stalls;
+  s.max_channel_occupancy = ss.max_channel_occupancy;
+  s.worker_batches = ss.backends[0].worker_batches;
   return s;
 }
 

@@ -1,13 +1,12 @@
-// Co-verification orchestrator — the whole of Fig. 2 in one object.
+// Two-party co-verification orchestrator — Fig. 2 as one object.
 //
-// Owns the message channels between a netsim::Simulation (the "OPNET") and
-// an rtl::Simulator (the "VSS"), the OPNET-side gateway and the HDL-side
-// co-simulation entity, and runs the coupled simulation: network events
-// execute in time-stamp order; after each one the entity is pumped, the
-// conservative protocol computes the safe window, the HDL simulator catches
-// up, and DUT responses flow back into the network model as packets.
+// Since the N-backend refactor this is a thin shim over VerificationSession
+// with a single RtlBackend attached: the session owns the OPNET-side gateway
+// and the run loop (serial and pipelined), the backend owns the HDL-side
+// co-simulation entity and its conservative-sync instance.  The public API,
+// parameters, statistics, and both execution modes' observable behavior are
+// unchanged from the pre-refactor orchestrator:
 //
-// Two execution modes:
 //   * serial (default): both simulators interleave on the calling thread —
 //     fully deterministic, the mode determinism-sensitive tests rely on;
 //   * pipelined: the RTL simulator runs on its own worker thread, fed by a
@@ -23,27 +22,23 @@
 //     into the DUT apply at their own time stamps, so the DUT input stream
 //     — and therefore every DUT output — is unchanged.  Responses, however,
 //     are drained on the network thread after the network has run ahead,
-//     and schedule_response clamps their re-entry to the network's current
-//     time: response-triggered network events can execute at later times
-//     than in serial mode.  In a topology where those events feed back into
+//     and their re-entry is clamped to the network's current time:
+//     response-triggered network events can execute at later times than in
+//     serial mode.  In a topology where those events feed back into
 //     DUT-input generation, the DUT input stream itself can legally differ
 //     from serial mode.  Use serial mode when a feedback rig must be
 //     reproduced exactly.
+//
+// Rigs that want more than one device under the same testbench (RTL +
+// reference model + board) should use VerificationSession directly — see
+// session.hpp.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <exception>
 #include <functional>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
-#include "src/castanet/entity.hpp"
-#include "src/castanet/gateway.hpp"
-#include "src/netsim/simulation.hpp"
+#include "src/castanet/backend.hpp"
+#include "src/castanet/session.hpp"
 
 namespace castanet::cosim {
 
@@ -77,25 +72,28 @@ class CoVerification {
   /// streams; connect network models to it like to any process.
   CoVerification(netsim::Simulation& net, rtl::Simulator& hdl,
                  netsim::Node& node, unsigned streams, Params params);
-  ~CoVerification();
 
-  GatewayProcess& gateway() { return *gateway_; }
-  CosimEntity& entity() { return *entity_; }
-  MessageChannel& net_to_hdl() { return net_to_hdl_; }
-  MessageChannel& hdl_to_net() { return hdl_to_net_; }
+  GatewayProcess& gateway() { return session_.gateway(); }
+  CosimEntity& entity() { return backend_.entity(); }
+  /// Gateway -> HDL channel (transport-overhead accounting).
+  MessageChannel& net_to_hdl() { return session_.gateway_channel(); }
+  /// HDL -> net response channel (transport-overhead accounting).
+  MessageChannel& hdl_to_net() { return backend_.response_channel(); }
 
   /// Handles a DUT response message; default (if unset): cell responses are
   /// re-emitted by the gateway on the output stream matching the message
   /// type.  The handler runs inside a network-simulation event at a time
   /// >= both the HDL time stamp and the network's current time.
   using ResponseHandler = std::function<void(const TimedMessage&)>;
-  void set_response_handler(ResponseHandler h) { on_response_ = std::move(h); }
+  void set_response_handler(ResponseHandler h) {
+    session_.set_response_handler(std::move(h));
+  }
 
   /// Runs the coupled simulation until network time `limit`.  In pipelined
   /// mode the worker thread lives only inside this call: it is spawned on
   /// entry and joined before returning, so stats() and the simulators are
   /// always safe to inspect between runs.
-  void run_until(SimTime limit);
+  void run_until(SimTime limit) { session_.run_until(limit); }
 
   struct Stats {
     std::uint64_t net_events = 0;
@@ -111,72 +109,15 @@ class CoVerification {
   };
   Stats stats() const;
 
+  /// The underlying N-backend session (e.g. to attach a second backend
+  /// before the first run, or to read the cross-backend comparator).
+  VerificationSession& session() { return session_; }
+
  private:
-  /// One unit of work handed to the RTL worker: messages to push into the
-  /// conservative protocol, the originator's clock (as a field rather than
-  /// a TimedMessage so the common no-payload grant needs no allocation),
-  /// then a catch-up horizon.
-  struct WorkerCmd {
-    std::vector<TimedMessage> msgs;
-    SimTime net_now;
-    SimTime limit;
-  };
-
-  void run_until_serial(SimTime limit);
-  void run_until_pipelined(SimTime limit);
-
-  // Shared response path: schedules a DUT response back into the network.
-  void schedule_response(TimedMessage m);
-  void pump_responses();          // serial mode: drains hdl_to_net_
-  void catch_up_hdl(SimTime limit);
-
-  // Pipelined mode (main thread side).
-  void start_worker();
-  void send_command(WorkerCmd cmd);
-  void drain_worker_responses();  // drains resp_chan_
-  void flush_worker();            // waits until every sent command executed
-  void shutdown_worker();         // closes channels, joins, drains
-
-  // Pipelined mode (worker thread side).
-  void worker_main();
-  void worker_catch_up(SimTime limit);
-
-  netsim::Simulation& net_;
-  rtl::Simulator& hdl_;
-  MessageChannel net_to_hdl_;
-  MessageChannel hdl_to_net_;
-  GatewayProcess* gateway_ = nullptr;
-  std::unique_ptr<CosimEntity> entity_;
-  Params params_;
-  ResponseHandler on_response_;
-  std::uint64_t net_events_ = 0;
-
-  // Worker plumbing.  While the worker lives, hdl_/entity_/hdl_to_net_
-  // belong to the worker thread and net_/net_to_hdl_ to the caller; the
-  // SPSC channels are the only shared state.
-  std::unique_ptr<SpscChannel<WorkerCmd>> cmd_chan_;
-  std::unique_ptr<SpscChannel<TimedMessage>> resp_chan_;
-  std::thread worker_;
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  /// Written by the sender only; atomic so the worker's completion check
-  /// needs no extra lock on the send path.
-  std::atomic<std::uint64_t> cmds_sent_{0};
-  // Progress counters.  Atomic rather than done_mu_-guarded so the worker's
-  // steady state touches no lock at all: it bumps cmds_done_, and only on
-  // the completion edge (done caught up with sent) does it synchronize with
-  // done_mu_ to publish the wake-up.
-  std::atomic<std::uint64_t> cmds_done_{0};
-  std::atomic<std::uint64_t> worker_batches_{0};
-  // True once the worker has failed; atomic so the per-event poll in the
-  // net loop never touches done_mu_ (the worker takes that lock per chunk,
-  // and on a shared core every contended acquire is a context switch).
-  std::atomic<bool> worker_dead_{false};
-  bool worker_exited_ = false;    // guarded by done_mu_; worker_main returned
-  std::exception_ptr worker_error_;   // guarded by done_mu_
-  std::uint64_t window_grant_stalls_ = 0;  // main thread only
-  std::uint64_t max_channel_occupancy_ = 0;  // updated at shutdown
-  std::vector<TimedMessage> resp_scratch_;   // main thread only
+  // Declaration order matters: session_ is destroyed FIRST (it joins any
+  // still-live worker threads, which reference backend_).
+  RtlBackend backend_;
+  VerificationSession session_;
 };
 
 }  // namespace castanet::cosim

@@ -1,0 +1,449 @@
+#include "src/castanet/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "src/core/error.hpp"
+
+namespace castanet::cosim {
+
+VerificationSession::VerificationSession(netsim::Simulation& net,
+                                         netsim::Node& node, unsigned streams,
+                                         Params params)
+    : net_(net),
+      from_gateway_(MessageChannel::Params{params.ipc_overhead_per_message}),
+      params_(params) {
+  gateway_ = &node.add_process<GatewayProcess>("castanet_if", from_gateway_,
+                                               streams);
+}
+
+VerificationSession::~VerificationSession() {
+  // run_until always joins before returning, so live workers here mean an
+  // unwind tore through the session; make sure no thread can outlive the
+  // members it touches.
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->cmd->close();
+      w->resp->close();
+      w->thread.join();
+    }
+  }
+}
+
+std::size_t VerificationSession::attach(DutBackend& backend) {
+  require(!ran_, "VerificationSession: attach every backend before running");
+  backends_.push_back(&backend);
+  responses_drained_.push_back(0);
+  worker_batches_total_.push_back(0);
+  return backends_.size() - 1;
+}
+
+void VerificationSession::set_primary(std::size_t index) {
+  require(index < backends_.size(), "VerificationSession: primary out of range");
+  require(!ran_, "VerificationSession: set the primary before running");
+  primary_ = index;
+}
+
+void VerificationSession::run_until(SimTime limit) {
+  require(!backends_.empty(),
+          "VerificationSession: attach at least one backend before running");
+  if (!ran_) {
+    comparator_.attach(backends_.size(), primary_);
+    ran_ = true;
+  }
+  if (params_.pipelined) {
+    run_until_pipelined(limit);
+  } else {
+    run_until_serial(limit);
+  }
+  finish_backends(limit);
+}
+
+// ---------------------------------------------------------------------------
+// Shared response path.
+
+void VerificationSession::schedule_response(TimedMessage m) {
+  // A response computed at backend time t re-enters the network model no
+  // earlier than t (plus the configured latency) and never in the network's
+  // past.
+  SimTime when = m.timestamp + params_.response_latency;
+  if (when < net_.now()) when = net_.now();
+  net_.scheduler().schedule_at(when, [this, msg = std::move(m)] {
+    if (on_response_) {
+      on_response_(msg);
+      return;
+    }
+    if (msg.cell) {
+      netsim::Packet p;
+      p.set_id(net_.next_packet_id());
+      p.set_creation_time(net_.now());
+      p.set_cell(*msg.cell);
+      gateway_->emit_response(msg.type, std::move(p));
+    }
+  });
+}
+
+void VerificationSession::handle_response(std::size_t backend, TimedMessage m,
+                                          bool in_run) {
+  ++responses_drained_[backend];
+  comparator_.note_response(backend, m);
+  if (backend != primary_) return;  // secondary backends are pure checkers
+  if (in_run) {
+    schedule_response(std::move(m));
+  } else if (on_response_) {
+    // finish()-hook responses arrive after the horizon: the network loop is
+    // over, so they cannot be scheduled as events.  The handler runs
+    // directly; without one they feed the comparator only.
+    on_response_(m);
+  }
+}
+
+void VerificationSession::drain_backend(std::size_t backend, bool in_run) {
+  resp_scratch_.clear();
+  backends_[backend]->drain_responses(resp_scratch_);
+  for (TimedMessage& m : resp_scratch_)
+    handle_response(backend, std::move(m), in_run);
+  resp_scratch_.clear();
+}
+
+void VerificationSession::finish_backends(SimTime limit) {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    backends_[i]->finish(limit);
+    drain_backend(i, /*in_run=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial mode: the N-backend generalization of CoVerification's loop.  Per
+// network event, every backend sees the identical protocol input (gateway
+// messages, then the originator's clock) and catches up to its own window;
+// draining after the full catch-up is equivalent to draining per grant
+// because net time does not advance inside a catch-up (scheduled re-entry
+// times and their order are unchanged).
+
+void VerificationSession::run_until_serial(SimTime limit) {
+  net_.start();
+  while (true) {
+    const SimTime next = net_.scheduler().next_event_time();
+    if (next > limit) break;
+    net_.scheduler().step();
+    ++net_events_;
+
+    msg_scratch_.clear();
+    while (auto m = from_gateway_.receive())
+      msg_scratch_.push_back(std::move(*m));
+    const TimedMessage clock = make_time_update(net_.now());
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      DutBackend& b = *backends_[i];
+      for (const TimedMessage& m : msg_scratch_) b.push(m);
+      b.push(clock);
+      b.catch_up(limit);
+      drain_backend(i, /*in_run=*/true);
+    }
+  }
+  // Final catch-up: grant every backend the rest of the horizon.  Responses
+  // scheduled back into the network may create new events, so iterate until
+  // all sides are quiescent up to the limit.
+  for (;;) {
+    net_.scheduler().advance_to(
+        std::min(limit, net_.scheduler().next_event_time()));
+    msg_scratch_.clear();
+    while (auto m = from_gateway_.receive())
+      msg_scratch_.push_back(std::move(*m));
+    const TimedMessage horizon = make_time_update(limit);
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      DutBackend& b = *backends_[i];
+      for (const TimedMessage& m : msg_scratch_) b.push(m);
+      b.push(horizon);
+      b.catch_up(limit);
+      drain_backend(i, /*in_run=*/true);
+    }
+    if (net_.scheduler().next_event_time() > limit) break;
+    net_.run_until(limit);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined mode: coverify.cpp's worker protocol, instantiated once per
+// backend.  Each worker owns its backend for the duration of the run; the
+// session thread fans every grant out to all command channels and drains
+// all response channels.  Workers share nothing but done_mu_/done_cv_ (the
+// completion-edge wakeup) — the §3.1 windows remain the only
+// synchronization points between simulators.
+
+void VerificationSession::start_workers() {
+  workers_.clear();
+  for (DutBackend* b : backends_) {
+    auto w = std::make_unique<Worker>();
+    w->backend = b;
+    w->cmd = std::make_unique<SpscChannel<WorkerCmd>>(params_.channel_capacity);
+    w->resp =
+        std::make_unique<SpscChannel<TimedMessage>>(params_.channel_capacity);
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { worker_main(*raw); });
+  }
+}
+
+void VerificationSession::worker_main(Worker& w) {
+  try {
+    // Coalesce grants into large catch-up batches (see coverify.cpp for the
+    // tuning rationale of the backlog hint and the chunk size).
+    const std::size_t backlog_hint = std::min<std::size_t>(
+        std::size_t{64},
+        std::max<std::size_t>(std::size_t{1}, params_.channel_capacity / 4));
+    std::size_t chunk = 16;
+    if (const char* env = std::getenv("CASTANET_COSIM_CHUNK")) {
+      chunk = std::strtoull(env, nullptr, 10);
+      if (chunk == 0) chunk = 1;
+    }
+    std::vector<WorkerCmd> cmds;
+    for (;;) {
+      if (!w.cmd->receive_some(cmds, backlog_hint,
+                               std::chrono::milliseconds(10))) {
+        break;
+      }
+      if (cmds.empty()) continue;  // timed out waiting for a backlog
+      for (std::size_t i = 0; i < cmds.size(); i += chunk) {
+        const std::size_t end = std::min(cmds.size(), i + chunk);
+        SimTime horizon = SimTime::zero();
+        for (std::size_t c = i; c < end; ++c) {
+          for (TimedMessage& m : cmds[c].msgs) w.backend->push(m);
+          horizon = std::max(horizon, cmds[c].limit);
+        }
+        // One clock update per chunk: net_now is monotone in send order, so
+        // the last command's clock subsumes the earlier ones.
+        w.backend->push(make_time_update(cmds[end - 1].net_now));
+        worker_catch_up(w, horizon);
+        w.batches.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t done =
+            w.done.fetch_add(end - i, std::memory_order_release) + (end - i);
+        // Only wake the flushing thread on the completion edge; the empty
+        // lock/unlock pairs the counter update with a flusher that has
+        // checked the predicate but not yet parked on done_cv_.
+        if (done >= w.sent.load(std::memory_order_acquire)) {
+          { std::lock_guard<std::mutex> lk(done_mu_); }
+          done_cv_.notify_all();
+        }
+      }
+      cmds.clear();
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      w.error = std::current_exception();
+    }
+    w.dead.store(true, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    w.exited = true;
+  }
+  done_cv_.notify_all();
+}
+
+bool VerificationSession::worker_catch_up(Worker& w, SimTime limit) {
+  // Same convergence loop as the serial path, but responses are forwarded
+  // over the SPSC channel for the session thread to schedule/compare.  The
+  // responses of one advance ship as a batch: one lock acquisition instead
+  // of one per message.  Draining inside the catch-up lets the bounded
+  // response channel apply back-pressure without deadlock.
+  std::vector<TimedMessage> out;
+  return w.backend->catch_up(limit, [&w, &out]() -> bool {
+    out.clear();
+    w.backend->drain_responses(out);
+    if (!out.empty()) {
+      const std::size_t n = out.size();
+      if (w.resp->send_all(out) < n) return false;  // closed: shutting down
+    }
+    return true;
+  });
+}
+
+void VerificationSession::send_command(WorkerCmd cmd) {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    // The last worker takes the original; earlier ones get copies.
+    WorkerCmd local = (i + 1 == workers_.size()) ? std::move(cmd) : cmd;
+    bool accepted = false;
+    while (!w.dead.load(std::memory_order_acquire)) {
+      if (w.cmd->try_send(local)) {
+        accepted = true;
+        break;
+      }
+      // Full channel: this backend is the bottleneck right now.  Drain
+      // responses while stalled so no worker can deadlock blocked on a full
+      // response channel while we block on a full command channel.
+      ++window_grant_stalls_;
+      drain_worker_responses();
+      w.cmd->wait_space();
+    }
+    if (accepted) w.sent.fetch_add(1, std::memory_order_release);
+    // A dead worker's error is rethrown by shutdown_workers().
+  }
+}
+
+void VerificationSession::drain_worker_responses() {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    resp_scratch_.clear();
+    if (workers_[i]->resp->try_receive_all(resp_scratch_) == 0) continue;
+    for (TimedMessage& m : resp_scratch_)
+      handle_response(i, std::move(m), /*in_run=*/true);
+  }
+  resp_scratch_.clear();
+}
+
+void VerificationSession::flush_workers() {
+  // Notification-driven wait until every worker has executed everything it
+  // was sent; the timeout is only a fallback that lets us drain response
+  // channels if a worker ever blocks on one full.
+  for (auto& w : workers_) w->cmd->nudge();
+  for (;;) {
+    drain_worker_responses();
+    std::unique_lock<std::mutex> lk(done_mu_);
+    bool all_done = true;
+    for (auto& wp : workers_) {
+      Worker& w = *wp;
+      if (!w.dead.load(std::memory_order_acquire) &&
+          w.done.load(std::memory_order_acquire) <
+              w.sent.load(std::memory_order_acquire)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    done_cv_.wait_for(lk, std::chrono::milliseconds(20));
+  }
+  // The last batches may have produced responses after our final drain.
+  drain_worker_responses();
+}
+
+bool VerificationSession::any_worker_dead() const {
+  for (const auto& w : workers_)
+    if (w->dead.load(std::memory_order_acquire)) return true;
+  return false;
+}
+
+void VerificationSession::shutdown_workers() {
+  for (auto& w : workers_) w->cmd->close();
+  // Keep draining responses until every worker returns, so none can sit
+  // blocked on a full response channel while we wait to join.
+  for (;;) {
+    drain_worker_responses();
+    std::unique_lock<std::mutex> lk(done_mu_);
+    bool all_exited = true;
+    for (auto& w : workers_) {
+      if (!w->exited) {
+        all_exited = false;
+        break;
+      }
+    }
+    if (all_exited) break;
+    done_cv_.wait_for(lk, std::chrono::milliseconds(5));
+  }
+  for (auto& w : workers_) w->resp->close();
+  for (auto& w : workers_) w->thread.join();
+  drain_worker_responses();
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      max_channel_occupancy_ = std::max(
+          {max_channel_occupancy_,
+           static_cast<std::uint64_t>(w.cmd->max_occupancy()),
+           static_cast<std::uint64_t>(w.resp->max_occupancy())});
+      worker_batches_total_[i] += w.batches.load(std::memory_order_relaxed);
+      if (w.error && !err) err = w.error;
+    }
+  }
+  workers_.clear();
+  if (err) std::rethrow_exception(err);
+}
+
+void VerificationSession::run_until_pipelined(SimTime limit) {
+  net_.start();
+  start_workers();
+  SimTime announced = SimTime::zero();
+  try {
+    while (true) {
+      const SimTime next = net_.scheduler().next_event_time();
+      if (next > limit) break;
+      net_.scheduler().step();
+      ++net_events_;
+
+      // Same protocol input the serial loop would push — gateway output
+      // first, then the originator's clock — shipped as one grant to EVERY
+      // worker.  Pure clock announcements are stride-elided exactly as in
+      // the two-party orchestrator.
+      WorkerCmd cmd;
+      while (auto m = from_gateway_.receive())
+        cmd.msgs.push_back(std::move(*m));
+      cmd.net_now = net_.now();
+      cmd.limit = limit;
+      if (!cmd.msgs.empty() ||
+          cmd.net_now - announced >=
+              params_.clock_period *
+                  std::max<std::uint32_t>(1, params_.clock_announce_stride)) {
+        announced = cmd.net_now;
+        send_command(std::move(cmd));
+      }
+      drain_worker_responses();
+      if (any_worker_dead()) break;
+    }
+    // Final catch-up, mirroring the serial epilogue: grant every worker the
+    // rest of the horizon, wait for all to finish it, and iterate because
+    // responses re-entering the network can create new events below the
+    // limit.
+    for (;;) {
+      net_.scheduler().advance_to(
+          std::min(limit, net_.scheduler().next_event_time()));
+      WorkerCmd cmd;
+      while (auto m = from_gateway_.receive())
+        cmd.msgs.push_back(std::move(*m));
+      cmd.net_now = limit;
+      cmd.limit = limit;
+      send_command(std::move(cmd));
+      flush_workers();
+      if (any_worker_dead()) break;
+      if (net_.scheduler().next_event_time() > limit) break;
+      net_.run_until(limit);
+    }
+  } catch (...) {
+    try {
+      shutdown_workers();
+    } catch (...) {
+      // Prefer the original exception over a secondary worker failure.
+    }
+    throw;
+  }
+  shutdown_workers();
+}
+
+VerificationSession::Stats VerificationSession::stats() const {
+  // Only meaningful between run_until calls; the joins in shutdown_workers()
+  // order every worker-side write before these reads.
+  Stats s;
+  s.net_events = net_events_;
+  s.messages_to_hdl = from_gateway_.messages_sent();
+  s.window_grant_stalls = window_grant_stalls_;
+  s.max_channel_occupancy = max_channel_occupancy_;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const DutBackend& b = *backends_[i];
+    BackendStats bs;
+    bs.name = b.name();
+    bs.windows = b.sync().windows_granted();
+    bs.causality_errors = b.sync().causality_errors();
+    bs.max_lag_seconds = b.sync().max_lag_seconds();
+    bs.responses = responses_drained_[i];
+    bs.worker_batches = worker_batches_total_[i];
+    s.responses += bs.responses;
+    s.backends.push_back(std::move(bs));
+  }
+  return s;
+}
+
+}  // namespace castanet::cosim

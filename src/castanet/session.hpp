@@ -1,0 +1,201 @@
+// N-backend verification fabric — the generalization of Fig. 2 to the whole
+// of Fig. 5: ONE testbench (the network simulation, its traffic models and
+// its gateway) drives ANY number of attached device backends in lockstep —
+// the algorithm reference model, the RTL DUT under the HDL kernel, the
+// fabricated device on the test board — each behind its own conservative
+// synchronization instance, with a session-level comparator cross-checking
+// every backend's responses against the primary's.
+//
+// Structure per run_until:
+//   * every network event's gateway output plus the originator's clock is
+//     fanned out to every attached backend (each backend's sync sees the
+//     identical protocol input stream the two-party orchestrator would
+//     produce);
+//   * each backend catches up to its own granted window — backends advance
+//     at their own pace (δ_j differ per backend) but all lag network time;
+//   * responses drain per backend into the SessionComparator; the PRIMARY
+//     backend's responses additionally re-enter the network model (the
+//     closed loop of Fig. 2), so secondary backends are pure checkers and
+//     their attachment cannot perturb the network side.
+//
+// Execution modes mirror CoVerification (which is now a two-party shim over
+// this class):
+//   * serial: everything interleaves on the calling thread, deterministic;
+//   * pipelined: one worker thread + one SPSC channel pair PER BACKEND; the
+//     network thread ships every window grant to all workers and drains all
+//     response channels.  Workers never share state; the §3.1 windows are
+//     the only synchronization points.  The determinism caveat of
+//     coverify.hpp applies unchanged (feed-forward topologies are
+//     bit-identical to serial mode).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/castanet/backend.hpp"
+#include "src/castanet/comparator.hpp"
+#include "src/castanet/gateway.hpp"
+#include "src/netsim/simulation.hpp"
+
+namespace castanet::cosim {
+
+class VerificationSession {
+ public:
+  struct Params {
+    /// Modeled IPC cost per message, charged to the gateway channel.
+    SimTime ipc_overhead_per_message = SimTime::zero();
+    /// Extra model delay for a primary-backend response to re-enter the
+    /// network model.
+    SimTime response_latency = SimTime::zero();
+    /// Run every backend on a dedicated worker thread.
+    bool pipelined = false;
+    /// Capacity of each backend's bounded SPSC channel pair.
+    std::size_t channel_capacity = 256;
+    /// Pipelined mode: pure-clock grants are elided until net time advanced
+    /// this many clock periods past the previous grant (see coverify.hpp).
+    std::uint32_t clock_announce_stride = 100;
+    /// Clock period used for the announce-stride arithmetic (the HDL clock
+    /// in a two-party setup; backends keep their own periods in their own
+    /// sync params).
+    SimTime clock_period = SimTime::from_ns(50);
+  };
+
+  /// The gateway is created inside `node` with `streams` bidirectional
+  /// streams; connect network models to it like to any process.
+  VerificationSession(netsim::Simulation& net, netsim::Node& node,
+                      unsigned streams, Params params);
+  ~VerificationSession();
+  VerificationSession(const VerificationSession&) = delete;
+  VerificationSession& operator=(const VerificationSession&) = delete;
+
+  /// Attaches a backend (not owned; must outlive the session) and returns
+  /// its index.  Attach every backend before the first run_until; index 0
+  /// is the primary unless set_primary overrides.
+  std::size_t attach(DutBackend& backend);
+  /// Selects which backend's responses re-enter the network model and act
+  /// as the comparator's golden stream.
+  void set_primary(std::size_t index);
+  std::size_t primary() const { return primary_; }
+  std::size_t backend_count() const { return backends_.size(); }
+  DutBackend& backend(std::size_t i) { return *backends_.at(i); }
+
+  GatewayProcess& gateway() { return *gateway_; }
+  /// The gateway -> session channel (transport-overhead accounting).
+  MessageChannel& gateway_channel() { return from_gateway_; }
+
+  /// Handles a primary-backend response; default (if unset): cell responses
+  /// re-emitted by the gateway on the stream matching the message type.
+  /// During a run the handler executes inside a network event at a time >=
+  /// both the response time stamp and the network's current time; for
+  /// responses emitted by finish() hooks (after the horizon) it runs
+  /// directly.  Secondary backends' responses go to the comparator only.
+  using ResponseHandler = std::function<void(const TimedMessage&)>;
+  void set_response_handler(ResponseHandler h) { on_response_ = std::move(h); }
+
+  /// Runs the coupled simulation until network time `limit`, then invokes
+  /// every backend's finish() hook and drains the final responses.  In
+  /// pipelined mode the workers live only inside this call.
+  void run_until(SimTime limit);
+
+  /// The session-level cross-backend checker.  Feed-complete after
+  /// run_until; call comparator().finish() once, then inspect.
+  SessionComparator& comparator() { return comparator_; }
+
+  struct BackendStats {
+    std::string name;
+    std::uint64_t windows = 0;
+    std::uint64_t causality_errors = 0;
+    double max_lag_seconds = 0.0;
+    std::uint64_t responses = 0;       ///< responses drained from the backend
+    std::uint64_t worker_batches = 0;  ///< pipelined mode only
+  };
+  struct Stats {
+    std::uint64_t net_events = 0;
+    std::uint64_t messages_to_hdl = 0;  ///< gateway -> backends (fanned out)
+    std::uint64_t responses = 0;        ///< sum over backends
+    std::uint64_t window_grant_stalls = 0;
+    std::uint64_t max_channel_occupancy = 0;
+    std::vector<BackendStats> backends;
+  };
+  Stats stats() const;
+
+ private:
+  /// One unit of work fanned out to every backend worker: messages to push
+  /// into the conservative protocol, the originator's clock, a horizon.
+  struct WorkerCmd {
+    std::vector<TimedMessage> msgs;
+    SimTime net_now;
+    SimTime limit;
+  };
+
+  /// Per-backend pipelined plumbing.  While the worker lives, the backend
+  /// belongs to the worker thread; the SPSC channels are the only shared
+  /// state.  Counter discipline matches coverify.cpp's single-worker
+  /// implementation (lock-free steady state, completion-edge wakeups on the
+  /// session-wide done_mu_/done_cv_).
+  struct Worker {
+    DutBackend* backend = nullptr;
+    std::unique_ptr<SpscChannel<WorkerCmd>> cmd;
+    std::unique_ptr<SpscChannel<TimedMessage>> resp;
+    std::thread thread;
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<bool> dead{false};
+    bool exited = false;             // guarded by done_mu_
+    std::exception_ptr error;        // guarded by done_mu_
+    std::uint64_t max_occupancy = 0; // updated at shutdown
+  };
+
+  void run_until_serial(SimTime limit);
+  void run_until_pipelined(SimTime limit);
+  void finish_backends(SimTime limit);
+
+  // Shared response path.
+  void schedule_response(TimedMessage m);
+  void handle_response(std::size_t backend, TimedMessage m, bool in_run);
+  void drain_backend(std::size_t backend, bool in_run);
+
+  // Pipelined mode (session thread side).
+  void start_workers();
+  void send_command(WorkerCmd cmd);
+  void drain_worker_responses();
+  void flush_workers();
+  void shutdown_workers();
+  bool any_worker_dead() const;
+
+  // Pipelined mode (worker thread side).
+  void worker_main(Worker& w);
+  bool worker_catch_up(Worker& w, SimTime limit);
+
+  netsim::Simulation& net_;
+  MessageChannel from_gateway_;
+  GatewayProcess* gateway_ = nullptr;
+  Params params_;
+  std::vector<DutBackend*> backends_;
+  std::size_t primary_ = 0;
+  SessionComparator comparator_;
+  ResponseHandler on_response_;
+  bool ran_ = false;
+  std::uint64_t net_events_ = 0;
+  std::vector<std::uint64_t> responses_drained_;
+  std::vector<std::uint64_t> worker_batches_total_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::uint64_t window_grant_stalls_ = 0;    // session thread only
+  std::uint64_t max_channel_occupancy_ = 0;  // updated at shutdown
+  std::vector<TimedMessage> msg_scratch_;    // session thread only
+  std::vector<TimedMessage> resp_scratch_;   // session thread only
+};
+
+}  // namespace castanet::cosim

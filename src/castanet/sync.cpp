@@ -10,13 +10,29 @@ void ConservativeSync::declare_input(MessageType type,
                                      std::uint64_t delta_cycles) {
   require(received_ == 0, "ConservativeSync: declare inputs before pushing");
   require(delta_cycles > 0, "ConservativeSync: delta must be >= 1 cycle");
-  InputQueue q;
-  q.delta_cycles = delta_cycles;
-  inputs_[type] = std::move(q);
+  auto it = std::lower_bound(
+      inputs_.begin(), inputs_.end(), type,
+      [](const InputQueue& q, MessageType t) { return q.type < t; });
+  if (it != inputs_.end() && it->type == type) {
+    it->delta_cycles = delta_cycles;  // re-declaration updates delta
+  } else {
+    InputQueue q;
+    q.type = type;
+    q.delta_cycles = delta_cycles;
+    inputs_.insert(it, std::move(q));
+  }
   // min_j delta_j is fixed once inputs are declared; cache it so window()
   // (called once per grant iteration) stays O(#queues) instead of
   // recomputing the minimum.
   min_delta_cycles_ = std::min(min_delta_cycles_, delta_cycles);
+}
+
+ConservativeSync::InputQueue* ConservativeSync::find(MessageType type) {
+  auto it = std::lower_bound(
+      inputs_.begin(), inputs_.end(), type,
+      [](const InputQueue& q, MessageType t) { return q.type < t; });
+  if (it == inputs_.end() || it->type != type) return nullptr;
+  return &*it;
 }
 
 SimTime ConservativeSync::min_delta_time() const {
@@ -44,14 +60,12 @@ void ConservativeSync::push(const TimedMessage& m) {
         "ConservativeSync: message time stamp " + m.timestamp.to_string() +
         " precedes granted window " + granted_.to_string());
   }
-  auto it = inputs_.find(m.type);
-  if (it == inputs_.end()) {
+  InputQueue* q = find(m.type);
+  if (q == nullptr) {
     throw ProtocolError("ConservativeSync: undeclared message type " +
                         std::to_string(m.type));
   }
-  it->second.queue.push_back(m);
-  it->second.newest_ts = m.timestamp;
-  it->second.seen = true;
+  q->queue.push_back(m);
   ++received_;
 }
 
@@ -77,7 +91,7 @@ SimTime ConservativeSync::window() const {
       // newest announced originator time bounds the window.
       bool all_nonempty = !inputs_.empty();
       SimTime min_head = SimTime::max();
-      for (const auto& [type, q] : inputs_) {
+      for (const InputQueue& q : inputs_) {
         if (q.queue.empty()) {
           all_nonempty = false;
           break;
@@ -98,7 +112,7 @@ SimTime ConservativeSync::window() const {
 
 std::vector<TimedMessage> ConservativeSync::take_deliverable(SimTime up_to) {
   std::vector<TimedMessage> out;
-  for (auto& [type, q] : inputs_) {
+  for (InputQueue& q : inputs_) {
     while (!q.queue.empty() && q.queue.front().timestamp < up_to) {
       out.push_back(std::move(q.queue.front()));
       q.queue.pop_front();

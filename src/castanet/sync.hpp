@@ -29,7 +29,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -82,16 +81,19 @@ class ConservativeSync {
 
  private:
   struct InputQueue {
+    MessageType type = 0;
     std::uint64_t delta_cycles = 0;
     std::deque<TimedMessage> queue;
-    SimTime newest_ts;  ///< newest time stamp ever seen on this type
-    bool seen = false;
   };
 
   SimTime min_delta_time() const;
+  InputQueue* find(MessageType type);
 
   Params p_;
-  std::map<MessageType, InputQueue> inputs_;
+  /// Flat, sorted by type.  Input types are few and all declared up front;
+  /// push() and window() run once per grant, so the contiguous scan (and
+  /// binary-searched push) beats tree traversal.
+  std::vector<InputQueue> inputs_;
   std::uint64_t min_delta_cycles_ = UINT64_MAX;  ///< cached min_j delta_j
   SimTime network_time_;
   SimTime granted_;  ///< high-water mark of window()

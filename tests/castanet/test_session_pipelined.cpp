@@ -1,0 +1,154 @@
+// Pipelined VerificationSession: one worker thread + SPSC channel pair per
+// backend.  These tests run under TSan in CI (ctest -L cosim_threaded).
+#include <gtest/gtest.h>
+
+#include "src/castanet/backend.hpp"
+#include "src/castanet/session.hpp"
+#include "src/hw/cell_bits.hpp"
+#include "src/hw/cell_rx.hpp"
+#include "src/traffic/processes.hpp"
+
+namespace castanet::cosim {
+namespace {
+
+constexpr SimTime kClkPeriod = SimTime::from_ns(50);
+
+/// Same rig as test_session.cpp's SessionRig: RTL cell receiver (primary)
+/// plus an echo reference backend, optionally corrupting from a cell index.
+struct PipelineSessionRig {
+  netsim::Simulation net;
+  rtl::Simulator hdl;
+  rtl::Signal clk{&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0)};
+  rtl::Signal rst{&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0)};
+  rtl::ClockGen clock{hdl, clk, kClkPeriod};
+  hw::CellPort lane = hw::make_cell_port(hdl, "lane");
+  hw::CellPortDriver driver{hdl, "drv", clk, lane};
+  hw::CellReceiver rx{hdl, "rx", clk, rst, lane};
+
+  netsim::Node& env = net.add_node("env");
+  RtlBackend rtl;
+  ReferenceBackend refb;
+  VerificationSession session;
+  traffic::SinkProcess* sink = nullptr;
+  std::uint64_t ref_seen = 0;
+
+  PipelineSessionRig(VerificationSession::Params sp, std::uint64_t cells,
+                     SimTime period,
+                     std::uint64_t corrupt_from = ~std::uint64_t{0})
+      : rtl("rtl", hdl, sync_params()),
+        refb("reference", sync_params()),
+        session(net, env, 1, sp) {
+    session.attach(rtl);
+    session.attach(refb);
+    auto src = std::make_unique<traffic::CbrSource>(atm::VcId{1, 100}, 1,
+                                                    period);
+    auto& gen = env.add_process<traffic::GeneratorProcess>(
+        "gen", std::move(src), cells);
+    sink = &env.add_process<traffic::SinkProcess>("sink");
+    net.connect(gen, 0, session.gateway(), 0);
+    net.connect(session.gateway(), 0, *sink, 0);
+
+    rtl.entity().register_input(0, 53, [this](const TimedMessage& m) {
+      ASSERT_TRUE(m.cell.has_value());
+      driver.enqueue(*m.cell);
+    });
+    hdl.add_process("respond", {rx.cell_valid.id()}, [this] {
+      if (rx.cell_valid.rose()) {
+        rtl.entity().send_cell_response(
+            0, hw::bits_to_cell(rx.cell_out.read(), false));
+      }
+    });
+    refb.register_input(0, 1, [this, corrupt_from](const TimedMessage& m) {
+      atm::Cell c = *m.cell;
+      if (ref_seen++ >= corrupt_from) c.payload[0] ^= 0xFF;
+      refb.respond(0, m.timestamp, c);
+    });
+  }
+
+  static ConservativeSync::Params sync_params() {
+    ConservativeSync::Params p;
+    p.policy = SyncPolicy::kGlobalOrder;
+    p.clock_period = kClkPeriod;
+    return p;
+  }
+};
+
+VerificationSession::Params pipelined_params() {
+  VerificationSession::Params p;
+  p.clock_period = kClkPeriod;
+  p.pipelined = true;
+  return p;
+}
+
+TEST(PipelinedSession, TwoBackendsHonestRigClean) {
+  PipelineSessionRig rig(pipelined_params(), 30, SimTime::from_us(5));
+  rig.session.run_until(SimTime::from_us(600));
+  rig.session.comparator().finish();
+  EXPECT_EQ(rig.sink->cells_received(), 30u);
+  EXPECT_TRUE(rig.session.comparator().clean())
+      << rig.session.comparator().report();
+  EXPECT_EQ(rig.session.comparator().responses_matched(), 30u);
+  const auto stats = rig.session.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  for (const auto& b : stats.backends) {
+    EXPECT_EQ(b.causality_errors, 0u) << b.name;
+    EXPECT_GT(b.worker_batches, 0u) << b.name;
+    EXPECT_EQ(b.responses, 30u) << b.name;
+  }
+}
+
+TEST(PipelinedSession, CorruptedReferenceFlaggedSameAsSerial) {
+  PipelineSessionRig rig(pipelined_params(), 10, SimTime::from_us(5),
+                         /*corrupt_from=*/3);
+  rig.session.run_until(SimTime::from_us(250));
+  rig.session.comparator().finish();
+  SessionComparator& cmp = rig.session.comparator();
+  ASSERT_EQ(cmp.divergences().size(), 1u);
+  const auto d = cmp.first_divergence(0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->backend, 1u);
+  EXPECT_EQ(d->stream, 0u);
+  EXPECT_EQ(d->index, 3u);
+  EXPECT_NE(d->detail.find("payload"), std::string::npos);
+}
+
+TEST(PipelinedSession, BitIdenticalToSerialFeedForward) {
+  // Feed-forward rig: the DUT input stream must be byte-for-byte the same
+  // in serial and pipelined mode, so every sink cell matches.
+  VerificationSession::Params serial;
+  serial.clock_period = kClkPeriod;
+  PipelineSessionRig a(serial, 25, SimTime::from_us(5));
+  PipelineSessionRig b(pipelined_params(), 25, SimTime::from_us(5));
+  a.session.run_until(SimTime::from_us(500));
+  b.session.run_until(SimTime::from_us(500));
+  ASSERT_EQ(a.sink->log().size(), b.sink->log().size());
+  for (std::size_t i = 0; i < a.sink->log().size(); ++i) {
+    EXPECT_TRUE(a.sink->log()[i].cell == b.sink->log()[i].cell) << i;
+  }
+  EXPECT_EQ(a.rx.cells_accepted(), b.rx.cells_accepted());
+}
+
+TEST(PipelinedSession, TinyChannelsBackpressureStaysCorrect) {
+  auto params = pipelined_params();
+  params.channel_capacity = 2;
+  params.clock_announce_stride = 1;  // ship every clock grant
+  PipelineSessionRig rig(params, 40, SimTime::from_us(2));
+  rig.session.run_until(SimTime::from_us(200));
+  rig.session.comparator().finish();
+  EXPECT_EQ(rig.sink->cells_received(), 40u);
+  EXPECT_TRUE(rig.session.comparator().clean())
+      << rig.session.comparator().report();
+}
+
+TEST(PipelinedSession, RepeatedRunsAccumulate) {
+  PipelineSessionRig rig(pipelined_params(), 20, SimTime::from_us(5));
+  rig.session.run_until(SimTime::from_us(60));
+  rig.session.run_until(SimTime::from_us(400));
+  rig.session.comparator().finish();
+  EXPECT_EQ(rig.sink->cells_received(), 20u);
+  EXPECT_TRUE(rig.session.comparator().clean())
+      << rig.session.comparator().report();
+}
+
+}  // namespace
+}  // namespace castanet::cosim
