@@ -428,6 +428,7 @@ void record(bench::JsonReport& report, const Row& r, double baseline_cps) {
 
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "e1_cosim_speed");
+  bench::TelemetryCli telemetry_cli(argc, argv);
   std::size_t total = 2000;
   if (const char* env = std::getenv("CASTANET_E1_CELLS")) {
     total = std::strtoull(env, nullptr, 10);

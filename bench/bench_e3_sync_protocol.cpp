@@ -118,6 +118,7 @@ const char* policy_name(SyncPolicy p) {
 
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "e3_sync_protocol");
+  bench::TelemetryCli telemetry_cli(argc, argv);
   constexpr std::size_t kMessages = 20000;
   constexpr std::size_t kTypes = 4;
 

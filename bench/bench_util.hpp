@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/telemetry.hpp"
+
 namespace castanet::bench {
 
 class WallTimer {
@@ -113,6 +115,46 @@ class JsonReport {
   std::string path_;
   std::vector<RowData> rows_;
   bool written_ = false;
+};
+
+/// Opt-in telemetry for benches: `--trace <path>` enables the hub and writes
+/// a Chrome trace at destruction, `--metrics <path>` writes the flat metrics
+/// snapshot (JSON).  Without either flag the hub stays disabled, so the
+/// default bench numbers measure the enabled()-check fast path only.
+class TelemetryCli {
+ public:
+  TelemetryCli(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--trace") trace_path_ = argv[i + 1];
+      if (std::string(argv[i]) == "--metrics") metrics_path_ = argv[i + 1];
+    }
+    if (active()) telemetry::Hub::instance().enable();
+  }
+  ~TelemetryCli() {
+    if (!active()) return;
+    auto& hub = telemetry::Hub::instance();
+    if (!trace_path_.empty() && !hub.write_chrome_trace(trace_path_))
+      std::fprintf(stderr, "TelemetryCli: cannot write %s\n",
+                   trace_path_.c_str());
+    if (!metrics_path_.empty()) {
+      if (std::FILE* f = std::fopen(metrics_path_.c_str(), "w")) {
+        const std::string json = hub.snapshot().to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "TelemetryCli: cannot write %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    hub.disable();
+  }
+  bool active() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
 };
 
 }  // namespace castanet::bench

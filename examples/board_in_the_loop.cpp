@@ -15,15 +15,20 @@
 //   * 20 MHz board with clock gating 2   -> the DUT sees 10 MHz again and
 //     the rig is clean.
 //
-// Build & run:  ./build/examples/board_in_the_loop
+// Build & run:  ./build/examples/board_in_the_loop [--trace PATH]
+// --trace enables the telemetry hub across all three rigs and writes one
+// Chrome trace_event JSON; an instant marker on the main row separates the
+// rigs in the timeline.
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
 
 #include "src/castanet/backend.hpp"
 #include "src/castanet/mapping.hpp"
 #include "src/castanet/session.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/hw/accounting.hpp"
 #include "src/hw/reference.hpp"
 #include "src/traffic/processes.hpp"
@@ -179,14 +184,28 @@ void print_outcome(const char* label, const RigOutcome& o) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+  }
+  if (!trace_path.empty()) telemetry::Hub::instance().enable();
+  const auto mark_rig = [&](double index) {
+    if (telemetry::enabled())
+      telemetry::instant("rig start", telemetry::kMainTrack,
+                         {{"rig", index}});
+  };
+
   // Stimulus: 120 cells, back-to-back at the board's cell time.
   traffic::CbrSource src({1, 100}, 1, SimTime::from_ns(50 * 53));
   const traffic::CellTrace trace = traffic::CellTrace::record(src, 120);
 
+  mark_rig(0);
   const RigOutcome rated = run_rig(trace, kRatedHz, /*gating_factor=*/1);
   print_outcome("=== RTL + reference + board at 10 MHz (rated) ===", rated);
 
+  mark_rig(1);
   const RigOutcome hot =
       run_rig(trace, board::kMaxBoardClockHz, /*gating_factor=*/1);
   print_outcome("=== RTL + reference + board at 20 MHz (overclocked) ===",
@@ -196,6 +215,7 @@ int main() {
       "     functional co-simulation could not show\n",
       static_cast<unsigned long long>(hot.timing_violations));
 
+  mark_rig(2);
   const RigOutcome gated =
       run_rig(trace, board::kMaxBoardClockHz, /*gating_factor=*/2);
   print_outcome(
@@ -204,5 +224,18 @@ int main() {
   const bool ok = rated.clean && rated.causality_errors == 0 && !hot.clean &&
                   hot.first && hot.first->backend == 2 && gated.clean;
   std::printf("overall: %s\n", ok ? "PASS" : "FAIL");
+  if (!trace_path.empty()) {
+    auto& hub = telemetry::Hub::instance();
+    if (hub.write_chrome_trace(trace_path)) {
+      std::printf("chrome trace written: %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(hub.trace_events_recorded()),
+                  static_cast<unsigned long long>(hub.trace_events_dropped()));
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+  }
   return ok ? 0 : 1;
 }

@@ -9,9 +9,12 @@
 // dumped for the HDL-debugger workflow.
 //
 // Build & run:  ./build/examples/switch_coverify [cells-per-source]
-//                                                [--vcd PATH]
+//                                                [--vcd PATH] [--trace PATH]
 // The VCD defaults to <binary-dir>/switch_port0.vcd so runs never litter
-// the source tree.
+// the source tree.  --trace enables the telemetry hub and writes a Chrome
+// trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev)
+// with one timeline row per backend plus the network scheduler, and prints
+// the flat metrics table.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +22,7 @@
 
 #include "src/castanet/backend.hpp"
 #include "src/castanet/session.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/hw/atm_switch.hpp"
 #include "src/hw/reference.hpp"
 #include "src/rtl/waveform.hpp"
@@ -30,13 +34,17 @@ using namespace castanet;
 int main(int argc, char** argv) {
   std::size_t cells_per_source = 40;
   std::string vcd_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       cells_per_source = std::strtoull(argv[i], nullptr, 10);
     }
   }
+  if (!trace_path.empty()) telemetry::Hub::instance().enable();
   if (vcd_path.empty()) {
     const std::string self(argv[0]);
     const std::size_t slash = self.find_last_of('/');
@@ -167,5 +175,19 @@ int main(int argc, char** argv) {
               vcd_path.c_str());
   std::printf("comparison: %s\n%s", cmp.clean() ? "PASS" : "FAIL",
               cmp.report().c_str());
+  if (!trace_path.empty()) {
+    auto& hub = telemetry::Hub::instance();
+    if (hub.write_chrome_trace(trace_path)) {
+      std::printf("chrome trace written ... %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(hub.trace_events_recorded()),
+                  static_cast<unsigned long long>(hub.trace_events_dropped()));
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("%s", hub.snapshot().to_table().c_str());
+  }
   return cmp.clean() ? 0 : 1;
 }

@@ -32,6 +32,17 @@ cmake --build "$BUILD" -j "$JOBS"
 echo "== ctest ($BUILD)"
 ctest --test-dir "$BUILD" --output-on-failure
 
+echo "== telemetry smoke (switch_coverify --trace)"
+TRACE_OUT="$BUILD/coverify_trace.json"
+"$BUILD/examples/switch_coverify" 8 --trace "$TRACE_OUT" >/dev/null
+test -s "$TRACE_OUT" || { echo "check.sh: trace file missing/empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$TRACE_OUT"
+  echo "trace OK: $TRACE_OUT"
+else
+  echo "python3 unavailable; skipped JSON validation of $TRACE_OUT"
+fi
+
 if [ "$run_tsan" -eq 1 ]; then
   # The threaded co-simulation paths (pipelined VerificationSession /
   # CoVerification workers, SPSC channels) carry their own ctest label so

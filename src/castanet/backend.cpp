@@ -1,6 +1,7 @@
 #include "src/castanet/backend.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/core/error.hpp"
 
@@ -12,13 +13,34 @@ void DutBackend::catch_up(SimTime limit) {
 
 bool DutBackend::catch_up(SimTime limit,
                           const std::function<bool()>& after_step) {
+  // First window probe before any span: a catch-up that cannot advance at
+  // all is a lookahead stall (the protocol granted nothing new), counted
+  // but not traced — stalls are visible as gaps between grant spans.
+  {
+    const SimTime target = std::min(window() - SimTime::from_ps(1), limit);
+    if (target <= now()) {
+      sync().note_lookahead_stall();
+      return true;
+    }
+  }
+  std::optional<telemetry::Span> span;
+  if (telemetry::enabled()) {
+    span.emplace("grant", telemetry_track());
+    span->arg("from_us", now().seconds() * 1e6);
+  }
   for (;;) {
     const SimTime w = window();
     const SimTime target = std::min(w - SimTime::from_ps(1), limit);
-    if (target <= now()) return true;
+    if (target <= now()) break;
     advance_to(target);
     if (after_step && !after_step()) return false;
   }
+  if (span) {
+    span->arg("to_us", now().seconds() * 1e6);
+    span->arg("lag_us",
+              std::max(0.0, (sync().network_time() - now()).seconds() * 1e6));
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -35,6 +57,11 @@ RtlBackend::RtlBackend(std::string name, rtl::Simulator& hdl,
                                             sync_params)) {}
 
 SimTime RtlBackend::now() const { return hdl_.now(); }
+
+void RtlBackend::set_telemetry_track(telemetry::TrackId track) {
+  DutBackend::set_telemetry_track(track);
+  hdl_.set_telemetry_track(track);
+}
 
 void RtlBackend::advance_to(SimTime target) {
   entity_->advance_hdl_to(target);

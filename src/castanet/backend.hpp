@@ -33,6 +33,7 @@
 #include "src/castanet/entity.hpp"
 #include "src/castanet/message.hpp"
 #include "src/castanet/sync.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/traffic/trace.hpp"
 
 namespace castanet::cosim {
@@ -83,6 +84,15 @@ class DutBackend {
   /// (appended), time-stamped with this backend's clock.
   virtual void drain_responses(std::vector<TimedMessage>& out) = 0;
 
+  /// Assigns this backend's timeline row in the Chrome trace; the session
+  /// assigns one per backend ("backend:<name>") at the start of a traced
+  /// run.  RtlBackend forwards the row to its HDL kernel so kernel slices
+  /// nest under this backend's grant spans.
+  virtual void set_telemetry_track(telemetry::TrackId track) {
+    telemetry_track_ = track;
+  }
+  telemetry::TrackId telemetry_track() const { return telemetry_track_; }
+
  protected:
   /// Applies deliverable messages with ts <= `target` and advances this
   /// backend's simulated time to `target` (inclusive).
@@ -90,6 +100,7 @@ class DutBackend {
 
  private:
   std::string name_;
+  telemetry::TrackId telemetry_track_ = telemetry::kMainTrack;
 };
 
 /// The Fig. 2 HDL path: an rtl::Simulator plus the CosimEntity that maps
@@ -119,6 +130,7 @@ class RtlBackend : public DutBackend {
   SimTime now() const override;
   void finish(SimTime at) override;
   void drain_responses(std::vector<TimedMessage>& out) override;
+  void set_telemetry_track(telemetry::TrackId track) override;
 
  protected:
   void advance_to(SimTime target) override;

@@ -106,6 +106,7 @@ class SpscChannel {
     bool wake = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
+      if (!closed_ && queue_.size() >= capacity_) ++send_blocks_;
       space_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
       if (closed_) return false;
       queue_.push_back(std::move(v));
@@ -137,6 +138,7 @@ class SpscChannel {
             ready_.notify_one();
             wake = false;
           }
+          ++send_blocks_;
           space_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
         }
         if (closed_) break;
@@ -241,6 +243,7 @@ class SpscChannel {
   /// queue between waits to avoid a two-channel deadlock).
   void wait_space() {
     std::unique_lock<std::mutex> lk(mu_);
+    if (!closed_ && queue_.size() >= capacity_) ++send_blocks_;
     space_.wait_for(lk, std::chrono::microseconds(200),
                     [&] { return closed_ || queue_.size() < capacity_; });
   }
@@ -254,6 +257,7 @@ class SpscChannel {
       std::lock_guard<std::mutex> lk(mu_);
       drain_now_ = true;
       wake_threshold_ = 1;
+      ++nudges_;
     }
     ready_.notify_one();
   }
@@ -274,6 +278,18 @@ class SpscChannel {
     std::lock_guard<std::mutex> lk(mu_);
     return max_occupancy_;
   }
+  /// Times a producer found the channel full and had to wait for space
+  /// (send/send_all blocking mid-batch, or a wait_space after a failed
+  /// try_send) — the back-pressure statistic.
+  std::uint64_t send_blocks() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return send_blocks_;
+  }
+  /// nudge() calls — producer-requested early drains.
+  std::uint64_t nudges() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return nudges_;
+  }
 
  private:
   const std::size_t capacity_;
@@ -285,6 +301,8 @@ class SpscChannel {
   /// emptiness without taking the lock.
   std::atomic<std::size_t> size_{0};
   std::size_t max_occupancy_ = 0;
+  std::uint64_t send_blocks_ = 0;  ///< producer waits on a full channel
+  std::uint64_t nudges_ = 0;       ///< nudge() calls
   std::size_t wake_threshold_ = 1;  ///< receive_some() hysteresis
   bool drain_now_ = false;  ///< sticky nudge(); consumed by receive_some()
   bool closed_ = false;

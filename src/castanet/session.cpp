@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 
 #include "src/core/error.hpp"
+#include "src/core/log.hpp"
+#include "src/core/telemetry.hpp"
 
 namespace castanet::cosim {
 
@@ -36,6 +39,8 @@ std::size_t VerificationSession::attach(DutBackend& backend) {
   backends_.push_back(&backend);
   responses_drained_.push_back(0);
   worker_batches_total_.push_back(0);
+  send_blocks_total_.push_back(0);
+  nudges_total_.push_back(0);
   return backends_.size() - 1;
 }
 
@@ -52,12 +57,60 @@ void VerificationSession::run_until(SimTime limit) {
     comparator_.attach(backends_.size(), primary_);
     ran_ = true;
   }
+  assign_tracks();
   if (params_.pipelined) {
     run_until_pipelined(limit);
   } else {
     run_until_serial(limit);
   }
   finish_backends(limit);
+  if (telemetry::enabled()) publish_metrics();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry.  assign_tracks runs at the start of every run_until so a hub
+// enabled (or reset) between runs gets fresh timeline rows; while the hub is
+// disabled both functions are no-ops and the cached handles are dropped.
+
+void VerificationSession::assign_tracks() {
+  if (!telemetry::enabled()) {
+    fanout_timing_ = nullptr;
+    return;
+  }
+  auto& hub = telemetry::Hub::instance();
+  for (DutBackend* b : backends_)
+    b->set_telemetry_track(hub.track("backend:" + b->name()));
+  net_.scheduler().set_telemetry_track(hub.track("net"));
+  fanout_timing_ = &hub.timing("session.fanout_batch");
+}
+
+void VerificationSession::publish_metrics() const {
+  auto& hub = telemetry::Hub::instance();
+  const Stats s = stats();
+  hub.publish_count("session.net_events", s.net_events);
+  hub.publish_count("session.messages_to_hdl", s.messages_to_hdl);
+  hub.publish_count("session.responses", s.responses);
+  hub.publish_count("session.window_grant_stalls", s.window_grant_stalls);
+  hub.publish_count("session.max_channel_occupancy", s.max_channel_occupancy);
+  hub.publish_count("session.divergences", comparator_.divergences().size());
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const DutBackend& b = *backends_[i];
+    const BackendStats& bs = s.backends[i];
+    const std::string prefix = "backend." + b.name() + ".";
+    hub.publish_count(prefix + "windows", bs.windows);
+    hub.publish_count(prefix + "causality_errors", bs.causality_errors);
+    hub.publish_count(prefix + "lookahead_stalls", bs.lookahead_stalls);
+    hub.publish_count(prefix + "responses", bs.responses);
+    hub.publish_count(prefix + "worker_batches", bs.worker_batches);
+    hub.publish_count(prefix + "send_blocks", bs.send_blocks);
+    hub.publish_count(prefix + "nudge_wakeups", bs.nudge_wakeups);
+    hub.publish_stat(prefix + "lag_seconds", b.sync().lag_stat());
+    const double net_now = b.sync().network_time().seconds();
+    for (const ConservativeSync::QueueDepth& q : b.sync().queue_depths()) {
+      hub.publish_time_avg(
+          prefix + "queue_depth." + std::to_string(q.type), *q.depth, net_now);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -88,6 +141,20 @@ void VerificationSession::handle_response(std::size_t backend, TimedMessage m,
                                           bool in_run) {
   ++responses_drained_[backend];
   comparator_.note_response(backend, m);
+  // New comparator divergences become instant events on the offending
+  // backend's timeline row.  The count is tracked unconditionally so
+  // enabling the hub mid-sequence does not replay old divergences.
+  const std::size_t n_div = comparator_.divergences().size();
+  if (n_div > divergences_seen_) {
+    if (telemetry::enabled()) {
+      telemetry::instant(
+          "divergence", backends_[backend]->telemetry_track(),
+          {{"stream", static_cast<double>(m.type)},
+           {"ts_us", m.timestamp.seconds() * 1e6},
+           {"count", static_cast<double>(n_div)}});
+    }
+    divergences_seen_ = n_div;
+  }
   if (backend != primary_) return;  // secondary backends are pure checkers
   if (in_run) {
     schedule_response(std::move(m));
@@ -133,6 +200,8 @@ void VerificationSession::run_until_serial(SimTime limit) {
     msg_scratch_.clear();
     while (auto m = from_gateway_.receive())
       msg_scratch_.push_back(std::move(*m));
+    if (telemetry::enabled() && fanout_timing_ && !msg_scratch_.empty())
+      fanout_timing_->record(static_cast<double>(msg_scratch_.size()));
     const TimedMessage clock = make_time_update(net_.now());
     for (std::size_t i = 0; i < backends_.size(); ++i) {
       DutBackend& b = *backends_[i];
@@ -180,6 +249,7 @@ void VerificationSession::start_workers() {
     w->cmd = std::make_unique<SpscChannel<WorkerCmd>>(params_.channel_capacity);
     w->resp =
         std::make_unique<SpscChannel<TimedMessage>>(params_.channel_capacity);
+    w->track = b->telemetry_track();  // assign_tracks ran before this
     workers_.push_back(std::move(w));
   }
   for (auto& w : workers_) {
@@ -189,6 +259,7 @@ void VerificationSession::start_workers() {
 }
 
 void VerificationSession::worker_main(Worker& w) {
+  set_thread_log_context("worker:" + w.backend->name());
   try {
     // Coalesce grants into large catch-up batches (see coverify.cpp for the
     // tuning rationale of the backlog hint and the chunk size).
@@ -209,6 +280,13 @@ void VerificationSession::worker_main(Worker& w) {
       if (cmds.empty()) continue;  // timed out waiting for a backlog
       for (std::size_t i = 0; i < cmds.size(); i += chunk) {
         const std::size_t end = std::min(cmds.size(), i + chunk);
+        // The batch span shares the backend's timeline row: it encloses the
+        // grant spans of this catch-up, which enclose the kernel slices.
+        std::optional<telemetry::Span> span;
+        if (telemetry::enabled()) {
+          span.emplace("worker.batch", w.track);
+          span->arg("cmds", static_cast<double>(end - i));
+        }
         SimTime horizon = SimTime::zero();
         for (std::size_t c = i; c < end; ++c) {
           for (TimedMessage& m : cmds[c].msgs) w.backend->push(m);
@@ -218,6 +296,7 @@ void VerificationSession::worker_main(Worker& w) {
         // the last command's clock subsumes the earlier ones.
         w.backend->push(make_time_update(cmds[end - 1].net_now));
         worker_catch_up(w, horizon);
+        span.reset();
         w.batches.fetch_add(1, std::memory_order_relaxed);
         const std::uint64_t done =
             w.done.fetch_add(end - i, std::memory_order_release) + (end - i);
@@ -264,11 +343,16 @@ bool VerificationSession::worker_catch_up(Worker& w, SimTime limit) {
 }
 
 void VerificationSession::send_command(WorkerCmd cmd) {
+  if (telemetry::enabled() && fanout_timing_ && !cmd.msgs.empty())
+    fanout_timing_->record(static_cast<double>(cmd.msgs.size()));
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = *workers_[i];
     // The last worker takes the original; earlier ones get copies.
     WorkerCmd local = (i + 1 == workers_.size()) ? std::move(cmd) : cmd;
     bool accepted = false;
+    // Lazily opened on the first failed try_send: the span's duration is
+    // exactly how long this grant sat blocked on the bottleneck backend.
+    std::optional<telemetry::Span> stall;
     while (!w.dead.load(std::memory_order_acquire)) {
       if (w.cmd->try_send(local)) {
         accepted = true;
@@ -278,6 +362,10 @@ void VerificationSession::send_command(WorkerCmd cmd) {
       // responses while stalled so no worker can deadlock blocked on a full
       // response channel while we block on a full command channel.
       ++window_grant_stalls_;
+      if (telemetry::enabled() && !stall) {
+        stall.emplace("grant_stall", telemetry::kMainTrack);
+        stall->arg("backend", static_cast<double>(i));
+      }
       drain_worker_responses();
       w.cmd->wait_space();
     }
@@ -357,6 +445,8 @@ void VerificationSession::shutdown_workers() {
            static_cast<std::uint64_t>(w.cmd->max_occupancy()),
            static_cast<std::uint64_t>(w.resp->max_occupancy())});
       worker_batches_total_[i] += w.batches.load(std::memory_order_relaxed);
+      send_blocks_total_[i] += w.cmd->send_blocks() + w.resp->send_blocks();
+      nudges_total_[i] += w.cmd->nudges() + w.resp->nudges();
       if (w.error && !err) err = w.error;
     }
   }
@@ -440,6 +530,10 @@ VerificationSession::Stats VerificationSession::stats() const {
     bs.max_lag_seconds = b.sync().max_lag_seconds();
     bs.responses = responses_drained_[i];
     bs.worker_batches = worker_batches_total_[i];
+    bs.lookahead_stalls = b.sync().lookahead_stalls();
+    bs.mean_lag_seconds = b.sync().lag_stat().mean();
+    bs.send_blocks = send_blocks_total_[i];
+    bs.nudge_wakeups = nudges_total_[i];
     s.responses += bs.responses;
     s.backends.push_back(std::move(bs));
   }

@@ -116,6 +116,10 @@ class VerificationSession {
     double max_lag_seconds = 0.0;
     std::uint64_t responses = 0;       ///< responses drained from the backend
     std::uint64_t worker_batches = 0;  ///< pipelined mode only
+    std::uint64_t lookahead_stalls = 0;
+    double mean_lag_seconds = 0.0;     ///< mean of the sync lag distribution
+    std::uint64_t send_blocks = 0;     ///< SPSC back-pressure (pipelined)
+    std::uint64_t nudge_wakeups = 0;   ///< SPSC nudges (pipelined)
   };
   struct Stats {
     std::uint64_t net_events = 0;
@@ -153,11 +157,18 @@ class VerificationSession {
     bool exited = false;             // guarded by done_mu_
     std::exception_ptr error;        // guarded by done_mu_
     std::uint64_t max_occupancy = 0; // updated at shutdown
+    /// Timeline row for worker-batch spans; assigned before the thread
+    /// starts, read-only afterwards.
+    telemetry::TrackId track = telemetry::kMainTrack;
   };
 
   void run_until_serial(SimTime limit);
   void run_until_pipelined(SimTime limit);
   void finish_backends(SimTime limit);
+
+  // Telemetry (no-ops while the hub is disabled).
+  void assign_tracks();
+  void publish_metrics() const;
 
   // Shared response path.
   void schedule_response(TimedMessage m);
@@ -188,12 +199,18 @@ class VerificationSession {
   std::uint64_t net_events_ = 0;
   std::vector<std::uint64_t> responses_drained_;
   std::vector<std::uint64_t> worker_batches_total_;
+  std::vector<std::uint64_t> send_blocks_total_;
+  std::vector<std::uint64_t> nudges_total_;
+  std::size_t divergences_seen_ = 0;  ///< comparator count already traced
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   std::uint64_t window_grant_stalls_ = 0;    // session thread only
   std::uint64_t max_channel_occupancy_ = 0;  // updated at shutdown
+  /// Hub-owned fan-out batch-size timing, cached while tracing (the handle
+  /// lives until Hub::reset(); re-fetched by assign_tracks each run).
+  telemetry::Timing* fanout_timing_ = nullptr;
   std::vector<TimedMessage> msg_scratch_;    // session thread only
   std::vector<TimedMessage> resp_scratch_;   // session thread only
 };

@@ -66,7 +66,16 @@ void ConservativeSync::push(const TimedMessage& m) {
                         std::to_string(m.type));
   }
   q->queue.push_back(m);
+  q->depth.set(network_time_.seconds(), static_cast<double>(q->queue.size()));
   ++received_;
+}
+
+std::vector<ConservativeSync::QueueDepth> ConservativeSync::queue_depths()
+    const {
+  std::vector<QueueDepth> out;
+  out.reserve(inputs_.size());
+  for (const InputQueue& q : inputs_) out.push_back({q.type, &q.depth});
+  return out;
 }
 
 SimTime ConservativeSync::window() const {
@@ -113,9 +122,14 @@ SimTime ConservativeSync::window() const {
 std::vector<TimedMessage> ConservativeSync::take_deliverable(SimTime up_to) {
   std::vector<TimedMessage> out;
   for (InputQueue& q : inputs_) {
+    const std::size_t before = q.queue.size();
     while (!q.queue.empty() && q.queue.front().timestamp < up_to) {
       out.push_back(std::move(q.queue.front()));
       q.queue.pop_front();
+    }
+    if (q.queue.size() != before) {
+      q.depth.set(network_time_.seconds(),
+                  static_cast<double>(q.queue.size()));
     }
   }
   std::sort(out.begin(), out.end(),
@@ -140,9 +154,10 @@ void ConservativeSync::note_hdl_time(SimTime t) {
         " overtook the granted window " + bound.to_string() +
         " (lag invariant violated)");
   }
-  if (network_time_ > t) {
-    max_lag_sec_ = std::max(max_lag_sec_, (network_time_ - t).seconds());
-  }
+  const double lag_sec =
+      network_time_ > t ? (network_time_ - t).seconds() : 0.0;
+  lag_.record(lag_sec);
+  max_lag_sec_ = std::max(max_lag_sec_, lag_sec);
 }
 
 }  // namespace castanet::cosim

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/castanet/message.hpp"
+#include "src/core/stats.hpp"
 
 namespace castanet::cosim {
 
@@ -79,11 +80,31 @@ class ConservativeSync {
   std::uint64_t causality_errors() const { return causality_errors_; }
   double max_lag_seconds() const { return max_lag_sec_; }
 
+  // --- telemetry ----------------------------------------------------------
+  /// Counts a catch-up attempt that could not advance local time: the
+  /// lookahead (granted window minus local time) was exhausted and the HDL
+  /// side had to wait for the network to announce more time.  Recorded by
+  /// DutBackend::catch_up.
+  void note_lookahead_stall() { ++lookahead_stalls_; }
+  std::uint64_t lookahead_stalls() const { return lookahead_stalls_; }
+  /// Distribution of (network_time - hdl_time) over every note_hdl_time
+  /// call — how far this simulator trails the originator (§3.1's lag).
+  const SampleStat& lag_stat() const { return lag_; }
+  /// Per-input-queue occupancy as a time-weighted statistic over network
+  /// time (OPNET-style "time average"), one entry per declared type in type
+  /// order.  The depth changes at push() and take_deliverable().
+  struct QueueDepth {
+    MessageType type = 0;
+    const TimeAverageStat* depth = nullptr;
+  };
+  std::vector<QueueDepth> queue_depths() const;
+
  private:
   struct InputQueue {
     MessageType type = 0;
     std::uint64_t delta_cycles = 0;
     std::deque<TimedMessage> queue;
+    TimeAverageStat depth;  ///< occupancy over network time (telemetry)
   };
 
   SimTime min_delta_time() const;
@@ -101,7 +122,9 @@ class ConservativeSync {
   std::uint64_t time_updates_ = 0;
   std::uint64_t windows_granted_ = 0;
   std::uint64_t causality_errors_ = 0;
+  std::uint64_t lookahead_stalls_ = 0;
   double max_lag_sec_ = 0.0;
+  SampleStat lag_;
 };
 
 }  // namespace castanet::cosim

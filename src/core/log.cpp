@@ -1,10 +1,16 @@
 #include "src/core/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace castanet {
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic so a worker thread may consult the level while another thread (a
+// test fixture, an example's CLI handling) changes it.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_sink_mu;
+thread_local std::string t_context;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,14 +24,34 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_thread_log_context(std::string name) { t_context = std::move(name); }
+const std::string& thread_log_context() { return t_context; }
 
 void log_message(LogLevel level, const std::string& component,
                  const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
-               msg.c_str());
+  if (level < log_level()) return;
+  // Compose the full line first, then emit it with a single write under the
+  // sink mutex: pipelined-mode workers log concurrently, and interleaved
+  // fragments would make the narration useless.
+  std::string line = "[";
+  line += level_name(level);
+  line += "] ";
+  if (!t_context.empty()) {
+    line += "(";
+    line += t_context;
+    line += ") ";
+  }
+  line += component;
+  line += ": ";
+  line += msg;
+  line += "\n";
+  std::lock_guard<std::mutex> lk(g_sink_mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace castanet

@@ -21,8 +21,15 @@ class SampleStat {
   double mean() const { return count_ ? mean_ : 0.0; }
   double variance() const;  ///< Unbiased sample variance; 0 for n < 2.
   double stddev() const;
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
+  /// NaN while empty: an empty stat has no extrema, and a fake 0.0 would be
+  /// indistinguishable from a real measurement in exports.  Check count()
+  /// (or isnan) before treating the value as data.
+  double min() const {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   double sum() const { return sum_; }
 
  private:

@@ -1,0 +1,500 @@
+#include "src/core/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace castanet::telemetry {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// CAS-max on an atomic<double>; `count` gates first-sample initialization.
+void atomic_max(std::atomic<double>& slot, double v, bool first) {
+  if (first) {
+    slot.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = slot.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& slot, double v, bool first) {
+  if (first) {
+    slot.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = slot.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// JSON number rendering: finite values as shortest round-trip-ish decimal,
+/// NaN/inf as null (JSON has no NaN literal).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // keep it simple
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* kind_name(MetricRow::Kind k) {
+  switch (k) {
+    case MetricRow::Kind::kCounter: return "counter";
+    case MetricRow::Kind::kGauge: return "gauge";
+    case MetricRow::Kind::kTiming: return "timing";
+    case MetricRow::Kind::kTimeAverage: return "time_average";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Metric handles.
+
+void Gauge::set(double v) {
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  v_.store(v, std::memory_order_relaxed);
+  atomic_max(max_, v, prev == 0);
+}
+
+double Gauge::max() const {
+  return set_ever() ? max_.load(std::memory_order_relaxed) : kNaN;
+}
+
+void Timing::record(double v) {
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v, prev == 0);
+  atomic_max(max_, v, prev == 0);
+}
+
+double Timing::min() const {
+  return count() ? min_.load(std::memory_order_relaxed) : kNaN;
+}
+
+double Timing::max() const {
+  return count() ? max_.load(std::memory_order_relaxed) : kNaN;
+}
+
+double Timing::mean() const {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : kNaN;
+}
+
+// ---------------------------------------------------------------------------
+// Hub.
+
+std::atomic<bool> Hub::g_enabled{false};
+
+Hub& Hub::instance() {
+  static Hub hub;
+  return hub;
+}
+
+void Hub::enable(std::size_t ring_capacity) {
+  reset();
+  {
+    std::lock_guard<std::mutex> lk(trace_mu_);
+    ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+    ring_.reserve(std::min<std::size_t>(ring_capacity_, 4096));
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Hub::disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Hub::reset() {
+  disable();
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    counters_.clear();
+    gauges_.clear();
+    timings_.clear();
+    published_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(trace_mu_);
+    track_names_.clear();
+    ring_.clear();
+    ring_head_ = 0;
+    ring_full_ = false;
+    dropped_ = 0;
+  }
+}
+
+Counter& Hub::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Hub::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timing& Hub::timing(const std::string& name) {
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  auto& slot = timings_[name];
+  if (!slot) slot = std::make_unique<Timing>();
+  return *slot;
+}
+
+void Hub::publish_count(const std::string& name, std::uint64_t value) {
+  MetricRow row;
+  row.name = name;
+  row.kind = MetricRow::Kind::kCounter;
+  row.count = value;
+  row.sum = static_cast<double>(value);
+  row.min = row.max = row.last = kNaN;
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  published_[name] = std::move(row);
+}
+
+void Hub::publish_value(const std::string& name, double value) {
+  MetricRow row;
+  row.name = name;
+  row.kind = MetricRow::Kind::kGauge;
+  row.count = 1;
+  row.sum = value;
+  row.min = row.max = row.last = value;
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  published_[name] = std::move(row);
+}
+
+void Hub::publish_stat(const std::string& name, const SampleStat& s) {
+  MetricRow row;
+  row.name = name;
+  row.kind = MetricRow::Kind::kTiming;
+  row.count = s.count();
+  row.sum = s.sum();
+  row.min = s.min();
+  row.max = s.max();
+  row.last = kNaN;
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  published_[name] = std::move(row);
+}
+
+void Hub::publish_time_avg(const std::string& name, const TimeAverageStat& s,
+                           double now_seconds) {
+  MetricRow row;
+  row.name = name;
+  row.kind = MetricRow::Kind::kTimeAverage;
+  row.count = 1;
+  row.sum = s.average(now_seconds);
+  row.min = kNaN;
+  row.max = s.max();
+  row.last = s.current();
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  published_[name] = std::move(row);
+}
+
+TrackId Hub::track(const std::string& name) {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  if (track_names_.empty()) track_names_.push_back("main");
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) return static_cast<TrackId>(i);
+  }
+  track_names_.push_back(name);
+  return static_cast<TrackId>(track_names_.size() - 1);
+}
+
+void Hub::record(const TraceEvent& e) {
+  if (!on()) return;
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  if (ring_.size() < ring_capacity_ && !ring_full_) {
+    ring_.push_back(e);
+    if (ring_.size() == ring_capacity_) ring_full_ = true;
+    return;
+  }
+  // Full: overwrite the oldest (head_ marks it), count the drop.
+  ring_[ring_head_] = e;
+  ring_head_ = (ring_head_ + 1) % ring_capacity_;
+  ++dropped_;
+}
+
+std::uint64_t Hub::trace_events_recorded() const {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  return ring_.size();
+}
+
+std::uint64_t Hub::trace_events_dropped() const {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  return dropped_;
+}
+
+double Hub::now_us() const {
+  std::chrono::steady_clock::time_point epoch;
+  {
+    std::lock_guard<std::mutex> lk(trace_mu_);
+    epoch = epoch_;
+  }
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+MetricsSnapshot Hub::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    for (const auto& [name, c] : counters_) {
+      MetricRow row;
+      row.name = name;
+      row.kind = MetricRow::Kind::kCounter;
+      row.count = c->value();
+      row.sum = static_cast<double>(c->value());
+      row.min = row.max = row.last = kNaN;
+      snap.rows.push_back(std::move(row));
+    }
+    for (const auto& [name, g] : gauges_) {
+      MetricRow row;
+      row.name = name;
+      row.kind = MetricRow::Kind::kGauge;
+      row.count = g->count();
+      row.sum = row.min = kNaN;
+      row.max = g->max();
+      row.last = g->set_ever() ? g->value() : kNaN;
+      snap.rows.push_back(std::move(row));
+    }
+    for (const auto& [name, t] : timings_) {
+      MetricRow row;
+      row.name = name;
+      row.kind = MetricRow::Kind::kTiming;
+      row.count = t->count();
+      row.sum = t->sum();
+      row.min = t->min();
+      row.max = t->max();
+      row.last = kNaN;
+      snap.rows.push_back(std::move(row));
+    }
+    for (const auto& [name, row] : published_) snap.rows.push_back(row);
+  }
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  snap.trace_events = trace_events_recorded();
+  snap.trace_dropped = trace_events_dropped();
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"metrics\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MetricRow& r = rows[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": \"" + json_escape(r.name) + "\", \"kind\": \"" +
+           kind_name(r.kind) + "\", \"count\": " + std::to_string(r.count);
+    if (r.empty()) {
+      // No samples: emptiness is explicit, never a fake zero.
+      out += ", \"empty\": true";
+    } else {
+      out += ", \"sum\": " + json_number(r.sum);
+      out += ", \"min\": " + json_number(r.min);
+      out += ", \"max\": " + json_number(r.max);
+      out += ", \"last\": " + json_number(r.last);
+    }
+    out += "}";
+  }
+  out += "\n  ],\n  \"trace_events\": " + std::to_string(trace_events) +
+         ",\n  \"trace_dropped\": " + std::to_string(trace_dropped) + "\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_table() const {
+  const auto cell = [](double v) -> std::string {
+    if (!std::isfinite(v)) return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  };
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-44s %-12s %10s %12s %12s %12s\n",
+                "metric", "kind", "count", "min", "max", "value");
+  out += line;
+  out.append(105, '-');
+  out += "\n";
+  for (const MetricRow& r : rows) {
+    // value column: counters show the count; gauges the last value; timings
+    // the mean; time averages the time-weighted mean.
+    std::string value;
+    switch (r.kind) {
+      case MetricRow::Kind::kCounter:
+        value = std::to_string(r.count);
+        break;
+      case MetricRow::Kind::kGauge:
+        value = r.empty() ? "-" : cell(r.last);
+        break;
+      case MetricRow::Kind::kTiming:
+        value = r.empty() ? "-"
+                          : cell(r.sum / static_cast<double>(r.count));
+        break;
+      case MetricRow::Kind::kTimeAverage:
+        value = cell(r.sum);
+        break;
+    }
+    std::snprintf(line, sizeof(line), "%-44s %-12s %10llu %12s %12s %12s\n",
+                  r.name.c_str(), kind_name(r.kind),
+                  static_cast<unsigned long long>(r.count),
+                  r.empty() ? "-" : cell(r.min).c_str(),
+                  r.empty() ? "-" : cell(r.max).c_str(), value.c_str());
+    out += line;
+  }
+  if (trace_events || trace_dropped) {
+    std::snprintf(line, sizeof(line),
+                  "trace: %llu events buffered, %llu dropped (oldest)\n",
+                  static_cast<unsigned long long>(trace_events),
+                  static_cast<unsigned long long>(trace_dropped));
+    out += line;
+  }
+  return out;
+}
+
+std::string Hub::chrome_trace_json() const {
+  // Copy under the lock, render outside it.
+  std::vector<TraceEvent> events;
+  std::vector<std::string> tracks;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(trace_mu_);
+    tracks = track_names_;
+    dropped = dropped_;
+    if (!ring_full_) {
+      events = ring_;
+    } else {
+      // Oldest-first: the ring wrapped, so head_ is the oldest entry.
+      events.reserve(ring_.size());
+      for (std::size_t i = 0; i < ring_.size(); ++i)
+        events.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+  }
+  if (tracks.empty()) tracks.push_back("main");
+  // Perfetto sorts complete events per track by ts; interleaved producers
+  // mean the ring is only roughly ordered — sort for well-formed nesting.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& e) {
+    if (!first) out += ",\n";
+    first = false;
+    out += e;
+  };
+  emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+       "\"args\": {\"name\": \"castanet\"}}");
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+         std::to_string(t) + ", \"args\": {\"name\": \"" +
+         json_escape(tracks[t]) + "\"}}");
+    // Force track order to registration order (backends in attach order).
+    emit("{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": " +
+         std::to_string(t) + ", \"args\": {\"sort_index\": " +
+         std::to_string(t) + "}}");
+  }
+  for (const TraceEvent& e : events) {
+    const std::size_t tid = e.track < tracks.size() ? e.track : 0;
+    std::string row = "{\"name\": \"" + json_escape(e.name) + "\", \"ph\": \"";
+    row += e.phase == TraceEvent::Phase::kComplete ? "X" : "i";
+    row += "\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+           ", \"ts\": " + json_number(e.ts_us);
+    if (e.phase == TraceEvent::Phase::kComplete) {
+      row += ", \"dur\": " + json_number(e.dur_us);
+    } else {
+      row += ", \"s\": \"t\"";  // instant scope: thread
+    }
+    if (e.nargs) {
+      row += ", \"args\": {";
+      for (std::uint32_t a = 0; a < e.nargs; ++a) {
+        if (a) row += ", ";
+        row += "\"" + json_escape(e.args[a].first) +
+               "\": " + json_number(e.args[a].second);
+      }
+      row += "}";
+    }
+    row += "}";
+    emit(row);
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+         "{\"trace_dropped\": " +
+         std::to_string(dropped) + "}}\n";
+  return out;
+}
+
+bool Hub::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// ---------------------------------------------------------------------------
+// Span / instant.
+
+Span::Span(const char* name, TrackId track)
+    : start_(std::chrono::steady_clock::now()) {
+  e_.name = name;
+  e_.track = track;
+  e_.phase = TraceEvent::Phase::kComplete;
+}
+
+void Span::arg(const char* key, double value) {
+  if (e_.nargs < TraceEvent::kMaxArgs) e_.args[e_.nargs++] = {key, value};
+}
+
+Span::~Span() {
+  Hub& hub = Hub::instance();
+  const double end_us = hub.now_us();
+  e_.dur_us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  e_.ts_us = end_us - e_.dur_us;
+  hub.record(e_);
+}
+
+void instant(const char* name, TrackId track,
+             std::initializer_list<std::pair<const char*, double>> args) {
+  Hub& hub = Hub::instance();
+  TraceEvent e;
+  e.name = name;
+  e.track = track;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.ts_us = hub.now_us();
+  for (const auto& a : args) {
+    if (e.nargs < TraceEvent::kMaxArgs) e.args[e.nargs++] = a;
+  }
+  hub.record(e);
+}
+
+}  // namespace castanet::telemetry

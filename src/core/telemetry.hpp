@@ -1,0 +1,226 @@
+// Telemetry: low-overhead counters, gauges, span timers and a bounded
+// in-memory event-trace ring, shared by every layer of the co-verification
+// stack (sync protocol, session, SPSC channels, both simulation kernels).
+//
+// Design constraints, in order:
+//   1. Compiled-in but CHEAP when no sink is attached: every instrumentation
+//      site guards itself with telemetry::enabled() — one relaxed atomic
+//      load — and does nothing else while the hub is disabled.  Benches run
+//      with the hub disabled and must not regress.
+//   2. Thread-safe under the pipelined co-simulation (one worker thread per
+//      backend): metric handles are plain atomics (relaxed + CAS min/max),
+//      the trace ring is a mutex-guarded drop-oldest buffer.  TSan-clean.
+//   3. Two exporters: a Chrome trace_event JSON file (one timeline row per
+//      backend/worker, openable in chrome://tracing or Perfetto) and a flat
+//      metrics snapshot (JSON + human-readable table) that benches and
+//      examples emit alongside their --json output.
+//
+// Ownership model: the Hub is a process-wide singleton.  Components either
+//   * hold hub-owned handles (Counter/Gauge/Timing) obtained by name — the
+//     handle lives until reset(), updates are lock-free; or
+//   * keep their own local statistics (as ConservativeSync and the session
+//     already do) and publish_* them into the snapshot at a quiescent point
+//     (end of run_until, after workers joined).
+// Trace events (spans, instants) are pushed into the ring as they happen.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/stats.hpp"
+
+namespace castanet::telemetry {
+
+/// Identifies one timeline row of the Chrome trace (a backend, a worker, a
+/// kernel).  Track 0 is the default "main" row; components that were never
+/// assigned a track record there.
+using TrackId = std::uint32_t;
+constexpr TrackId kMainTrack = 0;
+
+/// Monotonic counter; add() is a relaxed fetch_add, safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value gauge with a running maximum (CAS loop), safe from any thread.
+class Gauge {
+ public:
+  void set(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  /// NaN until the first set() — an unset gauge is not a real zero.
+  double max() const;
+  bool set_ever() const { return count_.load(std::memory_order_relaxed) != 0; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> v_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Sample aggregation (count/sum/min/max) over doubles — span durations,
+/// batch sizes.  record() is relaxed adds plus CAS min/max; mean() is exact
+/// only at quiescent points (sum and count are updated independently), which
+/// is when snapshots are taken.
+class Timing {
+ public:
+  void record(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// NaN while empty; see SampleStat::min() for the rationale.
+  double min() const;
+  double max() const;
+  double mean() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One entry of the trace ring.  `name` must be a static-lifetime string
+/// (instrumentation sites use literals); numeric args only, so no ownership.
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kComplete, kInstant };
+  static constexpr std::size_t kMaxArgs = 4;
+
+  const char* name = "";
+  TrackId track = kMainTrack;
+  Phase phase = Phase::kInstant;
+  double ts_us = 0.0;   ///< wall time relative to the hub epoch
+  double dur_us = 0.0;  ///< kComplete only
+  std::uint32_t nargs = 0;
+  std::array<std::pair<const char*, double>, kMaxArgs> args{};
+};
+
+/// One row of the flat metrics snapshot.
+struct MetricRow {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kTiming, kTimeAverage };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;  ///< samples (Timing/Gauge) or counter value
+  double sum = 0.0;
+  double min = 0.0, max = 0.0, last = 0.0;  ///< NaN where not applicable
+  /// An empty stat (no samples recorded) — exporters render "-" instead of
+  /// a fake zero.
+  bool empty() const { return count == 0 && kind != Kind::kCounter; }
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricRow> rows;  ///< sorted by name
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::string to_json() const;
+  std::string to_table() const;
+};
+
+class Hub {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 16;
+
+  static Hub& instance();
+
+  /// Attaches the sink: clears all previous state, arms the enabled flag and
+  /// (re)starts the wall-clock epoch.  Instrumentation everywhere begins to
+  /// record.  Idempotent w.r.t. capacity only when re-enabling.
+  void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+  /// Detaches the sink; instrumentation reverts to the single-atomic-check
+  /// fast path.  Recorded data stays readable until reset()/enable().
+  void disable();
+  /// disable() plus discard of all metrics, tracks and trace events.
+  void reset();
+
+  static bool on() { return g_enabled.load(std::memory_order_relaxed); }
+
+  // --- metric handles (hub-owned, created on first use) -------------------
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timing& timing(const std::string& name);
+
+  // --- published rows (component-owned stats, pushed at quiescent points) -
+  void publish_count(const std::string& name, std::uint64_t value);
+  void publish_value(const std::string& name, double value);
+  void publish_stat(const std::string& name, const SampleStat& s);
+  void publish_time_avg(const std::string& name, const TimeAverageStat& s,
+                        double now_seconds);
+
+  // --- timeline rows ------------------------------------------------------
+  /// Registers (or looks up) a named timeline row.  Stable until reset().
+  TrackId track(const std::string& name);
+
+  // --- trace ring ---------------------------------------------------------
+  /// Drop-oldest bounded ring; no-op while disabled.
+  void record(const TraceEvent& e);
+  std::uint64_t trace_events_recorded() const;
+  std::uint64_t trace_events_dropped() const;
+  double now_us() const;  ///< wall time relative to the epoch
+
+  // --- exporters ----------------------------------------------------------
+  MetricsSnapshot snapshot() const;
+  /// Chrome trace_event JSON ("traceEvents" array plus track-name metadata);
+  /// open in chrome://tracing or https://ui.perfetto.dev.  Returns false on
+  /// I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+  std::string chrome_trace_json() const;
+
+ private:
+  Hub() = default;
+
+  static std::atomic<bool> g_enabled;
+
+  mutable std::mutex metrics_mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timing>> timings_;
+  std::map<std::string, MetricRow> published_;
+
+  mutable std::mutex trace_mu_;
+  std::vector<std::string> track_names_;  ///< index == TrackId; [0] = "main"
+  std::vector<TraceEvent> ring_;
+  std::size_t ring_capacity_ = kDefaultRingCapacity;
+  std::size_t ring_head_ = 0;  ///< next write position once full
+  bool ring_full_ = false;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// The single relaxed-atomic check every instrumentation site starts with.
+inline bool enabled() { return Hub::on(); }
+
+/// RAII span: construction stamps the start, destruction records one
+/// complete ("X") event on `track`.  Construct only behind an enabled()
+/// check — a Span unconditionally records.  Up to kMaxArgs numeric args.
+class Span {
+ public:
+  Span(const char* name, TrackId track);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void arg(const char* key, double value);
+
+ private:
+  TraceEvent e_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records an instant event (a point on the timeline), e.g. a comparator
+/// divergence.  Call only behind an enabled() check.
+void instant(const char* name, TrackId track,
+             std::initializer_list<std::pair<const char*, double>> args = {});
+
+}  // namespace castanet::telemetry

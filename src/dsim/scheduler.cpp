@@ -1,5 +1,7 @@
 #include "src/dsim/scheduler.hpp"
 
+#include <optional>
+
 #include "src/core/error.hpp"
 
 namespace castanet {
@@ -83,6 +85,12 @@ std::uint64_t Scheduler::run_until(SimTime limit) {
   // safely re-issue a stale horizon.  Only advance_to() asserts strict
   // monotonicity, because skipping backwards there would skip events.
   if (limit < now_) return 0;
+  std::optional<telemetry::Span> span;
+  if (telemetry::enabled()) {
+    span.emplace("net.slice", telemetry_track_);
+    span->arg("from_us", now_.seconds() * 1e6);
+    span->arg("to_us", limit.seconds() * 1e6);
+  }
   std::uint64_t n = 0;
   while (true) {
     pop_dead();
@@ -90,6 +98,7 @@ std::uint64_t Scheduler::run_until(SimTime limit) {
     step();
     ++n;
   }
+  if (span) span->arg("events", static_cast<double>(n));
   if (now_ < limit) {
     // Time halts at the limit even when later events are pending.
     now_ = limit;

@@ -19,6 +19,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/core/telemetry.hpp"
 #include "src/dsim/time.hpp"
 
 namespace castanet {
@@ -70,6 +71,12 @@ class Scheduler {
   std::uint64_t events_executed() const { return executed_; }
   std::uint64_t events_scheduled() const { return scheduled_; }
 
+  /// Timeline row for "net.slice" spans in the Chrome trace; the session
+  /// assigns the "net" row at the start of a traced run.
+  void set_telemetry_track(telemetry::TrackId track) {
+    telemetry_track_ = track;
+  }
+
  private:
   struct Entry {
     SimTime when;
@@ -100,6 +107,7 @@ class Scheduler {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::vector<Slot> slab_;
   std::vector<std::uint32_t> free_slots_;
+  telemetry::TrackId telemetry_track_ = telemetry::kMainTrack;
 };
 
 }  // namespace castanet

@@ -142,8 +142,15 @@ void Simulation::write_stats(const std::string& path) const {
   std::sort(sample_names.begin(), sample_names.end());
   for (const std::string& name : sample_names) {
     const SampleStat& s = sample_stats_.at(name);
-    out << "sample " << name << " count=" << s.count() << " mean=" << s.mean()
-        << " min=" << s.min() << " max=" << s.max() << "\n";
+    out << "sample " << name << " count=" << s.count();
+    if (s.count() == 0) {
+      // min()/max() are NaN while empty; say "empty" instead of exporting
+      // values that look like measurements.
+      out << " empty";
+    } else {
+      out << " mean=" << s.mean() << " min=" << s.min() << " max=" << s.max();
+    }
+    out << "\n";
   }
   std::vector<std::string> time_names;
   for (const auto& [name, stat] : time_stats_) time_names.push_back(name);

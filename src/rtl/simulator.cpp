@@ -237,10 +237,27 @@ void Simulator::run_until(SimTime limit) {
   // past is a no-op — simulated time never regresses, and callers (e.g.
   // window-grant loops re-issuing a stale horizon) may safely pass one.
   if (limit < now_) return;
-  while (true) {
-    const SimTime t = next_activity();
-    if (t == SimTime::max() || t > limit) break;
-    step_time();
+  if (telemetry::enabled()) {
+    const std::uint64_t activations0 = stats_.process_activations;
+    const std::uint64_t deltas0 = stats_.delta_cycles;
+    telemetry::Span span("rtl.slice", telemetry_track_);
+    span.arg("from_us", now_.seconds() * 1e6);
+    span.arg("to_us", limit.seconds() * 1e6);
+    while (true) {
+      const SimTime t = next_activity();
+      if (t == SimTime::max() || t > limit) break;
+      step_time();
+    }
+    span.arg("activations",
+             static_cast<double>(stats_.process_activations - activations0));
+    span.arg("delta_cycles",
+             static_cast<double>(stats_.delta_cycles - deltas0));
+  } else {
+    while (true) {
+      const SimTime t = next_activity();
+      if (t == SimTime::max() || t > limit) break;
+      step_time();
+    }
   }
   if (now_ < limit) now_ = limit;
 }

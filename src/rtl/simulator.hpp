@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/telemetry.hpp"
 #include "src/dsim/time.hpp"
 #include "src/rtl/logic_vector.hpp"
 
@@ -97,6 +98,13 @@ class Simulator {
   bool quiescent() const;
 
   const KernelStats& stats() const { return stats_; }
+
+  /// Timeline row for kernel slice spans in the Chrome trace.  An
+  /// RtlBackend forwards its own row here so "rtl.slice" spans nest under
+  /// that backend's grant spans; defaults to the "main" row otherwise.
+  void set_telemetry_track(telemetry::TrackId track) {
+    telemetry_track_ = track;
+  }
 
   /// Called after each applied value change: (signal, new value, time).
   using ChangeObserver =
@@ -172,6 +180,7 @@ class Simulator {
 
   std::vector<ChangeObserver> observers_;
   KernelStats stats_;
+  telemetry::TrackId telemetry_track_ = telemetry::kMainTrack;
 };
 
 }  // namespace castanet::rtl

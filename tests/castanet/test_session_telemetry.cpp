@@ -1,0 +1,172 @@
+// Telemetry under the pipelined co-simulation: the hub records spans from
+// the session thread, every backend worker and the HDL kernel concurrently,
+// and the end-of-run published metrics cover every backend.  Runs under TSan
+// in CI (ctest -L cosim_threaded).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/castanet/backend.hpp"
+#include "src/castanet/session.hpp"
+#include "src/core/telemetry.hpp"
+#include "src/hw/cell_bits.hpp"
+#include "src/hw/cell_rx.hpp"
+#include "src/traffic/processes.hpp"
+
+namespace castanet::cosim {
+namespace {
+
+constexpr SimTime kClkPeriod = SimTime::from_ns(50);
+
+/// Same rig as test_session_pipelined.cpp: RTL cell receiver (primary) plus
+/// an echo reference backend.
+struct TelemetryRig {
+  netsim::Simulation net;
+  rtl::Simulator hdl;
+  rtl::Signal clk{&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0)};
+  rtl::Signal rst{&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0)};
+  rtl::ClockGen clock{hdl, clk, kClkPeriod};
+  hw::CellPort lane = hw::make_cell_port(hdl, "lane");
+  hw::CellPortDriver driver{hdl, "drv", clk, lane};
+  hw::CellReceiver rx{hdl, "rx", clk, rst, lane};
+
+  netsim::Node& env = net.add_node("env");
+  RtlBackend rtl;
+  ReferenceBackend refb;
+  VerificationSession session;
+  traffic::SinkProcess* sink = nullptr;
+
+  TelemetryRig(VerificationSession::Params sp, std::uint64_t cells,
+               SimTime period)
+      : rtl("rtl", hdl, sync_params()),
+        refb("reference", sync_params()),
+        session(net, env, 1, sp) {
+    session.attach(rtl);
+    session.attach(refb);
+    auto src = std::make_unique<traffic::CbrSource>(atm::VcId{1, 100}, 1,
+                                                    period);
+    auto& gen = env.add_process<traffic::GeneratorProcess>(
+        "gen", std::move(src), cells);
+    sink = &env.add_process<traffic::SinkProcess>("sink");
+    net.connect(gen, 0, session.gateway(), 0);
+    net.connect(session.gateway(), 0, *sink, 0);
+
+    rtl.entity().register_input(0, 53, [this](const TimedMessage& m) {
+      ASSERT_TRUE(m.cell.has_value());
+      driver.enqueue(*m.cell);
+    });
+    hdl.add_process("respond", {rx.cell_valid.id()}, [this] {
+      if (rx.cell_valid.rose()) {
+        rtl.entity().send_cell_response(
+            0, hw::bits_to_cell(rx.cell_out.read(), false));
+      }
+    });
+    refb.register_input(0, 1, [this](const TimedMessage& m) {
+      refb.respond(0, m.timestamp, *m.cell);
+    });
+  }
+
+  static ConservativeSync::Params sync_params() {
+    ConservativeSync::Params p;
+    p.policy = SyncPolicy::kGlobalOrder;
+    p.clock_period = kClkPeriod;
+    return p;
+  }
+};
+
+class SessionTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { telemetry::Hub::instance().reset(); }
+  void TearDown() override { telemetry::Hub::instance().reset(); }
+};
+
+bool snapshot_has(const telemetry::MetricsSnapshot& snap,
+                  const std::string& name) {
+  for (const auto& row : snap.rows) {
+    if (row.name == name) return true;
+  }
+  return false;
+}
+
+TEST_F(SessionTelemetryTest, PipelinedRunRecordsSpansAndMetrics) {
+  telemetry::Hub::instance().enable();
+  VerificationSession::Params sp;
+  sp.clock_period = kClkPeriod;
+  sp.pipelined = true;
+  TelemetryRig rig(sp, 20, SimTime::from_us(5));
+  rig.session.run_until(SimTime::from_us(500));
+  rig.session.comparator().finish();
+  ASSERT_TRUE(rig.session.comparator().clean())
+      << rig.session.comparator().report();
+
+  // Spans from the worker threads (grant, worker.batch, rtl.slice) and the
+  // session thread (net.slice) all landed in the ring.
+  auto& hub = telemetry::Hub::instance();
+  EXPECT_GT(hub.trace_events_recorded(), 0u);
+  const std::string trace = hub.chrome_trace_json();
+  EXPECT_NE(trace.find("\"grant\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker.batch\""), std::string::npos);
+  EXPECT_NE(trace.find("\"rtl.slice\""), std::string::npos);
+  EXPECT_NE(trace.find("\"net.slice\""), std::string::npos);
+  // One timeline row per backend plus the network scheduler.
+  EXPECT_NE(trace.find("backend:rtl"), std::string::npos);
+  EXPECT_NE(trace.find("backend:reference"), std::string::npos);
+  EXPECT_NE(trace.find("\"net\""), std::string::npos);
+
+  // Published metrics cover the session and every backend.
+  const telemetry::MetricsSnapshot snap = hub.snapshot();
+  EXPECT_TRUE(snapshot_has(snap, "session.net_events"));
+  EXPECT_TRUE(snapshot_has(snap, "session.divergences"));
+  EXPECT_TRUE(snapshot_has(snap, "backend.rtl.windows"));
+  EXPECT_TRUE(snapshot_has(snap, "backend.rtl.lag_seconds"));
+  EXPECT_TRUE(snapshot_has(snap, "backend.rtl.queue_depth.0"));
+  EXPECT_TRUE(snapshot_has(snap, "backend.reference.windows"));
+  EXPECT_TRUE(snapshot_has(snap, "session.fanout_batch"));
+
+  // The extended per-backend stats are populated in pipelined mode.
+  const auto stats = rig.session.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  for (const auto& b : stats.backends) {
+    EXPECT_GT(b.worker_batches, 0u) << b.name;
+    EXPECT_GE(b.mean_lag_seconds, 0.0) << b.name;
+  }
+}
+
+TEST_F(SessionTelemetryTest, DisabledHubRecordsNothing) {
+  VerificationSession::Params sp;
+  sp.clock_period = kClkPeriod;
+  sp.pipelined = true;
+  TelemetryRig rig(sp, 10, SimTime::from_us(5));
+  rig.session.run_until(SimTime::from_us(250));
+  rig.session.comparator().finish();
+  EXPECT_TRUE(rig.session.comparator().clean());
+  auto& hub = telemetry::Hub::instance();
+  EXPECT_EQ(hub.trace_events_recorded(), 0u);
+  EXPECT_TRUE(hub.snapshot().rows.empty());
+  // The always-on component-local statistics still accumulate.
+  const auto stats = rig.session.stats();
+  EXPECT_GE(stats.backends[0].mean_lag_seconds, 0.0);
+}
+
+TEST_F(SessionTelemetryTest, SerialRunPublishesSameMetricFamilies) {
+  telemetry::Hub::instance().enable();
+  VerificationSession::Params sp;
+  sp.clock_period = kClkPeriod;
+  TelemetryRig rig(sp, 10, SimTime::from_us(5));
+  rig.session.run_until(SimTime::from_us(250));
+  rig.session.comparator().finish();
+  ASSERT_TRUE(rig.session.comparator().clean());
+  const telemetry::MetricsSnapshot snap =
+      telemetry::Hub::instance().snapshot();
+  EXPECT_TRUE(snapshot_has(snap, "session.net_events"));
+  EXPECT_TRUE(snapshot_has(snap, "backend.rtl.windows"));
+  EXPECT_TRUE(snapshot_has(snap, "backend.reference.lag_seconds"));
+  // Serial mode has no workers: batch/back-pressure counters publish as 0.
+  EXPECT_TRUE(snapshot_has(snap, "backend.rtl.worker_batches"));
+  const std::string trace = telemetry::Hub::instance().chrome_trace_json();
+  EXPECT_NE(trace.find("\"grant\""), std::string::npos);
+  EXPECT_NE(trace.find("\"rtl.slice\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace castanet::cosim

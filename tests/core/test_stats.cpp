@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/error.hpp"
 
 namespace castanet {
@@ -12,6 +14,17 @@ TEST(SampleStat, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStat, EmptyMinMaxAreNaN) {
+  // An empty stat has no extrema; a fake 0.0 would corrupt downstream
+  // aggregation (e.g. "min lag 0s" from a backend that never reported).
+  SampleStat s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.record(-2.0);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), -2.0);
 }
 
 TEST(SampleStat, SingleSample) {
