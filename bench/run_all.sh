@@ -1,6 +1,8 @@
 #!/bin/sh
 # Runs every bench_e* binary with --json and composes the per-bench reports
 # into one machine-readable file (default: BENCH_PR2.json in the repo root).
+# Each bench also runs with the telemetry hub enabled (--metrics); the flat
+# metrics snapshots are archived next to the report as METRICS_PR<n>.json.
 #
 #   bench/run_all.sh [output.json]
 #
@@ -43,6 +45,24 @@ for b in $BENCHES; do
   $NICE "$bin" --json "$tmp/$b.json"
 done
 
+# Separate telemetry pass: --metrics enables the hub, which perturbs the
+# timing fast path, so the snapshots must not come from the runs that
+# produced the numbers above.  One repetition suffices for counters.  Not
+# every bench is telemetry-instrumented (bench::TelemetryCli); the ones
+# that are not simply write no snapshot and are skipped.
+METRICS_OUT=${METRICS_OUT:-METRICS_PR${PR}.json}
+metrics_benches=""
+for b in $BENCHES; do
+  echo "== bench_$b --metrics"
+  CASTANET_E1_REPS=1 "$BUILD/bench/bench_$b" --metrics "$tmp/$b.metrics.json" \
+    > /dev/null
+  if [ -s "$tmp/$b.metrics.json" ]; then
+    metrics_benches="$metrics_benches $b"
+  else
+    echo "   (no telemetry hub in bench_$b; skipped)"
+  fi
+done
+
 {
   printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n"benches": [\n' "$PR"
   first=1
@@ -54,4 +74,16 @@ done
   printf ']\n}\n'
 } > "$OUT"
 
-echo "wrote $OUT"
+{
+  printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n"metrics": {\n' "$PR"
+  first=1
+  for b in $metrics_benches; do
+    [ $first -eq 1 ] || printf ',\n'
+    first=0
+    printf '"%s": ' "$b"
+    cat "$tmp/$b.metrics.json"
+  done
+  printf '}\n}\n'
+} > "$METRICS_OUT"
+
+echo "wrote $OUT and $METRICS_OUT"

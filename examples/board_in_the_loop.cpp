@@ -3,6 +3,8 @@
 // under the HDL kernel (primary), the algorithm reference model, and the
 // "fabricated" device on the hardware test board (the RTL model behind a
 // pin-level adapter that exhibits timing violations above its rated clock).
+// The rig lives in examples/rigs/accounting_rig.hpp, shared with the
+// castanet_lint CLI and the lint clean-design tests.
 //
 // At the end of each run every backend reads its counters back (the RTL and
 // board over their µP buses, the reference directly) and the session
@@ -25,15 +27,8 @@
 #include <optional>
 #include <string>
 
-#include "src/castanet/backend.hpp"
-#include "src/castanet/mapping.hpp"
-#include "src/castanet/session.hpp"
+#include "examples/rigs/accounting_rig.hpp"
 #include "src/core/telemetry.hpp"
-#include "src/hw/accounting.hpp"
-#include "src/hw/reference.hpp"
-#include "src/traffic/processes.hpp"
-#include "src/traffic/sources.hpp"
-#include "src/traffic/trace.hpp"
 
 using namespace castanet;
 
@@ -53,112 +48,20 @@ struct RigOutcome {
 /// clock at `board_clock_hz` and the board's clock-gating factor applied.
 RigOutcome run_rig(const traffic::CellTrace& trace,
                    std::uint64_t board_clock_hz, unsigned gating_factor) {
-  const SimTime kClk = clock_period_hz(20'000'000);
-  netsim::Simulation net;
-  netsim::Node& env = net.add_node("env");
-
-  cosim::ConservativeSync::Params sync;
-  sync.policy = cosim::SyncPolicy::kGlobalOrder;
-  sync.clock_period = kClk;
-
-  // --- backend 0 (primary): the RTL accounting unit -----------------------
-  rtl::Simulator hdl;
-  rtl::Signal clk(&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0));
-  rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
-  rtl::ClockGen clock(hdl, clk, kClk);
-  hw::CellPort snoop = hw::make_cell_port(hdl, "snoop");
-  hw::CellPortDriver driver(hdl, "drv", clk, snoop);
-  hw::AccountingUnit acct(hdl, "acct", clk, rst, snoop, 8);
-  cosim::BusMaster bus(hdl, "bus", clk, acct.addr, acct.data, acct.cs,
-                       acct.rw);
-  acct.set_tariff(0, hw::Tariff{1, 0});
-  acct.bind_connection({1, 100}, 0, 0);
-
-  cosim::RtlBackend rtl("rtl", hdl, sync);
-  rtl.entity().register_input(0, 53, [&](const cosim::TimedMessage& m) {
-    driver.enqueue(*m.cell);
-  });
-  rtl.set_finish_hook([&](cosim::RtlBackend& b, SimTime) {
-    // Read the counters out over the microprocessor bus, like the embedded
-    // control software would, and respond with [count, clp1, charge].
-    std::uint16_t lo = 0, mid = 0, clp_lo = 0, chg_lo = 0, chg_mid = 0;
-    bus.write(0x00, 0);
-    bus.read(0x01, [&](std::uint16_t v) { lo = v; });
-    bus.read(0x02, [&](std::uint16_t v) { mid = v; });
-    bus.read(0x07, [&](std::uint16_t v) { clp_lo = v; });
-    bus.read(0x04, [&](std::uint16_t v) { chg_lo = v; });
-    bus.read(0x05, [&](std::uint16_t v) { chg_mid = v; });
-    while (!bus.idle()) hdl.run_until(hdl.now() + kClk);
-    hdl.run_until(hdl.now() + kClk * 2);
-    b.entity().send_word_response(
-        0, {std::uint64_t{mid} << 16 | lo, clp_lo,
-            std::uint64_t{chg_mid} << 16 | chg_lo});
-  });
-
-  // --- backend 1: the algorithm reference model ---------------------------
-  hw::AccountingRef ref(8);
-  ref.set_tariff(0, hw::Tariff{1, 0});
-  ref.bind_connection({1, 100}, 0, 0);
-  cosim::ReferenceBackend refb("reference", sync);
-  refb.register_input(0, 1, [&](const cosim::TimedMessage& m) {
-    ref.observe(*m.cell);
-  });
-  refb.set_finish_hook([&](cosim::ReferenceBackend& b, SimTime at) {
-    b.respond_words(0, at, {ref.count(0), ref.clp1_count(0), ref.charge(0)});
-  });
-
-  // --- backend 2: the fabricated device on the test board -----------------
-  board::HardwareTestBoard board;
-  board.configure(cosim::make_cell_stream_config(gating_factor));
-  cosim::AccountingBoardDut dut = cosim::build_accounting_dut(8, kRatedHz);
-  dut.adapter->set_max_safe_hz(kRatedHz, /*fault_period=*/7);
-  dut.unit->set_tariff(0, hw::Tariff{1, 0});
-  dut.unit->bind_connection({1, 100}, 0, 0);
-  dut.adapter->reset();
-  cosim::BoardBackend::Params bp;
-  bp.sync = sync;
-  bp.stream = {4096, board_clock_hz};
-  cosim::BoardBackend brd("board", board, *dut.adapter, bp);
-  brd.register_cell_input(0, 53);
-  brd.set_finish_hook([&](cosim::BoardBackend& b, SimTime at) {
-    // Same µP readback, but through the board's bidirectional bus.
-    cosim::board_bus_write(board, *dut.adapter, 0x00, 0);
-    const auto rd = [&](std::uint16_t lo_reg) -> std::uint64_t {
-      const std::uint64_t lo = cosim::board_bus_read(board, *dut.adapter,
-                                                     lo_reg);
-      const std::uint64_t mid = cosim::board_bus_read(board, *dut.adapter,
-                                                      lo_reg + 1);
-      return mid << 16 | lo;
-    };
-    const std::uint64_t count = rd(0x01);
-    const std::uint64_t clp1 =
-        cosim::board_bus_read(board, *dut.adapter, 0x07);
-    const std::uint64_t charge = rd(0x04);
-    b.respond_words(0, at, {count, clp1, charge});
-  });
-
-  // --- one testbench drives all three -------------------------------------
-  cosim::VerificationSession::Params sp;
-  sp.clock_period = kClk;
-  cosim::VerificationSession session(net, env, 1, sp);
-  session.attach(rtl);
-  session.attach(refb);
-  session.attach(brd);
-  session.set_response_handler([](const cosim::TimedMessage&) {});
-
-  auto& gen = env.add_process<traffic::GeneratorProcess>(
-      "gen", std::make_unique<traffic::TraceSource>(trace), trace.size());
-  net.connect(gen, 0, session.gateway(), 0);
-
-  session.run_until(trace.arrivals().back().time + SimTime::from_ms(1));
-  cosim::SessionComparator& cmp = session.comparator();
-  cmp.finish();
+  rigs::AccountingRig::Params params;
+  params.board_clock_hz = board_clock_hz;
+  params.gating_factor = gating_factor;
+  params.rated_hz = kRatedHz;
+  rigs::AccountingRig rig(params);
+  rig.drive(trace);
+  rig.run(trace.arrivals().back().time + SimTime::from_ms(1));
+  cosim::SessionComparator& cmp = rig.session->comparator();
 
   RigOutcome out;
   out.clean = cmp.clean();
   out.first = cmp.first_divergence(0);
-  out.timing_violations = brd.totals().timing_violations;
-  for (const auto& b : session.stats().backends)
+  out.timing_violations = rig.brd->totals().timing_violations;
+  for (const auto& b : rig.session->stats().backends)
     out.causality_errors += b.causality_errors;
   out.report = cmp.report();
   return out;
@@ -198,8 +101,7 @@ int main(int argc, char** argv) {
   };
 
   // Stimulus: 120 cells, back-to-back at the board's cell time.
-  traffic::CbrSource src({1, 100}, 1, SimTime::from_ns(50 * 53));
-  const traffic::CellTrace trace = traffic::CellTrace::record(src, 120);
+  const traffic::CellTrace trace = rigs::AccountingRig::record_trace(120);
 
   mark_rig(0);
   const RigOutcome rated = run_rig(trace, kRatedHz, /*gating_factor=*/1);

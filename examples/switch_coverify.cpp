@@ -6,7 +6,9 @@
 // VerificationSession: the RTL switch under the HDL kernel (primary) and
 // the algorithm reference model.  The session comparator cross-checks the
 // two backends' output streams per port, and a VCD waveform of port 0 is
-// dumped for the HDL-debugger workflow.
+// dumped for the HDL-debugger workflow.  The rig itself lives in
+// examples/rigs/switch_rig.hpp, shared with the castanet_lint CLI and the
+// lint clean-design tests.
 //
 // Build & run:  ./build/examples/switch_coverify [cells-per-source]
 //                                                [--vcd PATH] [--trace PATH]
@@ -20,14 +22,9 @@
 #include <cstring>
 #include <string>
 
-#include "src/castanet/backend.hpp"
-#include "src/castanet/session.hpp"
+#include "examples/rigs/switch_rig.hpp"
 #include "src/core/telemetry.hpp"
-#include "src/hw/atm_switch.hpp"
-#include "src/hw/reference.hpp"
 #include "src/rtl/waveform.hpp"
-#include "src/traffic/processes.hpp"
-#include "src/traffic/trace.hpp"
 
 using namespace castanet;
 
@@ -52,118 +49,33 @@ int main(int argc, char** argv) {
                                            : self.substr(0, slash)) +
                "/switch_port0.vcd";
   }
-  constexpr std::size_t kPorts = 4;
-  const SimTime kClk = clock_period_hz(20'000'000);
 
   // --- record the stimulus traces (reusable test vectors) -----------------
-  Rng rng(2026);
-  std::vector<traffic::CellTrace> traces;
-  {
-    const SimTime spacing = SimTime::from_us(6);
-    traffic::CbrSource cbr({1, 100}, 1, spacing);
-    traffic::PoissonSource poisson({1, 101}, 2, 50'000.0, rng.fork());
-    traffic::OnOffSource::Params op;
-    op.peak_period = SimTime::from_us(8);
-    op.mean_on_sec = 200e-6;
-    op.mean_off_sec = 400e-6;
-    traffic::OnOffSource burst({1, 102}, 3, op, rng.fork());
-    traffic::CbrSource cbr2({1, 103}, 4, spacing, SimTime::from_us(3));
-    traces.push_back(traffic::CellTrace::record(cbr, cells_per_source));
-    traces.push_back(traffic::CellTrace::record(poisson, cells_per_source));
-    traces.push_back(traffic::CellTrace::record(burst, cells_per_source));
-    traces.push_back(traffic::CellTrace::record(cbr2, cells_per_source));
-  }
+  const auto traces = rigs::SwitchRig::record_traces(cells_per_source);
 
-  // --- elaborate the RTL switch ------------------------------------------
-  netsim::Simulation net;
-  netsim::Node& env = net.add_node("env");
-  rtl::Simulator hdl;
-  rtl::Signal clk(&hdl, hdl.create_signal("clk", 1, rtl::Logic::L0));
-  rtl::Signal rst(&hdl, hdl.create_signal("rst", 1, rtl::Logic::L0));
-  rtl::ClockGen clock(hdl, clk, kClk);
-  hw::AtmSwitch sw(hdl, "sw", clk, rst);
-  rtl::VcdWriter vcd(hdl, vcd_path, /*timescale_ps=*/1000);
-  vcd.track(sw.phys_in(0).data.id());
-  vcd.track(sw.phys_in(0).sync.id());
-  vcd.track(sw.phys_in(0).valid.id());
-  vcd.track(sw.phys_out(0).data.id());
-  vcd.track(sw.phys_out(0).valid.id());
-
-  std::vector<std::unique_ptr<hw::CellPortDriver>> drivers;
-  std::vector<std::unique_ptr<hw::CellPortMonitor>> monitors;
-  for (std::size_t p = 0; p < kPorts; ++p) {
-    drivers.push_back(std::make_unique<hw::CellPortDriver>(
-        hdl, "drv" + std::to_string(p), clk, sw.phys_in(p)));
-    monitors.push_back(std::make_unique<hw::CellPortMonitor>(
-        hdl, "mon" + std::to_string(p), clk, sw.phys_out(p)));
-  }
-
-  // --- identical routing in DUT and reference -----------------------------
-  hw::SwitchRef ref(kPorts);
-  for (std::size_t p = 0; p < kPorts; ++p) {
-    const atm::VcId in{1, static_cast<std::uint16_t>(100 + p)};
-    const atm::Route route{static_cast<std::uint8_t>((p + 1) % kPorts),
-                           {2, static_cast<std::uint16_t>(200 + p)},
-                           {}};
-    sw.install_route(p, in, route);
-    ref.table(p).install(in, route);
-  }
-
-  // --- the session: one testbench, two backends ---------------------------
-  cosim::ConservativeSync::Params sync;
-  sync.policy = cosim::SyncPolicy::kGlobalOrder;
-  sync.clock_period = kClk;
-  cosim::RtlBackend rtl("rtl", hdl, sync);
-  cosim::ReferenceBackend refb("reference", sync);
-
-  cosim::VerificationSession::Params params;
-  params.clock_period = kClk;
-  cosim::VerificationSession session(net, env, kPorts, params);
-  session.attach(rtl);   // index 0: primary
-  session.attach(refb);  // checked against the primary per output stream
-
-  for (std::size_t p = 0; p < kPorts; ++p) {
-    rtl.entity().register_input(
-        static_cast<cosim::MessageType>(p), 53,
-        [&, p](const cosim::TimedMessage& m) { drivers[p]->enqueue(*m.cell); });
-    // Monitors report on the out-port's stream; each out port is fed by
-    // exactly one in port here, so per-stream FIFO order is well defined.
-    monitors[p]->set_callback([&, p](const atm::Cell& c) {
-      rtl.entity().send_cell_response(static_cast<cosim::MessageType>(p), c);
-    });
-    refb.register_input(
-        static_cast<cosim::MessageType>(p), 1,
-        [&, p](const cosim::TimedMessage& m) {
-          if (const auto routed = ref.route(p, *m.cell)) {
-            refb.respond(routed->out_port, m.timestamp, routed->cell);
-          }
-        });
-    auto& gen = env.add_process<traffic::GeneratorProcess>(
-        "gen" + std::to_string(p),
-        std::make_unique<traffic::TraceSource>(traces[p]),
-        traces[p].size());
-    net.connect(gen, 0, session.gateway(), static_cast<unsigned>(p));
-  }
-  session.set_response_handler([](const cosim::TimedMessage&) {});
+  // --- elaborate the rig: RTL switch + reference behind one testbench -----
+  rigs::SwitchRig rig;
+  rtl::VcdWriter vcd(rig.hdl, vcd_path, /*timescale_ps=*/1000);
+  vcd.track(rig.sw.phys_in(0).data.id());
+  vcd.track(rig.sw.phys_in(0).sync.id());
+  vcd.track(rig.sw.phys_in(0).valid.id());
+  vcd.track(rig.sw.phys_out(0).data.id());
+  vcd.track(rig.sw.phys_out(0).valid.id());
+  rig.drive(traces);
 
   // --- run -----------------------------------------------------------------
-  SimTime horizon = SimTime::zero();
-  for (const auto& t : traces) {
-    if (!t.empty()) horizon = std::max(horizon, t.arrivals().back().time);
-  }
-  session.run_until(horizon + SimTime::from_ms(2));
-  cosim::SessionComparator& cmp = session.comparator();
-  cmp.finish();
+  rig.run(rigs::SwitchRig::horizon(traces) + SimTime::from_ms(2));
+  cosim::SessionComparator& cmp = rig.session.comparator();
 
-  const auto stats = session.stats();
+  const auto stats = rig.session.stats();
   std::printf("switch co-verification, %zu cells/source x %zu sources\n",
               cells_per_source, traces.size());
   std::printf("  GCU switched .......... %llu cells\n",
-              static_cast<unsigned long long>(sw.gcu().cells_switched()));
+              static_cast<unsigned long long>(rig.sw.gcu().cells_switched()));
   std::printf("  messages exchanged .... %llu -> / %llu <-\n",
               static_cast<unsigned long long>(stats.messages_to_hdl),
               static_cast<unsigned long long>(
-                  rtl.response_channel().messages_sent()));
+                  rig.rtl.response_channel().messages_sent()));
   for (const auto& b : stats.backends) {
     std::printf("  backend %-11s ... %llu windows, %llu causality errors\n",
                 b.name.c_str(),

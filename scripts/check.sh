@@ -1,26 +1,44 @@
 #!/bin/sh
 # Tier-1 gate, runnable locally and from CI: configure, build, run the full
-# test suite, and (optionally) repeat the threaded co-simulation tests under
-# ThreadSanitizer.
+# test suite, and (optionally) repeat parts of it under sanitizers, run the
+# static lint CLI on the shipped designs, or run clang-tidy.
 #
 #   scripts/check.sh           # build + ctest
-#   scripts/check.sh --tsan    # additionally: TSan build, ctest -L cosim_threaded
+#   scripts/check.sh --tsan    # + TSan build, ctest -L cosim_threaded
+#   scripts/check.sh --asan    # + ASan build, full ctest suite
+#   scripts/check.sh --ubsan   # + UBSan build, full ctest suite
+#   scripts/check.sh --lint    # + castanet_lint on both example designs
+#   scripts/check.sh --tidy    # + clang-tidy over src/ (needs clang-tidy)
+#
+# Flags combine; --asan and --ubsan together use one address,undefined tree.
 #
 # Environment:
-#   BUILD_DIR       plain build tree   (default: build)
-#   TSAN_BUILD_DIR  TSan build tree    (default: build-tsan)
-#   JOBS            parallel build jobs (default: nproc)
+#   BUILD_DIR       plain build tree      (default: build)
+#   TSAN_BUILD_DIR  TSan build tree       (default: build-tsan)
+#   SAN_BUILD_DIR   ASan/UBSan build tree (default: build-san)
+#   JOBS            parallel build jobs   (default: nproc)
+#   CLANG_TIDY      clang-tidy executable (default: clang-tidy)
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=${BUILD_DIR:-build}
 TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
+SAN_BUILD=${SAN_BUILD_DIR:-build-san}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
 
 run_tsan=0
+run_asan=0
+run_ubsan=0
+run_lint=0
+run_tidy=0
 for arg in "$@"; do
   case "$arg" in
-    --tsan) run_tsan=1 ;;
+    --tsan)  run_tsan=1 ;;
+    --asan)  run_asan=1 ;;
+    --ubsan) run_ubsan=1 ;;
+    --lint)  run_lint=1 ;;
+    --tidy)  run_tidy=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -43,6 +61,12 @@ else
   echo "python3 unavailable; skipped JSON validation of $TRACE_OUT"
 fi
 
+if [ "$run_lint" -eq 1 ]; then
+  # Exit status 0 requires zero error-severity diagnostics on every design.
+  echo "== castanet_lint --design all ($BUILD)"
+  "$BUILD/tools/castanet_lint" --design all
+fi
+
 if [ "$run_tsan" -eq 1 ]; then
   # The threaded co-simulation paths (pipelined VerificationSession /
   # CoVerification workers, SPSC channels) carry their own ctest label so
@@ -52,6 +76,35 @@ if [ "$run_tsan" -eq 1 ]; then
   cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_cosim_pipelined
   echo "== ctest -L cosim_threaded ($TSAN_BUILD)"
   ctest --test-dir "$TSAN_BUILD" -L cosim_threaded --output-on-failure
+fi
+
+if [ "$run_asan" -eq 1 ] || [ "$run_ubsan" -eq 1 ]; then
+  # One combined tree when both are requested; ASan and UBSan compose.
+  if [ "$run_asan" -eq 1 ] && [ "$run_ubsan" -eq 1 ]; then
+    SAN=address,undefined
+  elif [ "$run_asan" -eq 1 ]; then
+    SAN=address
+  else
+    SAN=undefined
+  fi
+  echo "== configure + build ($SAN_BUILD, CASTANET_SANITIZE=$SAN)"
+  cmake -B "$SAN_BUILD" -S . -DCASTANET_SANITIZE="$SAN" >/dev/null
+  cmake --build "$SAN_BUILD" -j "$JOBS"
+  echo "== ctest ($SAN_BUILD)"
+  ctest --test-dir "$SAN_BUILD" --output-on-failure
+fi
+
+if [ "$run_tidy" -eq 1 ]; then
+  if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+    echo "check.sh: --tidy requires clang-tidy on PATH (set CLANG_TIDY=...)" >&2
+    exit 1
+  fi
+  # The plain build exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
+  test -s "$BUILD/compile_commands.json" || {
+    echo "check.sh: $BUILD/compile_commands.json missing" >&2; exit 1; }
+  echo "== clang-tidy over src/ ($BUILD/compile_commands.json)"
+  find src -name '*.cpp' -print | xargs -P "$JOBS" -n 4 \
+    "$CLANG_TIDY" -p "$BUILD" --quiet --warnings-as-errors='*'
 fi
 
 echo "check.sh: all green"

@@ -42,12 +42,30 @@ void claim_pins(const std::vector<LaneSlice>& slices,
   }
 }
 
+// Port IDs are the lookup keys of the mapping tables: a duplicate silently
+// shadows its twin on lookup, so reject it outright.
+template <typename Mapping, typename Id>
+void check_unique_ids(const std::vector<Mapping>& maps, Id Mapping::*id,
+                      const std::string& what) {
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    for (std::size_t j = i + 1; j < maps.size(); ++j) {
+      if (maps[i].*id == maps[j].*id) {
+        throw ConfigError(what + " " + std::to_string(maps[i].*id) +
+                          " declared more than once");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void ConfigDataSet::validate() const {
   if (gating_factor == 0) {
     throw ConfigError("ConfigDataSet: gating factor must be >= 1");
   }
+  check_unique_ids(inports, &InportMapping::inport, "inport");
+  check_unique_ids(outports, &OutportMapping::outport, "outport");
+  check_unique_ids(ctrlports, &CtrlportMapping::ctrlport, "ctrlport");
   std::array<bool, kPins> tester_driven{};
   std::array<bool, kPins> dut_driven{};
 

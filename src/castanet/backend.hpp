@@ -116,6 +116,11 @@ class RtlBackend : public DutBackend {
   /// inputs; monitors call entity().send_cell_response(...).
   CosimEntity& entity() { return *entity_; }
 
+  /// The HDL kernel this backend advances (netlist introspection for the
+  /// lint analyzers).
+  rtl::Simulator& hdl() { return hdl_; }
+  const rtl::Simulator& hdl() const { return hdl_; }
+
   /// Response channel (HDL -> net) for transport-overhead accounting.
   MessageChannel& response_channel() { return to_net_; }
   const MessageChannel& response_channel() const { return to_net_; }
@@ -227,7 +232,9 @@ class BoardBackend : public DutBackend {
   }
 
   board::HardwareTestBoard& board() { return board_; }
+  const board::HardwareTestBoard& board() const { return board_; }
   board::BehavioralDut& dut() { return dut_; }
+  const Params& params() const { return p_; }
 
   /// Accumulated run statistics over every batch so far.
   const BoardCellStream::Result& totals() const { return totals_; }

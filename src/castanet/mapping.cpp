@@ -16,6 +16,10 @@ WideLaneDriver::WideLaneDriver(rtl::Simulator& sim, std::string name,
           "WideLaneDriver: lane width must be 1, 2 or 4 bytes");
   require(data_.width() == 8 * lane_bytes,
           "WideLaneDriver: data bus width mismatch");
+  bind_port(clk_, rtl::PortDir::kIn, "clk");
+  bind_port(data_, rtl::PortDir::kOut, 8 * lane_bytes, "data");
+  bind_port(sync_, rtl::PortDir::kOut, "sync");
+  bind_port(valid_, rtl::PortDir::kOut, "valid");
   clocked("drive", clk_, [this] { on_clk(); });
 }
 
@@ -64,6 +68,10 @@ WideLaneMonitor::WideLaneMonitor(rtl::Simulator& sim, std::string name,
           "WideLaneMonitor: lane width must be 1, 2 or 4 bytes");
   require(data_.width() == 8 * lane_bytes,
           "WideLaneMonitor: data bus width mismatch");
+  bind_port(clk_, rtl::PortDir::kIn, "clk");
+  bind_port(data_, rtl::PortDir::kIn, 8 * lane_bytes, "data");
+  bind_port(sync_, rtl::PortDir::kIn, "sync");
+  bind_port(valid_, rtl::PortDir::kIn, "valid");
   clocked("observe", clk_, [this] { on_clk(); });
 }
 
@@ -92,6 +100,11 @@ BusMaster::BusMaster(rtl::Simulator& sim, std::string name, rtl::Signal clk,
   // No initialization writes: cs/rw/addr take their creation-time initial
   // values until the first clock; writing here would register a second
   // driver that resolves against the bus-master process forever.
+  bind_port(clk_, rtl::PortDir::kIn, "clk");
+  bind_port(addr_, rtl::PortDir::kOut, addr_.width(), "addr");
+  bind_port(data_, rtl::PortDir::kInOut, data_.width(), "data");
+  bind_port(cs_, rtl::PortDir::kOut, "cs");
+  bind_port(rw_, rtl::PortDir::kOut, "rw");
   clocked("bus_master", clk_, [this] { on_clk(); });
 }
 

@@ -11,6 +11,17 @@
 
 namespace castanet::cosim {
 
+namespace {
+/// Process-wide session elaboration hook (see set_elaboration_hook).
+/// Written once at program setup, read at the first run_until; install it
+/// before any session runs.
+VerificationSession::ElaborationHook g_session_hook;
+}  // namespace
+
+void VerificationSession::set_elaboration_hook(ElaborationHook hook) {
+  g_session_hook = std::move(hook);
+}
+
 VerificationSession::VerificationSession(netsim::Simulation& net,
                                          netsim::Node& node, unsigned streams,
                                          Params params)
@@ -56,6 +67,10 @@ void VerificationSession::run_until(SimTime limit) {
   if (!ran_) {
     comparator_.attach(backends_.size(), primary_);
     ran_ = true;
+    // Opt-in elaboration hook (see set_elaboration_hook): the session is
+    // fully assembled — backends attached, primary chosen — and nothing has
+    // run yet, so static analysis sees the same structures the run will use.
+    if (g_session_hook) g_session_hook(*this);
   }
   assign_tracks();
   if (params_.pipelined) {

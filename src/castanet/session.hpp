@@ -88,6 +88,16 @@ class VerificationSession {
   DutBackend& backend(std::size_t i) { return *backends_.at(i); }
 
   GatewayProcess& gateway() { return *gateway_; }
+  const GatewayProcess& gateway() const { return *gateway_; }
+  const Params& params() const { return params_; }
+
+  /// Opt-in elaboration hook, installed process-wide (e.g. by
+  /// lint::install_elaboration_hooks): invoked once per session at the
+  /// first run_until, after backends are attached and the comparator is
+  /// wired but before any network event executes.  A throwing hook aborts
+  /// the run before anything advanced.
+  using ElaborationHook = std::function<void(VerificationSession&)>;
+  static void set_elaboration_hook(ElaborationHook hook);
   /// The gateway -> session channel (transport-overhead accounting).
   MessageChannel& gateway_channel() { return from_gateway_; }
 

@@ -27,6 +27,18 @@ void ConservativeSync::declare_input(MessageType type,
   min_delta_cycles_ = std::min(min_delta_cycles_, delta_cycles);
 }
 
+std::vector<ConservativeSync::InputInfo> ConservativeSync::declared_inputs()
+    const {
+  std::vector<InputInfo> out;
+  out.reserve(inputs_.size());
+  for (const InputQueue& q : inputs_) out.push_back({q.type, q.delta_cycles});
+  return out;
+}
+
+bool ConservativeSync::input_declared(MessageType type) const {
+  return const_cast<ConservativeSync*>(this)->find(type) != nullptr;
+}
+
 ConservativeSync::InputQueue* ConservativeSync::find(MessageType type) {
   auto it = std::lower_bound(
       inputs_.begin(), inputs_.end(), type,

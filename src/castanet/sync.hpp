@@ -72,6 +72,17 @@ class ConservativeSync {
   void note_hdl_time(SimTime t);
 
   SimTime network_time() const { return network_time_; }
+  const Params& params() const { return p_; }
+
+  /// Declared input types with their δ_j, in type order (static view for
+  /// the lint sync analyzers).
+  struct InputInfo {
+    MessageType type = 0;
+    std::uint64_t delta_cycles = 0;
+  };
+  std::vector<InputInfo> declared_inputs() const;
+  bool input_declared(MessageType type) const;
+
   std::uint64_t messages_received() const { return received_; }
   std::uint64_t time_updates_received() const { return time_updates_; }
   std::uint64_t windows_granted() const { return windows_granted_; }

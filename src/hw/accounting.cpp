@@ -23,6 +23,12 @@ AccountingUnit::AccountingUnit(rtl::Simulator& sim, std::string name,
   data = make_bus("data", 16, rtl::Logic::Z);
   cs = make_signal("cs", rtl::Logic::L0);
   rw = make_signal("rw", rtl::Logic::L1);
+  bind_port(clk_, rtl::PortDir::kIn, "clk");
+  bind_port(rst_, rtl::PortDir::kIn, "rst");
+  bind_port(addr, rtl::PortDir::kIn, 8, "addr");
+  bind_port(data, rtl::PortDir::kInOut, 16, "data");
+  bind_port(cs, rtl::PortDir::kIn, "cs");
+  bind_port(rw, rtl::PortDir::kIn, "rw");
 
   clocked("count", clk_, [this] { on_clk_count(); });
   clocked("bus", clk_, [this] { on_clk_bus(); });

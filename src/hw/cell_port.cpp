@@ -24,6 +24,10 @@ CellPort make_cell_port(rtl::Simulator& sim, const std::string& prefix) {
 CellPortDriver::CellPortDriver(rtl::Simulator& sim, std::string name,
                                rtl::Signal clk, CellPort port)
     : Module(sim, std::move(name)), clk_(clk), port_(port) {
+  bind_port(clk_, rtl::PortDir::kIn, "clk");
+  bind_port(port_.data, rtl::PortDir::kOut, 8, "data");
+  bind_port(port_.sync, rtl::PortDir::kOut, "sync");
+  bind_port(port_.valid, rtl::PortDir::kOut, "valid");
   clocked("drive", clk_, [this] { on_clk(); });
 }
 
@@ -62,6 +66,10 @@ CellPortMonitor::CellPortMonitor(rtl::Simulator& sim, std::string name,
                                  bool check_hec)
     : Module(sim, std::move(name)), clk_(clk), port_(port),
       check_hec_(check_hec) {
+  bind_port(clk_, rtl::PortDir::kIn, "clk");
+  bind_port(port_.data, rtl::PortDir::kIn, 8, "data");
+  bind_port(port_.sync, rtl::PortDir::kIn, "sync");
+  bind_port(port_.valid, rtl::PortDir::kIn, "valid");
   clocked("observe", clk_, [this] { on_clk(); });
 }
 

@@ -1,0 +1,24 @@
+// Board-configuration analyzers over a board::ConfigDataSet (DESIGN.md §10).
+//
+// ConfigDataSet::validate() is the runtime gate: it throws on the first
+// violation when a board is programmed.  The lint analyzer covers the same
+// ground plus the cross-mapping rules validate() cannot afford to check on
+// every download, and it *collects* every finding instead of stopping at the
+// first — the difference between "the board refused this config" and a
+// review of the whole configuration data set.
+#pragma once
+
+#include <string>
+
+#include "src/board/config.hpp"
+#include "src/lint/diagnostic.hpp"
+
+namespace castanet::lint {
+
+/// Runs every board rule on `cfg` and appends findings to `report`.
+/// `scope` prefixes locations when several configs share one report (may be
+/// empty).  Never throws on config defects — inspect the report.
+void analyze_board_config(const board::ConfigDataSet& cfg,
+                          const std::string& scope, Report& report);
+
+}  // namespace castanet::lint

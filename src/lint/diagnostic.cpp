@@ -1,0 +1,153 @@
+#include "src/lint/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace castanet::lint {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void Report::add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void Report::add(std::string rule, Severity severity, std::string component,
+                 std::string location, std::string message,
+                 std::string fix_hint) {
+  diags_.push_back({std::move(rule), severity, std::move(component),
+                    std::move(location), std::move(message),
+                    std::move(fix_hint)});
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool Report::has(std::string_view rule) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::vector<const Diagnostic*> Report::by_rule(std::string_view rule) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) out.push_back(&d);
+  }
+  return out;
+}
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+namespace {
+
+void render_line(std::ostream& os, const Diagnostic& d) {
+  os << to_string(d.severity) << "  " << d.rule << " [" << d.component
+     << "] " << d.location << ": " << d.message;
+  if (!d.fix_hint.empty()) os << " (fix: " << d.fix_hint << ")";
+  os << "\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Errors first, then warnings, then notes; stable within a severity so
+/// diagnostics keep analyzer order.
+std::vector<const Diagnostic*> severity_sorted(
+    const std::vector<Diagnostic>& diags) {
+  std::vector<const Diagnostic*> ptrs;
+  ptrs.reserve(diags.size());
+  for (const Diagnostic& d : diags) ptrs.push_back(&d);
+  std::stable_sort(ptrs.begin(), ptrs.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return static_cast<int>(a->severity) >
+                            static_cast<int>(b->severity);
+                   });
+  return ptrs;
+}
+
+}  // namespace
+
+std::string Report::to_text() const {
+  std::ostringstream os;
+  for (const Diagnostic* d : severity_sorted(diags_)) render_line(os, *d);
+  os << "castanet-lint: " << errors() << " error(s), " << warnings()
+     << " warning(s), " << notes() << " note(s)\n";
+  return os.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic* d : severity_sorted(diags_)) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"rule\": \"" << json_escape(d->rule) << "\", \"severity\": \""
+       << to_string(d->severity) << "\", \"component\": \""
+       << json_escape(d->component) << "\", \"location\": \""
+       << json_escape(d->location) << "\", \"message\": \""
+       << json_escape(d->message) << "\", \"fix_hint\": \""
+       << json_escape(d->fix_hint) << "\"}";
+  }
+  os << (first ? "" : "\n  ") << "],\n";
+  os << "  \"errors\": " << errors() << ",\n  \"warnings\": " << warnings()
+     << ",\n  \"notes\": " << notes() << "\n}\n";
+  return os.str();
+}
+
+void Report::throw_if(Severity threshold) const {
+  std::ostringstream os;
+  std::size_t over = 0;
+  for (const Diagnostic* d : severity_sorted(diags_)) {
+    if (static_cast<int>(d->severity) >= static_cast<int>(threshold)) {
+      ++over;
+      render_line(os, *d);
+    }
+  }
+  if (over == 0) return;
+  throw LintError("castanet-lint: " + std::to_string(over) +
+                  " diagnostic(s) at or above severity '" +
+                  to_string(threshold) + "':\n" + os.str());
+}
+
+}  // namespace castanet::lint

@@ -1,0 +1,56 @@
+#include "src/lint/lint.hpp"
+
+#include <utility>
+
+#include "src/castanet/backend.hpp"
+
+namespace castanet::lint {
+
+Report analyze_session(cosim::VerificationSession& session,
+                       const Options& opts) {
+  Report report;
+  analyze_session_sync(session, report);
+  for (std::size_t i = 0; i < session.backend_count(); ++i) {
+    cosim::DutBackend& b = session.backend(i);
+    if (auto* r = dynamic_cast<cosim::RtlBackend*>(&b)) {
+      NetlistOptions nopts;
+      nopts.depth = opts.depth;
+      nopts.scope = b.name();
+      if (opts.depth == NetlistDepth::kProbed) {
+        settle(r->hdl(), r->sync().params().clock_period, opts.settle_cycles);
+      }
+      analyze_netlist(r->hdl(), nopts, report);
+    } else if (auto* brd = dynamic_cast<cosim::BoardBackend*>(&b)) {
+      analyze_board_config(brd->board().config(), b.name(), report);
+    }
+  }
+  if (opts.strict) report.throw_if(Severity::kError);
+  return report;
+}
+
+void install_elaboration_hooks(HookConfig cfg) {
+  // Each hook captures its own copy; the shared_ptr-free copies keep the
+  // config alive for as long as the hooks are installed.
+  const HookConfig sim_cfg = cfg;
+  rtl::Simulator::set_elaboration_hook([sim_cfg](rtl::Simulator& sim) {
+    Report report;
+    analyze_netlist(sim, NetlistOptions{}, report);
+    if (sim_cfg.sink) sim_cfg.sink(report);
+    if (sim_cfg.strict) report.throw_if(Severity::kError);
+  });
+  cosim::VerificationSession::set_elaboration_hook(
+      [cfg = std::move(cfg)](cosim::VerificationSession& session) {
+        Options opts;
+        opts.depth = NetlistDepth::kElaboration;
+        Report report = analyze_session(session, opts);
+        if (cfg.sink) cfg.sink(report);
+        if (cfg.strict) report.throw_if(Severity::kError);
+      });
+}
+
+void clear_elaboration_hooks() {
+  rtl::Simulator::set_elaboration_hook({});
+  cosim::VerificationSession::set_elaboration_hook({});
+}
+
+}  // namespace castanet::lint

@@ -1,0 +1,279 @@
+#include "src/lint/netlist.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace castanet::lint {
+
+namespace {
+
+constexpr const char* kFamily = "netlist";
+
+std::string qualify(const std::string& scope, std::string loc) {
+  if (scope.empty()) return loc;
+  return scope + ": " + loc;
+}
+
+bool has_x(const rtl::LogicVector& v) {
+  for (std::size_t i = 0; i < v.width(); ++i) {
+    if (v.bit(i) == rtl::Logic::X || v.bit(i) == rtl::Logic::W) return true;
+  }
+  return false;
+}
+
+bool has_u(const rtl::LogicVector& v) {
+  for (std::size_t i = 0; i < v.width(); ++i) {
+    if (v.bit(i) == rtl::Logic::U) return true;
+  }
+  return false;
+}
+
+/// One dataflow edge: following `sig`, control/data reaches process `to`.
+struct Edge {
+  rtl::ProcessId to;
+  rtl::SignalId sig;
+};
+using Graph = std::vector<std::vector<Edge>>;
+
+/// Process-granularity cycle search (iterative DFS with an explicit stack so
+/// deep designs cannot overflow the call stack).  Returns the first cycle
+/// found as alternating "process -> signal -> process" path elements, or an
+/// empty vector when the graph is acyclic.
+std::vector<std::string> find_cycle(const rtl::Simulator& sim,
+                                    const Graph& g) {
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(g.size(), kWhite);
+  struct Frame {
+    rtl::ProcessId pid;
+    std::size_t next_edge;
+  };
+  for (rtl::ProcessId root = 0; root < g.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    // via[i] is the signal that led from stack[i-1] to stack[i].
+    std::vector<rtl::SignalId> via{0};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_edge < g[f.pid].size()) {
+        const Edge& e = g[f.pid][f.next_edge++];
+        if (color[e.to] == kGray) {
+          // Found a back edge: unwind the stack to the cycle entry.
+          std::size_t start = stack.size();
+          while (start > 0 && stack[start - 1].pid != e.to) --start;
+          std::vector<std::string> path;
+          for (std::size_t i = start - 1; i < stack.size(); ++i) {
+            path.push_back("process '" + sim.process_name(stack[i].pid) + "'");
+            const rtl::SignalId s =
+                i + 1 < stack.size() ? via[i + 1] : e.sig;
+            path.push_back("signal '" + sim.signal_name(s) + "'");
+          }
+          path.push_back("process '" + sim.process_name(e.to) + "'");
+          return path;
+        }
+        if (color[e.to] == kWhite) {
+          color[e.to] = kGray;
+          stack.push_back({e.to, 0});
+          via.push_back(e.sig);
+        }
+      } else {
+        color[f.pid] = kBlack;
+        stack.pop_back();
+        via.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string join_path(const std::vector<std::string>& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) out += " -> ";
+    out += path[i];
+  }
+  return out;
+}
+
+/// Combinational dependency graph: P -> Q when P (a real process) drives a
+/// signal Q is *sensitive* to.  All kernel writes are zero-delay, so a cycle
+/// here is genuine delta-cycle feedback; clocked processes are only
+/// sensitive to their clock, which the clock generator drives from the
+/// external slot, so register loops do not appear.
+Graph comb_graph(const rtl::Simulator& sim) {
+  Graph g(sim.process_count());
+  for (rtl::SignalId s = 0; s < sim.signal_count(); ++s) {
+    for (rtl::ProcessId p : sim.drivers_of(s)) {
+      if (p == rtl::kExternalProcess) continue;
+      for (rtl::ProcessId q : sim.sensitive_processes(s)) {
+        if (q == rtl::kExternalProcess) continue;
+        g[p].push_back({q, s});
+      }
+    }
+  }
+  return g;
+}
+
+/// Dataflow graph for the topology classifier: P -> Q when P drives a signal
+/// Q is sensitive to *or reads* (read tracking).  Cycles here mean some
+/// process's outputs eventually influence its own inputs — the design has
+/// feedback across the module graph even if every individual path is
+/// registered.
+Graph dataflow_graph(const rtl::Simulator& sim) {
+  Graph g(sim.process_count());
+  for (rtl::SignalId s = 0; s < sim.signal_count(); ++s) {
+    std::vector<rtl::ProcessId> sinks = sim.sensitive_processes(s);
+    for (rtl::ProcessId r : sim.readers_of(s)) {
+      if (std::find(sinks.begin(), sinks.end(), r) == sinks.end()) {
+        sinks.push_back(r);
+      }
+    }
+    for (rtl::ProcessId p : sim.drivers_of(s)) {
+      if (p == rtl::kExternalProcess) continue;
+      for (rtl::ProcessId q : sinks) {
+        if (q == rtl::kExternalProcess || q == p) continue;
+        g[p].push_back({q, s});
+      }
+    }
+  }
+  return g;
+}
+
+void check_drivers(const rtl::Simulator& sim, const NetlistOptions& opts,
+                   Report& report) {
+  for (rtl::SignalId s = 0; s < sim.signal_count(); ++s) {
+    const std::vector<rtl::ProcessId> drivers = sim.drivers_of(s);
+    if (drivers.size() < 2) continue;
+    std::string who;
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+      if (i) who += ", ";
+      who += drivers[i] == rtl::kExternalProcess
+                 ? "<external>"
+                 : "'" + sim.process_name(drivers[i]) + "'";
+    }
+    const std::string loc =
+        qualify(opts.scope, "signal '" + sim.signal_name(s) + "'");
+    if (has_x(sim.value(s))) {
+      report.add("NET-CONTENTION", Severity::kError, kFamily, loc,
+                 "bus contention: " + std::to_string(drivers.size()) +
+                     " drivers (" + who + ") resolve to unknown bits (" +
+                     sim.value(s).to_string() + ")",
+                 "make all but one driver release the bus (drive 'Z') before "
+                 "another drives a value");
+    } else {
+      report.add("NET-MULTI-DRIVEN", Severity::kNote, kFamily, loc,
+                 "resolved signal with " + std::to_string(drivers.size()) +
+                     " drivers (" + who + ")",
+                 "expected for tri-state buses; check the driver list if this "
+                 "net is not a bus");
+    }
+  }
+}
+
+void check_bindings(const rtl::Simulator& sim, const NetlistOptions& opts,
+                    Report& report) {
+  for (const rtl::PortBinding& b : sim.port_bindings()) {
+    if (b.expected_width == sim.width(b.sig)) continue;
+    report.add("NET-WIDTH-MISMATCH", Severity::kError, kFamily,
+               qualify(opts.scope, "port " + b.context + " on signal '" +
+                                       sim.signal_name(b.sig) + "'"),
+               "port expects width " + std::to_string(b.expected_width) +
+                   " but the bound signal is " +
+                   std::to_string(sim.width(b.sig)) + " bit(s) wide",
+               "bind a signal of the declared width or fix the port "
+               "declaration");
+  }
+}
+
+void check_undriven(const rtl::Simulator& sim, const NetlistOptions& opts,
+                    Report& report) {
+  // One diagnostic per undriven signal, naming every input port bound to it.
+  std::vector<bool> reported(sim.signal_count(), false);
+  for (const rtl::PortBinding& b : sim.port_bindings()) {
+    if (b.dir != rtl::PortDir::kIn) continue;
+    if (reported[b.sig] || !sim.drivers_of(b.sig).empty()) continue;
+    reported[b.sig] = true;
+    std::string ports = b.context;
+    for (const rtl::PortBinding& o : sim.port_bindings()) {
+      if (&o != &b && o.sig == b.sig && o.dir == rtl::PortDir::kIn) {
+        ports += ", " + o.context;
+      }
+    }
+    const std::string loc =
+        qualify(opts.scope, "signal '" + sim.signal_name(b.sig) + "'");
+    if (has_u(sim.value(b.sig))) {
+      report.add("NET-UNDRIVEN", Severity::kError, kFamily, loc,
+                 "input port(s) " + ports +
+                     " read this signal but nothing drives it and it is "
+                     "uninitialized (" +
+                     sim.value(b.sig).to_string() + ")",
+                 "connect a driver or give the signal a defined init value");
+    } else {
+      report.add("NET-UNDRIVEN-CONST", Severity::kNote, kFamily, loc,
+                 "input port(s) " + ports +
+                     " read this signal; it has no driver and holds its init "
+                     "value (" +
+                     sim.value(b.sig).to_string() + ")",
+                 "fine for tie-offs; connect a driver if this should toggle");
+    }
+  }
+}
+
+}  // namespace
+
+void settle(rtl::Simulator& sim, SimTime clock_period, std::uint64_t cycles) {
+  sim.set_read_tracking(true);
+  sim.initialize();
+  if (clock_period > SimTime::zero() && cycles > 0) {
+    sim.run_until(sim.now() + clock_period * cycles);
+  }
+}
+
+TopologyInfo classify_topology(const rtl::Simulator& sim) {
+  TopologyInfo info;
+  info.cycle = find_cycle(sim, dataflow_graph(sim));
+  info.feed_forward = info.cycle.empty();
+  return info;
+}
+
+void analyze_netlist(rtl::Simulator& sim, const NetlistOptions& opts,
+                     Report& report) {
+  sim.initialize();
+
+  check_bindings(sim, opts, report);
+  check_drivers(sim, opts, report);
+
+  const std::vector<std::string> comb_cycle =
+      find_cycle(sim, comb_graph(sim));
+  if (!comb_cycle.empty()) {
+    report.add("NET-COMB-LOOP", Severity::kError, kFamily,
+               qualify(opts.scope, comb_cycle.front()),
+               "combinational loop: " + join_path(comb_cycle),
+               "break the loop with a clocked process or remove the "
+               "back-path from the sensitivity list");
+  }
+
+  if (opts.depth == NetlistDepth::kProbed) {
+    check_undriven(sim, opts, report);
+    const TopologyInfo topo = classify_topology(sim);
+    if (topo.feed_forward) {
+      report.add("NET-TOPOLOGY", Severity::kNote, kFamily,
+                 qualify(opts.scope, "design"),
+                 "dataflow topology is feed-forward: pipelined co-simulation "
+                 "preserves bit-identity with serial mode (DESIGN.md §7)",
+                 "");
+    } else {
+      report.add("NET-TOPOLOGY", Severity::kNote, kFamily,
+                 qualify(opts.scope, "design"),
+                 "dataflow topology has feedback (" + join_path(topo.cycle) +
+                     "): the §7 bit-identity guarantee for pipelined mode "
+                     "does not apply automatically",
+                 "verify responses do not influence later stimulus, or use "
+                 "serial mode for signoff");
+    }
+  }
+}
+
+}  // namespace castanet::lint

@@ -93,6 +93,24 @@ class Module {
     return Bus(sim_, sim_->create_signal(name_ + "." + local, width, init));
   }
 
+  /// Declares this module's expectation about a signal it was handed at
+  /// construction (a "port binding"): direction and the width its logic
+  /// assumes.  Purely descriptive — the static netlist analyzers
+  /// (src/lint) cross-check the expectations against the elaborated
+  /// signals; recording one never changes simulation behavior.
+  void bind_port(const Bus& b, PortDir dir, std::size_t expected_width,
+                 const std::string& local) {
+    if (b.valid()) {
+      sim_->declare_port_binding(b.id(), dir, expected_width,
+                                 name_ + "." + local);
+    }
+  }
+  void bind_port(const Signal& s, PortDir dir, const std::string& local) {
+    if (s.valid()) {
+      sim_->declare_port_binding(s.id(), dir, 1, name_ + "." + local);
+    }
+  }
+
   /// Registers a process sensitive to `sensitivity`.
   ProcessId process(const std::string& local,
                     std::vector<SignalId> sensitivity,

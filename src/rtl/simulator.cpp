@@ -11,7 +11,16 @@ namespace {
 constexpr auto kHeapCmp = [](const auto& a, const auto& b) {
   return a.t > b.t;
 };
+
+/// Process-wide elaboration hook (see set_elaboration_hook).  Written once
+/// at program setup, read from initialize(); not synchronized — install it
+/// before any simulator elaborates.
+Simulator::ElaborationHook g_elaboration_hook;
 }  // namespace
+
+void Simulator::set_elaboration_hook(ElaborationHook hook) {
+  g_elaboration_hook = std::move(hook);
+}
 
 SignalId Simulator::create_signal(std::string name, std::size_t width,
                                   Logic init) {
@@ -53,7 +62,56 @@ std::size_t Simulator::width(SignalId s) const {
 
 const LogicVector& Simulator::value(SignalId s) const {
   require(s < signals_.size(), "value: unknown signal");
+  if (read_tracking_ && current_process_ != kExternalProcess) {
+    // Lint-only dataflow harvest; processes and their read sets are small,
+    // so the dedup scan stays cheap — and the tracking flag is off outside
+    // analysis runs.
+    auto& readers = const_cast<SignalState&>(signals_[s]).readers;
+    if (std::find(readers.begin(), readers.end(), current_process_) ==
+        readers.end()) {
+      readers.push_back(current_process_);
+    }
+  }
   return signals_[s].effective;
+}
+
+const std::vector<ProcessId>& Simulator::readers_of(SignalId s) const {
+  require(s < signals_.size(), "readers_of: unknown signal");
+  return signals_[s].readers;
+}
+
+const std::string& Simulator::process_name(ProcessId p) const {
+  require(p < processes_.size(), "process_name: unknown process");
+  return processes_[p].name;
+}
+
+const std::vector<ProcessId>& Simulator::sensitive_processes(
+    SignalId s) const {
+  require(s < signals_.size(), "sensitive_processes: unknown signal");
+  return signals_[s].sensitive;
+}
+
+std::vector<ProcessId> Simulator::drivers_of(SignalId s) const {
+  require(s < signals_.size(), "drivers_of: unknown signal");
+  std::vector<ProcessId> out;
+  out.reserve(signals_[s].drivers.size());
+  for (const DriverSlot& d : signals_[s].drivers) out.push_back(d.pid);
+  return out;
+}
+
+const LogicVector* Simulator::driver_value(SignalId s, ProcessId pid) const {
+  require(s < signals_.size(), "driver_value: unknown signal");
+  for (const DriverSlot& d : signals_[s].drivers) {
+    if (d.pid == pid) return &d.value;
+  }
+  return nullptr;
+}
+
+void Simulator::declare_port_binding(SignalId s, PortDir dir,
+                                     std::size_t expected_width,
+                                     std::string context) {
+  require(s < signals_.size(), "declare_port_binding: unknown signal");
+  bindings_.push_back({s, dir, expected_width, std::move(context)});
 }
 
 Simulator::TimeBucket& Simulator::bucket_for(SimTime when) {
@@ -189,11 +247,13 @@ void Simulator::run_delta_loop(std::vector<Transaction>& batch,
 void Simulator::initialize() {
   if (initialized_) return;
   initialized_ = true;
-  if (processes_.empty()) return;
-  std::vector<ProcessId> all;
-  for (ProcessId p = 1; p < processes_.size(); ++p) all.push_back(p);
-  batch_scratch_.clear();
-  run_delta_loop(batch_scratch_, all);
+  if (!processes_.empty()) {
+    std::vector<ProcessId> all;
+    for (ProcessId p = 1; p < processes_.size(); ++p) all.push_back(p);
+    batch_scratch_.clear();
+    run_delta_loop(batch_scratch_, all);
+  }
+  if (g_elaboration_hook) g_elaboration_hook(*this);
 }
 
 SimTime Simulator::next_activity() const {

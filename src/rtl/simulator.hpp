@@ -47,6 +47,22 @@ struct KernelStats {
   std::uint64_t time_points = 0;         ///< distinct times with activity
 };
 
+/// Direction of a declared port binding (module-level contract on a signal,
+/// recorded for the static netlist analyzers in src/lint).
+enum class PortDir { kIn, kOut, kInOut };
+
+/// A module's declared expectation about a signal it is bound to: the
+/// direction it uses the signal in and the width its logic assumes.  Purely
+/// descriptive — recording one never changes simulation behavior; the lint
+/// netlist analyzers cross-check expectations against the elaborated
+/// signals (width mismatches, undriven inputs).
+struct PortBinding {
+  SignalId sig = 0;
+  PortDir dir = PortDir::kIn;
+  std::size_t expected_width = 1;
+  std::string context;  ///< "module.port" of the declaring module
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -61,6 +77,48 @@ class Simulator {
   std::size_t signal_count() const { return signals_.size(); }
   const std::string& signal_name(SignalId s) const;
   std::size_t width(SignalId s) const;
+
+  // --- netlist introspection (read-only; consumed by src/lint) ----------
+  /// Number of process slots, including the reserved external slot 0 (0
+  /// until the first add_process).
+  std::size_t process_count() const { return processes_.size(); }
+  const std::string& process_name(ProcessId p) const;
+  /// Processes on `s`'s sensitivity list (static, set at add_process).
+  const std::vector<ProcessId>& sensitive_processes(SignalId s) const;
+  /// Distinct processes that have driven `s` so far (driver slots persist
+  /// for the simulator's lifetime; kExternalProcess marks test-bench
+  /// writes).  Empty until the driving processes have executed — run
+  /// initialize() (and a short settling window for clocked logic) before
+  /// structural analysis.
+  std::vector<ProcessId> drivers_of(SignalId s) const;
+  /// The value contributed by `pid`'s driver slot on `s`, or nullptr if
+  /// that process has never driven `s`.
+  const LogicVector* driver_value(SignalId s, ProcessId pid) const;
+
+  /// Records a module's port-binding expectation (see PortBinding); the
+  /// module helpers in module.hpp call this from constructors.
+  void declare_port_binding(SignalId s, PortDir dir,
+                            std::size_t expected_width, std::string context);
+  const std::vector<PortBinding>& port_bindings() const { return bindings_; }
+
+  /// Opt-in read tracking for the lint dataflow analyses: while enabled,
+  /// value() records which process read which signal (the write side is
+  /// already captured by driver slots).  Off by default — the hot path pays
+  /// only one predictable branch.
+  void set_read_tracking(bool on) { read_tracking_ = on; }
+  /// Distinct processes observed reading `s` while tracking was enabled.
+  const std::vector<ProcessId>& readers_of(SignalId s) const;
+
+  bool initialized() const { return initialized_; }
+
+  /// Opt-in elaboration hook, installed process-wide (e.g. by
+  /// lint::install_elaboration_hooks): invoked once per simulator at the
+  /// end of initialize(), when the design is fully elaborated and every
+  /// process has executed its initialization run.  Install before
+  /// elaborating any design and never from a worker thread; a throwing
+  /// hook propagates out of initialize()/run_until.
+  using ElaborationHook = std::function<void(Simulator&)>;
+  static void set_elaboration_hook(ElaborationHook hook);
 
   // --- signal access ----------------------------------------------------
   const LogicVector& value(SignalId s) const;
@@ -122,6 +180,7 @@ class Simulator {
     LogicVector effective;
     std::vector<DriverSlot> drivers;
     std::vector<ProcessId> sensitive;
+    std::vector<ProcessId> readers;  ///< read-tracking harvest (lint only)
     std::uint64_t changed_serial = 0;  ///< delta serial of last change
     LogicVector previous;              ///< value before last change
   };
@@ -154,6 +213,7 @@ class Simulator {
 
   SimTime now_ = SimTime::zero();
   bool initialized_ = false;
+  bool read_tracking_ = false;
   std::uint64_t delta_serial_ = 0;  ///< increments every delta cycle
   ProcessId current_process_ = kExternalProcess;
 
@@ -179,6 +239,7 @@ class Simulator {
   std::vector<std::function<void()>> cb_scratch_;
 
   std::vector<ChangeObserver> observers_;
+  std::vector<PortBinding> bindings_;
   KernelStats stats_;
   telemetry::TrackId telemetry_track_ = telemetry::kMainTrack;
 };

@@ -49,6 +49,12 @@ TEST(BoardConfig, OverlappingTesterPinsRejected) {
   EXPECT_THROW(cfg.validate(), ConfigError);
 }
 
+TEST(BoardConfig, DuplicatePortIdRejected) {
+  ConfigDataSet cfg = minimal_config();
+  cfg.inports.push_back({0, 4, {{2, 0, 4}}});  // inport 0 declared twice
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
 TEST(BoardConfig, DisjointSlicesOnSameLaneAccepted) {
   ConfigDataSet cfg;
   cfg.inports.push_back({0, 4, {{0, 0, 4}}});

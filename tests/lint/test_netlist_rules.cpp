@@ -1,0 +1,239 @@
+#include "src/lint/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cell_port.hpp"
+#include "src/lint/lint.hpp"
+#include "src/rtl/module.hpp"
+
+namespace castanet::lint {
+namespace {
+
+constexpr SimTime kClk = SimTime::from_ns(50);
+
+Report analyze(rtl::Simulator& sim, NetlistDepth depth) {
+  NetlistOptions opts;
+  opts.depth = depth;
+  Report report;
+  analyze_netlist(sim, opts, report);
+  return report;
+}
+
+// --- multi-driven / contention ---------------------------------------------
+
+TEST(NetlistRules, ResolvedBusWithReleasedDriverIsANote) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("bus", 1, rtl::Logic::Z);
+  sim.add_process("tri", {}, [&] { sim.schedule_write(s, rtl::Logic::Z); });
+  sim.add_process("drv", {}, [&] { sim.schedule_write(s, rtl::Logic::L1); });
+  const Report r = analyze(sim, NetlistDepth::kElaboration);
+  EXPECT_TRUE(r.has("NET-MULTI-DRIVEN"));
+  EXPECT_FALSE(r.has("NET-CONTENTION"));
+  EXPECT_EQ(r.errors(), 0u);
+}
+
+TEST(NetlistRules, ConflictingStrongDriversAreContention) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("bus", 1, rtl::Logic::Z);
+  sim.add_process("a", {}, [&] { sim.schedule_write(s, rtl::Logic::L0); });
+  sim.add_process("b", {}, [&] { sim.schedule_write(s, rtl::Logic::L1); });
+  const Report r = analyze(sim, NetlistDepth::kElaboration);
+  ASSERT_TRUE(r.has("NET-CONTENTION"));
+  EXPECT_EQ(r.by_rule("NET-CONTENTION").front()->severity, Severity::kError);
+  // The diagnostic names both drivers.
+  const std::string& msg = r.by_rule("NET-CONTENTION").front()->message;
+  EXPECT_NE(msg.find("'a'"), std::string::npos);
+  EXPECT_NE(msg.find("'b'"), std::string::npos);
+}
+
+// --- combinational loops ----------------------------------------------------
+
+TEST(NetlistRules, CombinationalLoopIsReportedWithItsPath) {
+  rtl::Simulator sim;
+  const auto s1 = sim.create_signal("s1", 1);
+  const auto s2 = sim.create_signal("s2", 1);
+  // Two zero-delay buffers in a ring: stable (each copies the other's
+  // value), but structurally a delta-cycle feedback loop.
+  sim.add_process("fwd", {s2},
+                  [&] { sim.schedule_write(s1, sim.value(s2)); });
+  sim.add_process("back", {s1},
+                  [&] { sim.schedule_write(s2, sim.value(s1)); });
+  const Report r = analyze(sim, NetlistDepth::kElaboration);
+  ASSERT_TRUE(r.has("NET-COMB-LOOP"));
+  const Diagnostic& d = *r.by_rule("NET-COMB-LOOP").front();
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.message.find("'fwd'"), std::string::npos);
+  EXPECT_NE(d.message.find("'back'"), std::string::npos);
+  EXPECT_NE(d.message.find("->"), std::string::npos);
+}
+
+TEST(NetlistRules, ClockedRingIsNotACombinationalLoop) {
+  rtl::Simulator sim;
+  rtl::Signal clk(&sim, sim.create_signal("clk", 1, rtl::Logic::L0));
+  const auto s1 = sim.create_signal("s1", 1, rtl::Logic::L0);
+  const auto s2 = sim.create_signal("s2", 1, rtl::Logic::L0);
+  // Registered feedback: both processes are sensitive only to the clock, so
+  // there is no delta-cycle loop even though the data flow is circular.
+  sim.add_process("ff1", {clk.id()}, [&, clk] {
+    if (clk.rose()) sim.schedule_write(s1, sim.value(s2));
+  });
+  sim.add_process("ff2", {clk.id()}, [&, clk] {
+    if (clk.rose()) sim.schedule_write(s2, sim.value(s1));
+  });
+  rtl::ClockGen gen(sim, clk, kClk);
+  settle(sim, kClk);
+  const Report r = analyze(sim, NetlistDepth::kProbed);
+  EXPECT_FALSE(r.has("NET-COMB-LOOP"));
+  // ...but the dataflow topology classifier still sees the feedback.
+  ASSERT_TRUE(r.has("NET-TOPOLOGY"));
+  EXPECT_NE(r.by_rule("NET-TOPOLOGY").front()->message.find("feedback"),
+            std::string::npos);
+}
+
+// --- port bindings ----------------------------------------------------------
+
+TEST(NetlistRules, WidthMismatchOnDeclaredBinding) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("narrow", 4);
+  sim.declare_port_binding(s, rtl::PortDir::kIn, 8, "mon.data");
+  const Report r = analyze(sim, NetlistDepth::kElaboration);
+  ASSERT_TRUE(r.has("NET-WIDTH-MISMATCH"));
+  const Diagnostic& d = *r.by_rule("NET-WIDTH-MISMATCH").front();
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.location.find("mon.data"), std::string::npos);
+}
+
+TEST(NetlistRules, CellPortMonitorOnNarrowBusCaughtStatically) {
+  // A CellPortMonitor only reads its port, so a mis-sized data bus never
+  // throws at runtime — the static width check is the only net.
+  rtl::Simulator sim;
+  rtl::Signal clk(&sim, sim.create_signal("clk", 1, rtl::Logic::L0));
+  hw::CellPort port;
+  port.data = rtl::Bus(&sim, sim.create_signal("p.data", 4));
+  port.sync = rtl::Signal(&sim, sim.create_signal("p.sync", 1));
+  port.valid = rtl::Signal(&sim, sim.create_signal("p.valid", 1));
+  hw::CellPortMonitor mon(sim, "mon", clk, port);
+  const Report r = analyze(sim, NetlistDepth::kElaboration);
+  ASSERT_TRUE(r.has("NET-WIDTH-MISMATCH"));
+  EXPECT_NE(r.by_rule("NET-WIDTH-MISMATCH").front()->location.find(
+                "mon.data"),
+            std::string::npos);
+}
+
+TEST(NetlistRules, UndrivenUninitializedInputIsAnError) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("dangling", 1);  // init U
+  sim.declare_port_binding(s, rtl::PortDir::kIn, 1, "dut.enable");
+  const Report r = analyze(sim, NetlistDepth::kProbed);
+  ASSERT_TRUE(r.has("NET-UNDRIVEN"));
+  EXPECT_EQ(r.by_rule("NET-UNDRIVEN").front()->severity, Severity::kError);
+}
+
+TEST(NetlistRules, UndrivenDefinedInputIsATieOffNote) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("tied", 1, rtl::Logic::L0);
+  sim.declare_port_binding(s, rtl::PortDir::kIn, 1, "dut.enable");
+  const Report r = analyze(sim, NetlistDepth::kProbed);
+  EXPECT_FALSE(r.has("NET-UNDRIVEN"));
+  ASSERT_TRUE(r.has("NET-UNDRIVEN-CONST"));
+  EXPECT_EQ(r.by_rule("NET-UNDRIVEN-CONST").front()->severity,
+            Severity::kNote);
+}
+
+TEST(NetlistRules, UndrivenRulesNeedProbedDepth) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("dangling", 1);
+  sim.declare_port_binding(s, rtl::PortDir::kIn, 1, "dut.enable");
+  const Report r = analyze(sim, NetlistDepth::kElaboration);
+  EXPECT_FALSE(r.has("NET-UNDRIVEN"));
+  EXPECT_FALSE(r.has("NET-TOPOLOGY"));
+}
+
+TEST(NetlistRules, ExternallyDrivenInputIsNotUndriven) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("rst", 1);
+  sim.declare_port_binding(s, rtl::PortDir::kIn, 1, "dut.rst");
+  sim.schedule_write(s, rtl::Logic::L0);  // test-bench write (external)
+  sim.initialize();
+  sim.step_time();
+  const Report r = analyze(sim, NetlistDepth::kProbed);
+  EXPECT_FALSE(r.has("NET-UNDRIVEN"));
+  EXPECT_FALSE(r.has("NET-UNDRIVEN-CONST"));
+}
+
+// --- topology classifier ----------------------------------------------------
+
+TEST(NetlistRules, FeedForwardChainClassifies) {
+  rtl::Simulator sim;
+  const auto a = sim.create_signal("a", 1, rtl::Logic::L0);
+  const auto b = sim.create_signal("b", 1, rtl::Logic::L0);
+  const auto c = sim.create_signal("c", 1, rtl::Logic::L0);
+  sim.add_process("stage1", {a},
+                  [&] { sim.schedule_write(b, sim.value(a)); });
+  sim.add_process("stage2", {b},
+                  [&] { sim.schedule_write(c, sim.value(b)); });
+  settle(sim, kClk);
+  const TopologyInfo topo = classify_topology(sim);
+  EXPECT_TRUE(topo.feed_forward);
+  EXPECT_TRUE(topo.cycle.empty());
+}
+
+TEST(NetlistRules, ReadTrackedFeedbackClassifies) {
+  rtl::Simulator sim;
+  rtl::Signal clk(&sim, sim.create_signal("clk", 1, rtl::Logic::L0));
+  const auto req = sim.create_signal("req", 1, rtl::Logic::L0);
+  const auto grant = sim.create_signal("grant", 1, rtl::Logic::L0);
+  // The requester watches the clock and *reads* grant (not in its
+  // sensitivity list) — only read tracking reveals the back edge.
+  sim.add_process("requester", {clk.id()}, [&, clk] {
+    if (clk.rose() && !to_bool(sim.value(grant).bit(0))) {
+      sim.schedule_write(req, rtl::Logic::L1);
+    }
+  });
+  sim.add_process("arbiter", {req},
+                  [&] { sim.schedule_write(grant, sim.value(req)); });
+  rtl::ClockGen gen(sim, clk, kClk);
+  settle(sim, kClk);
+  const TopologyInfo topo = classify_topology(sim);
+  EXPECT_FALSE(topo.feed_forward);
+  EXPECT_FALSE(topo.cycle.empty());
+}
+
+// --- elaboration hooks ------------------------------------------------------
+
+class HooksTest : public ::testing::Test {
+ protected:
+  void TearDown() override { clear_elaboration_hooks(); }
+};
+
+TEST_F(HooksTest, StrictHookAbortsElaborationOnContention) {
+  HookConfig cfg;
+  cfg.strict = true;
+  install_elaboration_hooks(cfg);
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("bus", 1, rtl::Logic::Z);
+  sim.add_process("a", {}, [&] { sim.schedule_write(s, rtl::Logic::L0); });
+  sim.add_process("b", {}, [&] { sim.schedule_write(s, rtl::Logic::L1); });
+  EXPECT_THROW(sim.initialize(), LintError);
+}
+
+TEST_F(HooksTest, SinkSeesCleanReportWithoutThrowing) {
+  std::size_t reports_seen = 0;
+  std::size_t errors_seen = 0;
+  HookConfig cfg;
+  cfg.sink = [&](const Report& r) {
+    ++reports_seen;
+    errors_seen += r.errors();
+  };
+  install_elaboration_hooks(cfg);
+  rtl::Simulator sim;
+  const auto a = sim.create_signal("a", 1, rtl::Logic::L0);
+  const auto b = sim.create_signal("b", 1, rtl::Logic::L0);
+  sim.add_process("buf", {a}, [&] { sim.schedule_write(b, sim.value(a)); });
+  sim.initialize();
+  EXPECT_EQ(reports_seen, 1u);
+  EXPECT_EQ(errors_seen, 0u);
+}
+
+}  // namespace
+}  // namespace castanet::lint
