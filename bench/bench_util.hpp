@@ -118,21 +118,30 @@ class JsonReport {
 };
 
 /// Opt-in telemetry for benches: `--trace <path>` enables the hub and writes
-/// a Chrome trace at destruction, `--metrics <path>` writes the flat metrics
-/// snapshot (JSON).  Without either flag the hub stays disabled, so the
-/// default bench numbers measure the enabled()-check fast path only.
+/// a Chrome trace at destruction, `--trace-out <path>` streams the trace
+/// ring to disk as it fills (no drop-oldest; use for runs longer than the
+/// ring), `--metrics <path>` writes the flat metrics snapshot (JSON).
+/// Without any flag the hub stays disabled, so the default bench numbers
+/// measure the enabled()-check fast path only.
 class TelemetryCli {
  public:
   TelemetryCli(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--trace") trace_path_ = argv[i + 1];
+      if (std::string(argv[i]) == "--trace-out") stream_path_ = argv[i + 1];
       if (std::string(argv[i]) == "--metrics") metrics_path_ = argv[i + 1];
     }
     if (active()) telemetry::Hub::instance().enable();
+    if (!stream_path_.empty() &&
+        !telemetry::Hub::instance().stream_trace_to(stream_path_)) {
+      std::fprintf(stderr, "TelemetryCli: cannot open %s\n",
+                   stream_path_.c_str());
+    }
   }
   ~TelemetryCli() {
     if (!active()) return;
     auto& hub = telemetry::Hub::instance();
+    if (!stream_path_.empty()) hub.stop_trace_stream();
     if (!trace_path_.empty() && !hub.write_chrome_trace(trace_path_))
       std::fprintf(stderr, "TelemetryCli: cannot write %s\n",
                    trace_path_.c_str());
@@ -149,11 +158,13 @@ class TelemetryCli {
     hub.disable();
   }
   bool active() const {
-    return !trace_path_.empty() || !metrics_path_.empty();
+    return !trace_path_.empty() || !stream_path_.empty() ||
+           !metrics_path_.empty();
   }
 
  private:
   std::string trace_path_;
+  std::string stream_path_;
   std::string metrics_path_;
 };
 

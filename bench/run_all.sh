@@ -24,6 +24,28 @@ export CASTANET_E1_REPS
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# Host/compiler/commit metadata, embedded in both reports so cross-PR deltas
+# are attributable (EXPERIMENTS.md E1 notes "machine drift" between PRs —
+# without this a regression on a different box looks like a code change).
+json_escape() {
+  printf '%s' "$1" | sed 's/\\/\\\\/g; s/"/\\"/g'
+}
+META_HOST=$(hostname 2>/dev/null || echo unknown)
+META_OS=$(uname -srm 2>/dev/null || echo unknown)
+META_CPU=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo \
+  2>/dev/null || echo unknown)
+[ -n "$META_CPU" ] || META_CPU=unknown
+META_NCPU=$(nproc 2>/dev/null || echo 0)
+META_CXX=$(c++ --version 2>/dev/null | head -n 1 || echo unknown)
+META_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+META_DIRTY=false
+if ! git diff --quiet HEAD 2>/dev/null; then META_DIRTY=true; fi
+META_DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+META=$(printf '"meta": {"host": "%s", "os": "%s", "cpu": "%s", "cpus": %s, "compiler": "%s", "commit": "%s", "dirty": %s, "generated_at": "%s"}' \
+  "$(json_escape "$META_HOST")" "$(json_escape "$META_OS")" \
+  "$(json_escape "$META_CPU")" "$META_NCPU" "$(json_escape "$META_CXX")" \
+  "$(json_escape "$META_COMMIT")" "$META_DIRTY" "$META_DATE")
+
 # Shield the benches from external scheduler noise when allowed to: mode
 # comparisons (serial vs pipelined co-simulation) are decided by a few
 # percent, and a background task preempting one rep skews the verdict.
@@ -64,7 +86,7 @@ for b in $BENCHES; do
 done
 
 {
-  printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n"benches": [\n' "$PR"
+  printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n%s,\n"benches": [\n' "$PR" "$META"
   first=1
   for b in $BENCHES; do
     [ $first -eq 1 ] || printf ',\n'
@@ -75,7 +97,7 @@ done
 } > "$OUT"
 
 {
-  printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n"metrics": {\n' "$PR"
+  printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n%s,\n"metrics": {\n' "$PR" "$META"
   first=1
   for b in $metrics_benches; do
     [ $first -eq 1 ] || printf ',\n'

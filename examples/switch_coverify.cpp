@@ -32,16 +32,26 @@ int main(int argc, char** argv) {
   std::size_t cells_per_source = 40;
   std::string vcd_path;
   std::string trace_path;
+  std::string stream_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      stream_path = argv[++i];
     } else {
       cells_per_source = std::strtoull(argv[i], nullptr, 10);
     }
   }
-  if (!trace_path.empty()) telemetry::Hub::instance().enable();
+  if (!trace_path.empty() || !stream_path.empty())
+    telemetry::Hub::instance().enable();
+  if (!stream_path.empty() &&
+      !telemetry::Hub::instance().stream_trace_to(stream_path)) {
+    std::fprintf(stderr, "error: cannot open trace stream %s\n",
+                 stream_path.c_str());
+    return 1;
+  }
   if (vcd_path.empty()) {
     const std::string self(argv[0]);
     const std::size_t slash = self.find_last_of('/');
@@ -87,6 +97,13 @@ int main(int argc, char** argv) {
               vcd_path.c_str());
   std::printf("comparison: %s\n%s", cmp.clean() ? "PASS" : "FAIL",
               cmp.report().c_str());
+  if (!stream_path.empty()) {
+    auto& hub = telemetry::Hub::instance();
+    hub.stop_trace_stream();  // flushes the remaining ring into the count
+    std::printf("chrome trace streamed .. %s (%llu events)\n",
+                stream_path.c_str(),
+                static_cast<unsigned long long>(hub.trace_events_streamed()));
+  }
   if (!trace_path.empty()) {
     auto& hub = telemetry::Hub::instance();
     if (hub.write_chrome_trace(trace_path)) {

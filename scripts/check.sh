@@ -9,6 +9,7 @@
 #   scripts/check.sh --ubsan   # + UBSan build, full ctest suite
 #   scripts/check.sh --lint    # + castanet_lint on both example designs
 #   scripts/check.sh --tidy    # + clang-tidy over src/ (needs clang-tidy)
+#   scripts/check.sh --bench-smoke  # + bench_e1 small-workload regression gate
 #
 # Flags combine; --asan and --ubsan together use one address,undefined tree.
 #
@@ -32,6 +33,7 @@ run_asan=0
 run_ubsan=0
 run_lint=0
 run_tidy=0
+run_bench_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --tsan)  run_tsan=1 ;;
@@ -39,6 +41,7 @@ for arg in "$@"; do
     --ubsan) run_ubsan=1 ;;
     --lint)  run_lint=1 ;;
     --tidy)  run_tidy=1 ;;
+    --bench-smoke) run_bench_smoke=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -65,6 +68,11 @@ if [ "$run_lint" -eq 1 ]; then
   # Exit status 0 requires zero error-severity diagnostics on every design.
   echo "== castanet_lint --design all ($BUILD)"
   "$BUILD/tools/castanet_lint" --design all
+fi
+
+if [ "$run_bench_smoke" -eq 1 ]; then
+  echo "== bench smoke (bench_e1 vs checked-in floor)"
+  BUILD_DIR="$BUILD" scripts/bench_smoke.sh
 fi
 
 if [ "$run_tsan" -eq 1 ]; then

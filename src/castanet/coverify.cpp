@@ -11,6 +11,9 @@ VerificationSession::Params session_params(const CoVerification::Params& p) {
   sp.pipelined = p.pipelined;
   sp.channel_capacity = p.channel_capacity;
   sp.clock_announce_stride = p.clock_announce_stride;
+  sp.max_clock_announce_stride = p.max_clock_announce_stride;
+  sp.adaptive_stride = p.adaptive_stride;
+  sp.fanout_batch_messages = p.fanout_batch_messages;
   sp.clock_period = p.sync.clock_period;
   return sp;
 }
@@ -38,6 +41,10 @@ CoVerification::Stats CoVerification::stats() const {
   s.window_grant_stalls = ss.window_grant_stalls;
   s.max_channel_occupancy = ss.max_channel_occupancy;
   s.worker_batches = ss.backends[0].worker_batches;
+  s.effective_stride = ss.effective_stride;
+  s.max_effective_stride = ss.max_effective_stride;
+  s.fanout_batches = ss.fanout_batches;
+  s.fanout_messages = ss.fanout_messages;
   return s;
 }
 

@@ -65,7 +65,19 @@ class CoVerification {
     /// network is quiet — the worker coalesces grants into chunked
     /// catch-ups anyway, and shipping every small clock step is pure
     /// channel overhead.  1 restores an announcement per clock period.
+    /// With adaptive_stride this is the controller's FLOOR.
     std::uint32_t clock_announce_stride = 100;
+    /// Upper bound for the adaptive stride controller; 0 means 16x the
+    /// floor.  Ignored when adaptive_stride is false.
+    std::uint32_t max_clock_announce_stride = 0;
+    /// Pipelined mode: adapt the announce stride to the worker — back off
+    /// towards the max while the command channel congests or grants stall,
+    /// decay back to the floor while the worker keeps up.
+    bool adaptive_stride = true;
+    /// Pipelined mode: flush the coalesced grant batch to the worker once
+    /// this many gateway messages are pending (a stride boundary flushes
+    /// regardless).  1 restores a push per message-carrying event.
+    std::size_t fanout_batch_messages = 8;
   };
 
   /// The gateway is created inside `node` with `streams` bidirectional
@@ -106,6 +118,10 @@ class CoVerification {
     std::uint64_t window_grant_stalls = 0;   ///< sends blocked on a full channel
     std::uint64_t max_channel_occupancy = 0; ///< high-water mark of either channel
     std::uint64_t worker_batches = 0;        ///< coalesced grant batches executed
+    std::uint32_t effective_stride = 0;      ///< stride at end of last run
+    std::uint32_t max_effective_stride = 0;  ///< adaptive controller high-water
+    std::uint64_t fanout_batches = 0;        ///< coalesced fan-out batches
+    std::uint64_t fanout_messages = 0;       ///< messages inside them
   };
   Stats stats() const;
 

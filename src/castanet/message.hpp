@@ -154,6 +154,33 @@ class SpscChannel {
     return accepted;
   }
 
+  /// Non-blocking batch send: moves elements of `batch` starting at `pos`
+  /// into the channel under one lock until it fills (or closes), and
+  /// returns how many were accepted.  Never blocks — the session thread
+  /// uses it to fan a coalesced grant batch out to every worker while
+  /// staying free to drain response channels between retries (the
+  /// two-channel deadlock avoidance that rules out the blocking send_all
+  /// on that thread).
+  std::size_t try_send_some(std::vector<T>& batch, std::size_t pos) {
+    std::size_t accepted = 0;
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return 0;
+      while (pos + accepted < batch.size() && queue_.size() < capacity_) {
+        queue_.push_back(std::move(batch[pos + accepted]));
+        ++accepted;
+      }
+      if (accepted) {
+        size_.store(queue_.size(), std::memory_order_release);
+        if (queue_.size() > max_occupancy_) max_occupancy_ = queue_.size();
+        wake = queue_.size() >= wake_threshold_;
+      }
+    }
+    if (wake) ready_.notify_one();
+    return accepted;
+  }
+
   /// Blocks until an item arrives; returns false once the channel is closed
   /// and drained.
   bool receive(T& out) {
@@ -273,6 +300,10 @@ class SpscChannel {
   }
 
   std::size_t capacity() const { return capacity_; }
+  /// Lock-free occupancy probe (the size_ mirror): exact at quiescent
+  /// points, approximate while the other side is mid-operation — good
+  /// enough for congestion controllers, not for emptiness decisions.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
   /// High-water mark of queued items (channel-occupancy statistic).
   std::size_t max_occupancy() const {
     std::lock_guard<std::mutex> lk(mu_);

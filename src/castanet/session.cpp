@@ -90,6 +90,7 @@ void VerificationSession::run_until(SimTime limit) {
 void VerificationSession::assign_tracks() {
   if (!telemetry::enabled()) {
     fanout_timing_ = nullptr;
+    stride_gauge_ = nullptr;
     return;
   }
   auto& hub = telemetry::Hub::instance();
@@ -97,6 +98,7 @@ void VerificationSession::assign_tracks() {
     b->set_telemetry_track(hub.track("backend:" + b->name()));
   net_.scheduler().set_telemetry_track(hub.track("net"));
   fanout_timing_ = &hub.timing("session.fanout_batch");
+  stride_gauge_ = &hub.gauge("session.effective_stride");
 }
 
 void VerificationSession::publish_metrics() const {
@@ -107,6 +109,9 @@ void VerificationSession::publish_metrics() const {
   hub.publish_count("session.responses", s.responses);
   hub.publish_count("session.window_grant_stalls", s.window_grant_stalls);
   hub.publish_count("session.max_channel_occupancy", s.max_channel_occupancy);
+  hub.publish_count("session.fanout_batches", s.fanout_batches);
+  hub.publish_count("session.fanout_messages", s.fanout_messages);
+  hub.publish_count("session.max_effective_stride", s.max_effective_stride);
   hub.publish_count("session.divergences", comparator_.divergences().size());
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     const DutBackend& b = *backends_[i];
@@ -215,8 +220,12 @@ void VerificationSession::run_until_serial(SimTime limit) {
     msg_scratch_.clear();
     while (auto m = from_gateway_.receive())
       msg_scratch_.push_back(std::move(*m));
-    if (telemetry::enabled() && fanout_timing_ && !msg_scratch_.empty())
-      fanout_timing_->record(static_cast<double>(msg_scratch_.size()));
+    if (!msg_scratch_.empty()) {
+      ++fanout_batches_;
+      fanout_messages_ += msg_scratch_.size();
+      if (telemetry::enabled() && fanout_timing_)
+        fanout_timing_->record(static_cast<double>(msg_scratch_.size()));
+    }
     const TimedMessage clock = make_time_update(net_.now());
     for (std::size_t i = 0; i < backends_.size(); ++i) {
       DutBackend& b = *backends_[i];
@@ -357,21 +366,31 @@ bool VerificationSession::worker_catch_up(Worker& w, SimTime limit) {
   });
 }
 
-void VerificationSession::send_command(WorkerCmd cmd) {
-  if (telemetry::enabled() && fanout_timing_ && !cmd.msgs.empty())
-    fanout_timing_->record(static_cast<double>(cmd.msgs.size()));
+void VerificationSession::send_commands(std::vector<WorkerCmd>& cmds) {
+  if (cmds.empty()) return;
+  std::size_t msgs = 0;
+  for (const WorkerCmd& c : cmds) msgs += c.msgs.size();
+  if (msgs > 0) {
+    ++fanout_batches_;
+    fanout_messages_ += msgs;
+    if (telemetry::enabled() && fanout_timing_)
+      fanout_timing_->record(static_cast<double>(msgs));
+  }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = *workers_[i];
-    // The last worker takes the original; earlier ones get copies.
-    WorkerCmd local = (i + 1 == workers_.size()) ? std::move(cmd) : cmd;
-    bool accepted = false;
-    // Lazily opened on the first failed try_send: the span's duration is
-    // exactly how long this grant sat blocked on the bottleneck backend.
+    // The last worker takes the originals; earlier ones get copies.
+    std::vector<WorkerCmd> local =
+        (i + 1 == workers_.size()) ? std::move(cmds) : cmds;
+    std::size_t pos = 0;
+    // Lazily opened on the first full channel: the span's duration is
+    // exactly how long this batch sat blocked on the bottleneck backend.
     std::optional<telemetry::Span> stall;
-    while (!w.dead.load(std::memory_order_acquire)) {
-      if (w.cmd->try_send(local)) {
-        accepted = true;
-        break;
+    while (pos < local.size() && !w.dead.load(std::memory_order_acquire)) {
+      const std::size_t accepted = w.cmd->try_send_some(local, pos);
+      if (accepted > 0) {
+        pos += accepted;
+        w.sent.fetch_add(accepted, std::memory_order_release);
+        continue;
       }
       // Full channel: this backend is the bottleneck right now.  Drain
       // responses while stalled so no worker can deadlock blocked on a full
@@ -384,9 +403,40 @@ void VerificationSession::send_command(WorkerCmd cmd) {
       drain_worker_responses();
       w.cmd->wait_space();
     }
-    if (accepted) w.sent.fetch_add(1, std::memory_order_release);
     // A dead worker's error is rethrown by shutdown_workers().
   }
+  cmds.clear();
+}
+
+void VerificationSession::update_stride(std::uint64_t stalls_before) {
+  if (!params_.adaptive_stride) return;
+  const std::uint32_t floor_stride =
+      std::max<std::uint32_t>(1, params_.clock_announce_stride);
+  const std::uint32_t max_stride =
+      params_.max_clock_announce_stride != 0
+          ? std::max(params_.max_clock_announce_stride, floor_stride)
+          : floor_stride * 16;
+  std::size_t max_occ = 0;
+  for (const auto& w : workers_)
+    max_occ = std::max(max_occ, w->cmd->size());
+  // Pressure: this flush had to stall on a full channel, or a command
+  // channel is at half capacity or worse — the workers are falling behind,
+  // so grant them bigger windows (fewer, coarser sync points).  Four calm
+  // flushes in a row decay the stride back towards the configured floor,
+  // restoring the finer-grained overlap once the workers keep up.
+  const bool pressure = window_grant_stalls_ > stalls_before ||
+                        max_occ * 2 >= params_.channel_capacity;
+  if (pressure) {
+    calm_streak_ = 0;
+    if (effective_stride_ < max_stride)
+      effective_stride_ = std::min(max_stride, effective_stride_ * 2);
+  } else if (effective_stride_ > floor_stride && ++calm_streak_ >= 4) {
+    calm_streak_ = 0;
+    effective_stride_ = std::max(floor_stride, effective_stride_ / 2);
+  }
+  max_effective_stride_ = std::max(max_effective_stride_, effective_stride_);
+  if (telemetry::enabled() && stride_gauge_)
+    stride_gauge_->set(static_cast<double>(effective_stride_));
 }
 
 void VerificationSession::drain_worker_responses() {
@@ -473,6 +523,15 @@ void VerificationSession::run_until_pipelined(SimTime limit) {
   net_.start();
   start_workers();
   SimTime announced = SimTime::zero();
+  effective_stride_ = std::max<std::uint32_t>(1, params_.clock_announce_stride);
+  max_effective_stride_ = std::max(max_effective_stride_, effective_stride_);
+  calm_streak_ = 0;
+  pending_cmds_.clear();
+  pending_msgs_ = 0;
+  if (telemetry::enabled() && stride_gauge_)
+    stride_gauge_->set(static_cast<double>(effective_stride_));
+  const std::size_t batch_msgs =
+      std::max<std::size_t>(1, params_.fanout_batch_messages);
   try {
     while (true) {
       const SimTime next = net_.scheduler().next_event_time();
@@ -481,28 +540,51 @@ void VerificationSession::run_until_pipelined(SimTime limit) {
       ++net_events_;
 
       // Same protocol input the serial loop would push — gateway output
-      // first, then the originator's clock — shipped as one grant to EVERY
-      // worker.  Pure clock announcements are stride-elided exactly as in
-      // the two-party orchestrator.
+      // first, then the originator's clock.  Message-carrying grants
+      // accumulate into the pending batch (each keeps its own net_now, so
+      // worker-side clock coalescing stays monotone); the batch flushes to
+      // every worker in one bulk push once enough messages are pending or
+      // the (adaptive) announce stride elapsed.  Delaying a message never
+      // reorders it: per-backend input order is the accumulation order, and
+      // no backend can pass the last ANNOUNCED clock, which only moves at
+      // flush time.
       WorkerCmd cmd;
       while (auto m = from_gateway_.receive())
         cmd.msgs.push_back(std::move(*m));
-      cmd.net_now = net_.now();
+      const SimTime now = net_.now();
+      cmd.net_now = now;
       cmd.limit = limit;
-      if (!cmd.msgs.empty() ||
-          cmd.net_now - announced >=
-              params_.clock_period *
-                  std::max<std::uint32_t>(1, params_.clock_announce_stride)) {
-        announced = cmd.net_now;
-        send_command(std::move(cmd));
+      if (!cmd.msgs.empty()) {
+        pending_msgs_ += cmd.msgs.size();
+        pending_cmds_.push_back(std::move(cmd));
+      }
+      const bool boundary =
+          now - announced >= params_.clock_period * effective_stride_;
+      if (pending_msgs_ >= batch_msgs || boundary) {
+        // At a stride boundary the clock must reach `now` even if the last
+        // pending grant (or none) is older — append a pure-clock grant.
+        if (boundary &&
+            (pending_cmds_.empty() || pending_cmds_.back().net_now < now)) {
+          WorkerCmd clock;
+          clock.net_now = now;
+          clock.limit = limit;
+          pending_cmds_.push_back(std::move(clock));
+        }
+        if (!pending_cmds_.empty()) {
+          announced = pending_cmds_.back().net_now;
+          const std::uint64_t stalls_before = window_grant_stalls_;
+          send_commands(pending_cmds_);
+          pending_msgs_ = 0;
+          update_stride(stalls_before);
+        }
       }
       drain_worker_responses();
       if (any_worker_dead()) break;
     }
-    // Final catch-up, mirroring the serial epilogue: grant every worker the
-    // rest of the horizon, wait for all to finish it, and iterate because
-    // responses re-entering the network can create new events below the
-    // limit.
+    // Final catch-up, mirroring the serial epilogue: flush whatever the
+    // batcher still holds together with a horizon grant, wait for every
+    // worker to finish it, and iterate because responses re-entering the
+    // network can create new events below the limit.
     for (;;) {
       net_.scheduler().advance_to(
           std::min(limit, net_.scheduler().next_event_time()));
@@ -511,7 +593,12 @@ void VerificationSession::run_until_pipelined(SimTime limit) {
         cmd.msgs.push_back(std::move(*m));
       cmd.net_now = limit;
       cmd.limit = limit;
-      send_command(std::move(cmd));
+      pending_msgs_ += cmd.msgs.size();
+      pending_cmds_.push_back(std::move(cmd));
+      const std::uint64_t stalls_before = window_grant_stalls_;
+      send_commands(pending_cmds_);
+      pending_msgs_ = 0;
+      update_stride(stalls_before);
       flush_workers();
       if (any_worker_dead()) break;
       if (net_.scheduler().next_event_time() > limit) break;
@@ -536,6 +623,10 @@ VerificationSession::Stats VerificationSession::stats() const {
   s.messages_to_hdl = from_gateway_.messages_sent();
   s.window_grant_stalls = window_grant_stalls_;
   s.max_channel_occupancy = max_channel_occupancy_;
+  s.effective_stride = effective_stride_;
+  s.max_effective_stride = max_effective_stride_;
+  s.fanout_batches = fanout_batches_;
+  s.fanout_messages = fanout_messages_;
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     const DutBackend& b = *backends_[i];
     BackendStats bs;

@@ -61,7 +61,19 @@ class VerificationSession {
     std::size_t channel_capacity = 256;
     /// Pipelined mode: pure-clock grants are elided until net time advanced
     /// this many clock periods past the previous grant (see coverify.hpp).
+    /// With adaptive_stride this is the FLOOR the controller decays to.
     std::uint32_t clock_announce_stride = 100;
+    /// Upper bound for the adaptive stride controller; 0 means 16x the
+    /// floor.  Ignored when adaptive_stride is false.
+    std::uint32_t max_clock_announce_stride = 0;
+    /// Pipelined mode: close the loop on the announce stride — back off
+    /// (towards the max) while the workers' command channels congest or
+    /// grants stall, decay back to the floor while the workers keep up.
+    bool adaptive_stride = true;
+    /// Pipelined mode: flush the coalesced grant batch to the workers once
+    /// this many gateway messages are pending (a stride boundary flushes
+    /// regardless).  1 restores a push per message-carrying event.
+    std::size_t fanout_batch_messages = 8;
     /// Clock period used for the announce-stride arithmetic (the HDL clock
     /// in a two-party setup; backends keep their own periods in their own
     /// sync params).
@@ -137,6 +149,10 @@ class VerificationSession {
     std::uint64_t responses = 0;        ///< sum over backends
     std::uint64_t window_grant_stalls = 0;
     std::uint64_t max_channel_occupancy = 0;
+    std::uint32_t effective_stride = 0;      ///< stride at end of last run
+    std::uint32_t max_effective_stride = 0;  ///< controller high-water mark
+    std::uint64_t fanout_batches = 0;        ///< coalesced batches flushed
+    std::uint64_t fanout_messages = 0;       ///< messages inside them
     std::vector<BackendStats> backends;
   };
   Stats stats() const;
@@ -187,7 +203,11 @@ class VerificationSession {
 
   // Pipelined mode (session thread side).
   void start_workers();
-  void send_command(WorkerCmd cmd);
+  /// Fans the coalesced grant batch out to every worker (one bulk push per
+  /// channel) and clears it.
+  void send_commands(std::vector<WorkerCmd>& cmds);
+  /// One adaptive-stride controller observation, taken at each batch flush.
+  void update_stride(std::uint64_t stalls_before);
   void drain_worker_responses();
   void flush_workers();
   void shutdown_workers();
@@ -218,9 +238,20 @@ class VerificationSession {
   std::condition_variable done_cv_;
   std::uint64_t window_grant_stalls_ = 0;    // session thread only
   std::uint64_t max_channel_occupancy_ = 0;  // updated at shutdown
-  /// Hub-owned fan-out batch-size timing, cached while tracing (the handle
-  /// lives until Hub::reset(); re-fetched by assign_tracks each run).
+  // Adaptive stride controller state (session thread only).
+  std::uint32_t effective_stride_ = 0;
+  std::uint32_t max_effective_stride_ = 0;
+  std::uint32_t calm_streak_ = 0;
+  // Fan-out batching state (session thread only).
+  std::vector<WorkerCmd> pending_cmds_;
+  std::size_t pending_msgs_ = 0;
+  std::uint64_t fanout_batches_ = 0;
+  std::uint64_t fanout_messages_ = 0;
+  /// Hub-owned fan-out batch-size timing and effective-stride gauge, cached
+  /// while tracing (the handles live until Hub::reset(); re-fetched by
+  /// assign_tracks each run).
   telemetry::Timing* fanout_timing_ = nullptr;
+  telemetry::Gauge* stride_gauge_ = nullptr;
   std::vector<TimedMessage> msg_scratch_;    // session thread only
   std::vector<TimedMessage> resp_scratch_;   // session thread only
 };

@@ -2,11 +2,9 @@
 
 namespace castanet {
 
-void require(bool cond, const std::string& msg) {
-  if (!cond) throw LogicError(msg);
-}
+void throw_logic_error(const char* msg) { throw LogicError(msg); }
 
-void require(bool cond, const char* msg) {
+void require(bool cond, const std::string& msg) {
   if (!cond) throw LogicError(msg);
 }
 

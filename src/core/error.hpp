@@ -43,12 +43,18 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Out-of-line throw helpers so the require() fast path below inlines to a
+/// single predicted-not-taken branch.
+[[noreturn]] void throw_logic_error(const char* msg);
+
 /// Throws LogicError with `msg` when `cond` is false.  Used for documented
 /// preconditions that remain checked in release builds.
 void require(bool cond, const std::string& msg);
 /// Overload for static messages: avoids constructing a std::string argument
 /// on every call along hot paths (the message is materialized only on
 /// failure).
-void require(bool cond, const char* msg);
+inline void require(bool cond, const char* msg) {
+  if (!cond) [[unlikely]] throw_logic_error(msg);
+}
 
 }  // namespace castanet

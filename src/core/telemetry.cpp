@@ -54,6 +54,33 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// One Chrome trace_event JSON row for `e` (shared by the in-memory
+/// exporter and the stream flusher).  `track_count` clamps unknown tracks
+/// onto the main row, as the exporter does.
+std::string render_trace_event(const TraceEvent& e, std::size_t track_count) {
+  const std::size_t tid = e.track < track_count ? e.track : 0;
+  std::string row = "{\"name\": \"" + json_escape(e.name) + "\", \"ph\": \"";
+  row += e.phase == TraceEvent::Phase::kComplete ? "X" : "i";
+  row += "\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"ts\": " + json_number(e.ts_us);
+  if (e.phase == TraceEvent::Phase::kComplete) {
+    row += ", \"dur\": " + json_number(e.dur_us);
+  } else {
+    row += ", \"s\": \"t\"";  // instant scope: thread
+  }
+  if (e.nargs) {
+    row += ", \"args\": {";
+    for (std::uint32_t a = 0; a < e.nargs; ++a) {
+      if (a) row += ", ";
+      row += "\"" + json_escape(e.args[a].first) +
+             "\": " + json_number(e.args[a].second);
+    }
+    row += "}";
+  }
+  row += "}";
+  return row;
+}
+
 const char* kind_name(MetricRow::Kind k) {
   switch (k) {
     case MetricRow::Kind::kCounter: return "counter";
@@ -133,11 +160,13 @@ void Hub::reset() {
   }
   {
     std::lock_guard<std::mutex> lk(trace_mu_);
+    if (stream_ != nullptr) finalize_stream_locked();
     track_names_.clear();
     ring_.clear();
     ring_head_ = 0;
     ring_full_ = false;
     dropped_ = 0;
+    streamed_ = 0;
   }
 }
 
@@ -229,10 +258,89 @@ void Hub::record(const TraceEvent& e) {
     if (ring_.size() == ring_capacity_) ring_full_ = true;
     return;
   }
+  if (stream_ != nullptr) {
+    // Streaming: a full ring spills to the file and keeps recording — long
+    // runs lose nothing.
+    flush_stream_locked();
+    ring_.push_back(e);
+    return;
+  }
   // Full: overwrite the oldest (head_ marks it), count the drop.
   ring_[ring_head_] = e;
   ring_head_ = (ring_head_ + 1) % ring_capacity_;
   ++dropped_;
+}
+
+bool Hub::stream_trace_to(const std::string& path) {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  if (stream_ != nullptr) finalize_stream_locked();
+  stream_ = std::fopen(path.c_str(), "w");
+  if (stream_ == nullptr) return false;
+  stream_first_ = true;
+  streamed_ = 0;
+  std::fputs("{\"traceEvents\": [\n", stream_);
+  return true;
+}
+
+bool Hub::stop_trace_stream() {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  if (stream_ == nullptr) return false;
+  finalize_stream_locked();
+  return true;
+}
+
+void Hub::flush_stream_locked() {
+  // Events interleave across producer threads, so each flushed chunk is
+  // sorted locally; chunks flush in wall-clock order, so the file stays
+  // roughly sorted overall — Perfetto re-sorts on load regardless.
+  std::stable_sort(ring_.begin(), ring_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  const std::size_t tracks =
+      track_names_.empty() ? 1 : track_names_.size();
+  for (const TraceEvent& e : ring_) {
+    if (!stream_first_) std::fputs(",\n", stream_);
+    stream_first_ = false;
+    const std::string row = render_trace_event(e, tracks);
+    std::fwrite(row.data(), 1, row.size(), stream_);
+  }
+  streamed_ += ring_.size();
+  ring_.clear();
+  ring_head_ = 0;
+  ring_full_ = false;
+  std::fflush(stream_);
+}
+
+void Hub::finalize_stream_locked() {
+  flush_stream_locked();
+  std::vector<std::string> tracks = track_names_;
+  if (tracks.empty()) tracks.push_back("main");
+  const auto emit = [&](const std::string& row) {
+    if (!stream_first_) std::fputs(",\n", stream_);
+    stream_first_ = false;
+    std::fwrite(row.data(), 1, row.size(), stream_);
+  };
+  emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+       "\"args\": {\"name\": \"castanet\"}}");
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+         std::to_string(t) + ", \"args\": {\"name\": \"" +
+         json_escape(tracks[t]) + "\"}}");
+    emit("{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": " +
+         std::to_string(t) + ", \"args\": {\"sort_index\": " +
+         std::to_string(t) + "}}");
+  }
+  const std::string footer =
+      "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+      "{\"trace_dropped\": " +
+      std::to_string(dropped_) +
+      ", \"trace_streamed\": " + std::to_string(streamed_) + "}}\n";
+  std::fwrite(footer.data(), 1, footer.size(), stream_);
+  std::fclose(stream_);
+  stream_ = nullptr;
+  stream_first_ = true;
 }
 
 std::uint64_t Hub::trace_events_recorded() const {
@@ -243,6 +351,11 @@ std::uint64_t Hub::trace_events_recorded() const {
 std::uint64_t Hub::trace_events_dropped() const {
   std::lock_guard<std::mutex> lk(trace_mu_);
   return dropped_;
+}
+
+std::uint64_t Hub::trace_events_streamed() const {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  return streamed_;
 }
 
 double Hub::now_us() const {
@@ -423,27 +536,7 @@ std::string Hub::chrome_trace_json() const {
          std::to_string(t) + "}}");
   }
   for (const TraceEvent& e : events) {
-    const std::size_t tid = e.track < tracks.size() ? e.track : 0;
-    std::string row = "{\"name\": \"" + json_escape(e.name) + "\", \"ph\": \"";
-    row += e.phase == TraceEvent::Phase::kComplete ? "X" : "i";
-    row += "\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
-           ", \"ts\": " + json_number(e.ts_us);
-    if (e.phase == TraceEvent::Phase::kComplete) {
-      row += ", \"dur\": " + json_number(e.dur_us);
-    } else {
-      row += ", \"s\": \"t\"";  // instant scope: thread
-    }
-    if (e.nargs) {
-      row += ", \"args\": {";
-      for (std::uint32_t a = 0; a < e.nargs; ++a) {
-        if (a) row += ", ";
-        row += "\"" + json_escape(e.args[a].first) +
-               "\": " + json_number(e.args[a].second);
-      }
-      row += "}";
-    }
-    row += "}";
-    emit(row);
+    emit(render_trace_event(e, tracks.size()));
   }
   out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
          "{\"trace_dropped\": " +

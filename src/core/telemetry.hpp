@@ -163,11 +163,28 @@ class Hub {
   TrackId track(const std::string& name);
 
   // --- trace ring ---------------------------------------------------------
-  /// Drop-oldest bounded ring; no-op while disabled.
+  /// Drop-oldest bounded ring; no-op while disabled.  While a trace stream
+  /// is attached (stream_trace_to), a full ring flushes to the stream file
+  /// instead of dropping its oldest entry.
   void record(const TraceEvent& e);
   std::uint64_t trace_events_recorded() const;
   std::uint64_t trace_events_dropped() const;
+  /// Events flushed to the stream file so far (excludes whatever is still
+  /// buffered in the ring).
+  std::uint64_t trace_events_streamed() const;
   double now_us() const;  ///< wall time relative to the epoch
+
+  // --- trace streaming ----------------------------------------------------
+  /// Attaches a Chrome-trace stream file: the JSON header is written now and
+  /// from here on a full ring flushes its events to the file (periodic
+  /// flush) instead of overwriting the oldest — multi-minute runs keep every
+  /// event.  Returns false if the file cannot be opened.  The file is not
+  /// valid JSON until stop_trace_stream() writes the track metadata and
+  /// footer; reset()/enable() finalize an attached stream implicitly.
+  bool stream_trace_to(const std::string& path);
+  /// Flushes the remaining ring, appends track metadata and the footer, and
+  /// closes the stream file.  Returns false when no stream is attached.
+  bool stop_trace_stream();
 
   // --- exporters ----------------------------------------------------------
   MetricsSnapshot snapshot() const;
@@ -188,6 +205,12 @@ class Hub {
   std::map<std::string, std::unique_ptr<Timing>> timings_;
   std::map<std::string, MetricRow> published_;
 
+  /// Writes the ring's events (sorted by timestamp) to the stream file and
+  /// empties the ring.  Caller holds trace_mu_.
+  void flush_stream_locked();
+  /// flush + metadata + footer + close.  Caller holds trace_mu_.
+  void finalize_stream_locked();
+
   mutable std::mutex trace_mu_;
   std::vector<std::string> track_names_;  ///< index == TrackId; [0] = "main"
   std::vector<TraceEvent> ring_;
@@ -195,6 +218,9 @@ class Hub {
   std::size_t ring_head_ = 0;  ///< next write position once full
   bool ring_full_ = false;
   std::uint64_t dropped_ = 0;
+  std::FILE* stream_ = nullptr;      ///< attached trace stream (or null)
+  bool stream_first_ = true;         ///< no event row written yet
+  std::uint64_t streamed_ = 0;       ///< events flushed to the stream
   std::chrono::steady_clock::time_point epoch_{};
 };
 

@@ -1,5 +1,7 @@
 #include "src/hw/cell_bits.hpp"
 
+#include <algorithm>
+
 #include "src/core/error.hpp"
 
 namespace castanet::hw {
@@ -7,27 +9,37 @@ namespace castanet::hw {
 rtl::LogicVector cell_to_bits(const atm::Cell& c) {
   const auto bytes = c.to_bytes();
   rtl::LogicVector v(kCellBits);
-  for (std::size_t j = 0; j < atm::kCellBytes; ++j) {
-    for (std::size_t i = 0; i < 8; ++i) {
-      v.set_bit(8 * j + i, rtl::from_bool((bytes[j] >> i) & 1));
+  // 7 plane-word stores instead of 424 set_bit calls: cells are always
+  // fully two-valued, so each 64-bit chunk loads straight into the value
+  // plane.
+  for (std::size_t w = 0; w * 8 < atm::kCellBytes; ++w) {
+    std::uint64_t word = 0;
+    const std::size_t n = std::min<std::size_t>(8, atm::kCellBytes - w * 8);
+    for (std::size_t j = 0; j < n; ++j) {
+      word |= static_cast<std::uint64_t>(bytes[w * 8 + j]) << (8 * j);
     }
+    v.set_value_word(w, word);
   }
   return v;
 }
 
 atm::Cell bits_to_cell(const rtl::LogicVector& v, bool check_hec) {
   require(v.width() == kCellBits, "bits_to_cell: expected 424-bit vector");
-  std::uint8_t bytes[atm::kCellBytes];
-  for (std::size_t j = 0; j < atm::kCellBytes; ++j) {
-    std::uint8_t b = 0;
-    for (std::size_t i = 0; i < 8; ++i) {
-      const rtl::Logic bit = v.bit(8 * j + i);
-      if (!rtl::is_01(bit)) {
+  if (!v.is_defined()) {
+    // Cold path: locate the offending bit for the diagnostic.
+    for (std::size_t i = 0; i < kCellBits; ++i) {
+      if (!rtl::is_01(v.bit(i))) {
         throw LogicError("bits_to_cell: undefined bit in cell bus");
       }
-      if (rtl::to_bool(bit)) b |= static_cast<std::uint8_t>(1u << i);
     }
-    bytes[j] = b;
+  }
+  std::uint8_t bytes[atm::kCellBytes];
+  for (std::size_t w = 0; w * 8 < atm::kCellBytes; ++w) {
+    std::uint64_t word = v.value_word(w);
+    const std::size_t n = std::min<std::size_t>(8, atm::kCellBytes - w * 8);
+    for (std::size_t j = 0; j < n; ++j) {
+      bytes[w * 8 + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
   }
   return atm::Cell::from_bytes(bytes, check_hec);
 }

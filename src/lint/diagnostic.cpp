@@ -49,6 +49,7 @@ std::vector<const Diagnostic*> Report::by_rule(std::string_view rule) const {
 
 void Report::merge(const Report& other) {
   diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  suppressed_ += other.suppressed_;
 }
 
 namespace {
@@ -111,7 +112,9 @@ std::string Report::to_text() const {
   std::ostringstream os;
   for (const Diagnostic* d : severity_sorted(diags_)) render_line(os, *d);
   os << "castanet-lint: " << errors() << " error(s), " << warnings()
-     << " warning(s), " << notes() << " note(s)\n";
+     << " warning(s), " << notes() << " note(s)";
+  if (suppressed_) os << ", " << suppressed_ << " suppressed";
+  os << "\n";
   return os.str();
 }
 
@@ -131,7 +134,8 @@ std::string Report::to_json() const {
   }
   os << (first ? "" : "\n  ") << "],\n";
   os << "  \"errors\": " << errors() << ",\n  \"warnings\": " << warnings()
-     << ",\n  \"notes\": " << notes() << "\n}\n";
+     << ",\n  \"notes\": " << notes() << ",\n  \"suppressed\": " << suppressed_
+     << "\n}\n";
   return os.str();
 }
 

@@ -52,6 +52,11 @@ class Report {
   std::size_t notes() const { return count(Severity::kNote); }
   bool empty() const { return diags_.empty(); }
 
+  /// Analyzers call this when a suppression withheld a finding, so reports
+  /// still show that findings were silenced rather than absent.
+  void note_suppressed() { ++suppressed_; }
+  std::size_t suppressed() const { return suppressed_; }
+
   /// True if any diagnostic carries rule ID `rule`.
   bool has(std::string_view rule) const;
   /// All diagnostics with rule ID `rule`.
@@ -72,6 +77,7 @@ class Report {
 
  private:
   std::vector<Diagnostic> diags_;
+  std::size_t suppressed_ = 0;
 };
 
 }  // namespace castanet::lint

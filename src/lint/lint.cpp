@@ -16,6 +16,7 @@ Report analyze_session(cosim::VerificationSession& session,
       NetlistOptions nopts;
       nopts.depth = opts.depth;
       nopts.scope = b.name();
+      nopts.suppressions = opts.suppressions;
       if (opts.depth == NetlistDepth::kProbed) {
         settle(r->hdl(), r->sync().params().clock_period, opts.settle_cycles);
       }

@@ -41,6 +41,10 @@ struct Options {
   /// Throw LintError if the finished report contains error-severity
   /// diagnostics.
   bool strict = false;
+  /// Per-signal rule suppressions, forwarded to every backend's netlist
+  /// analysis (see RuleSuppression in netlist.hpp).  Suppressed findings
+  /// are counted on the report, not silently absent.
+  std::vector<RuleSuppression> suppressions;
 };
 
 /// Runs every analyzer family over `session` and its attached backends.

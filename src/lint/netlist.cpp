@@ -16,6 +16,27 @@ std::string qualify(const std::string& scope, std::string loc) {
   return scope + ": " + loc;
 }
 
+bool signal_matches(const std::string& pattern, const std::string& name) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    const std::size_t n = pattern.size() - 1;
+    return name.size() >= n && name.compare(0, n, pattern, 0, n) == 0;
+  }
+  return pattern == name;
+}
+
+/// True (and counted on the report) when a suppression entry covers this
+/// rule on this signal.
+bool is_suppressed(const NetlistOptions& opts, std::string_view rule,
+                   const std::string& signal, Report& report) {
+  for (const RuleSuppression& s : opts.suppressions) {
+    if (!s.rule.empty() && s.rule != "*" && s.rule != rule) continue;
+    if (!signal_matches(s.signal, signal)) continue;
+    report.note_suppressed();
+    return true;
+  }
+  return false;
+}
+
 bool has_x(const rtl::LogicVector& v) {
   for (std::size_t i = 0; i < v.width(); ++i) {
     if (v.bit(i) == rtl::Logic::X || v.bit(i) == rtl::Logic::W) return true;
@@ -153,9 +174,10 @@ void check_drivers(const rtl::Simulator& sim, const NetlistOptions& opts,
                  ? "<external>"
                  : "'" + sim.process_name(drivers[i]) + "'";
     }
-    const std::string loc =
-        qualify(opts.scope, "signal '" + sim.signal_name(s) + "'");
+    const std::string name = sim.signal_name(s);
+    const std::string loc = qualify(opts.scope, "signal '" + name + "'");
     if (has_x(sim.value(s))) {
+      if (is_suppressed(opts, "NET-CONTENTION", name, report)) continue;
       report.add("NET-CONTENTION", Severity::kError, kFamily, loc,
                  "bus contention: " + std::to_string(drivers.size()) +
                      " drivers (" + who + ") resolve to unknown bits (" +
@@ -163,6 +185,7 @@ void check_drivers(const rtl::Simulator& sim, const NetlistOptions& opts,
                  "make all but one driver release the bus (drive 'Z') before "
                  "another drives a value");
     } else {
+      if (is_suppressed(opts, "NET-MULTI-DRIVEN", name, report)) continue;
       report.add("NET-MULTI-DRIVEN", Severity::kNote, kFamily, loc,
                  "resolved signal with " + std::to_string(drivers.size()) +
                      " drivers (" + who + ")",
@@ -176,6 +199,10 @@ void check_bindings(const rtl::Simulator& sim, const NetlistOptions& opts,
                     Report& report) {
   for (const rtl::PortBinding& b : sim.port_bindings()) {
     if (b.expected_width == sim.width(b.sig)) continue;
+    if (is_suppressed(opts, "NET-WIDTH-MISMATCH", sim.signal_name(b.sig),
+                      report)) {
+      continue;
+    }
     report.add("NET-WIDTH-MISMATCH", Severity::kError, kFamily,
                qualify(opts.scope, "port " + b.context + " on signal '" +
                                        sim.signal_name(b.sig) + "'"),
@@ -201,9 +228,10 @@ void check_undriven(const rtl::Simulator& sim, const NetlistOptions& opts,
         ports += ", " + o.context;
       }
     }
-    const std::string loc =
-        qualify(opts.scope, "signal '" + sim.signal_name(b.sig) + "'");
+    const std::string name = sim.signal_name(b.sig);
+    const std::string loc = qualify(opts.scope, "signal '" + name + "'");
     if (has_u(sim.value(b.sig))) {
+      if (is_suppressed(opts, "NET-UNDRIVEN", name, report)) continue;
       report.add("NET-UNDRIVEN", Severity::kError, kFamily, loc,
                  "input port(s) " + ports +
                      " read this signal but nothing drives it and it is "
@@ -211,6 +239,7 @@ void check_undriven(const rtl::Simulator& sim, const NetlistOptions& opts,
                      sim.value(b.sig).to_string() + ")",
                  "connect a driver or give the signal a defined init value");
     } else {
+      if (is_suppressed(opts, "NET-UNDRIVEN-CONST", name, report)) continue;
       report.add("NET-UNDRIVEN-CONST", Severity::kNote, kFamily, loc,
                  "input port(s) " + ports +
                      " read this signal; it has no driver and holds its init "

@@ -28,11 +28,25 @@ namespace castanet::lint {
 
 enum class NetlistDepth { kElaboration, kProbed };
 
+/// One per-signal rule suppression: findings of `rule` anchored on a signal
+/// matching `signal` are withheld (Report::note_suppressed counts them).
+/// `signal` is the bare kernel signal name — exact, or a trailing-'*'
+/// prefix glob ("sw.rx0.*").  An empty or "*" rule matches every rule ID.
+/// This is the annotation mechanism for findings that are by design
+/// (tri-state buses, intentional tie-offs): suppress the specific rule on
+/// the specific net instead of ignoring the whole report.
+struct RuleSuppression {
+  std::string rule;
+  std::string signal;
+};
+
 struct NetlistOptions {
   NetlistDepth depth = NetlistDepth::kElaboration;
   /// Prefix for diagnostic locations when analyzing several simulators in
   /// one report (e.g. the backend name).
   std::string scope;
+  /// Allowlist applied by every signal-anchored rule.
+  std::vector<RuleSuppression> suppressions;
 };
 
 /// Result of the §3.2/§7 topology classification (see classify_topology).

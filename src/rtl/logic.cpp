@@ -86,25 +86,6 @@ Logic logic_xor(Logic a, Logic b) {
 }
 Logic logic_not(Logic a) { return static_cast<Logic>(kNot[idx(a)]); }
 
-bool to_bool(Logic v, bool fallback) {
-  switch (v) {
-    case Logic::L1:
-    case Logic::H:
-      return true;
-    case Logic::L0:
-    case Logic::L:
-      return false;
-    default:
-      return fallback;
-  }
-}
-
-bool is_01(Logic v) {
-  return v == Logic::L0 || v == Logic::L1 || v == Logic::L || v == Logic::H;
-}
-
-Logic from_bool(bool b) { return b ? Logic::L1 : Logic::L0; }
-
 char to_char(Logic v) {
   static constexpr char kChars[] = {'U', 'X', '0', '1', 'Z', 'W', 'L', 'H',
                                     '-'};

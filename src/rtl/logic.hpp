@@ -33,11 +33,21 @@ Logic logic_or(Logic a, Logic b);
 Logic logic_xor(Logic a, Logic b);
 Logic logic_not(Logic a);
 
+// The enum encoding doubles as a bit-field the hot helpers below exploit
+// (and LogicVector's bit-planes depend on): bit 0 is the boolean value and
+// bit 1 the "has a defined boolean value" flag — set exactly for
+// '0'(2), '1'(3), 'L'(6), 'H'(7).
+
 /// '0'/'L' -> false, '1'/'H' -> true; everything else -> fallback.
-bool to_bool(Logic v, bool fallback = false);
+inline bool to_bool(Logic v, bool fallback = false) {
+  const auto code = static_cast<std::uint8_t>(v);
+  return (code & 2) != 0 ? (code & 1) != 0 : fallback;
+}
 /// True for '0','1','L','H' (values with a defined boolean meaning).
-bool is_01(Logic v);
-Logic from_bool(bool b);
+inline bool is_01(Logic v) {
+  return (static_cast<std::uint8_t>(v) & 2) != 0;
+}
+inline Logic from_bool(bool b) { return b ? Logic::L1 : Logic::L0; }
 
 char to_char(Logic v);
 /// Parses 'U','X','0','1','Z','W','L','H','-' (case-insensitive);

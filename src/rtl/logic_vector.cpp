@@ -1,6 +1,7 @@
 #include "src/rtl/logic_vector.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/core/error.hpp"
 
@@ -123,40 +124,16 @@ LogicVector LogicVector::from_uint(std::uint64_t value, std::size_t width) {
   return v;
 }
 
-Logic LogicVector::bit(std::size_t i) const {
-  require(i < width_, "LogicVector::bit: index out of range");
-  const std::size_t w = i / 64, b = i % 64;
-  std::uint8_t code = 0;
-  for (std::size_t p = 0; p < kPlanes; ++p) {
-    code |= static_cast<std::uint8_t>((plane(p)[w] >> b) & 1) << p;
-  }
-  return static_cast<Logic>(code);
-}
-
-void LogicVector::set_bit(std::size_t i, Logic v) {
-  require(i < width_, "LogicVector::set_bit: index out of range");
-  const std::size_t w = i / 64, b = i % 64;
-  const auto code = static_cast<std::uint8_t>(v);
-  const std::uint64_t m = std::uint64_t{1} << b;
-  for (std::size_t p = 0; p < kPlanes; ++p) {
-    std::uint64_t* pl = plane(p);
-    pl[w] = ((code >> p) & 1) != 0 ? (pl[w] | m) : (pl[w] & ~m);
-  }
-}
-
-std::uint64_t LogicVector::to_uint() const {
-  require(width_ <= 64, "LogicVector::to_uint: width > 64");
-  if (width_ != 0 && sbo_[1] != tail_mask()) {
-    // Slow path only to produce the diagnostic: find the offending bit.
-    for (std::size_t i = 0; i < width_; ++i) {
-      if (!is_01(bit(i))) {
-        throw LogicError("LogicVector::to_uint: bit " + std::to_string(i) +
-                         " is '" + std::string(1, to_char(bit(i))) +
-                         "' (no defined boolean value)");
-      }
+void LogicVector::throw_undefined_bit() const {
+  // Slow path only to produce the diagnostic: find the offending bit.
+  for (std::size_t i = 0; i < width_; ++i) {
+    if (!is_01(bit(i))) {
+      throw LogicError("LogicVector::to_uint: bit " + std::to_string(i) +
+                       " is '" + std::string(1, to_char(bit(i))) +
+                       "' (no defined boolean value)");
     }
   }
-  return sbo_[0];
+  throw LogicError("LogicVector::to_uint: undefined bit");
 }
 
 bool LogicVector::is_defined() const {
@@ -182,7 +159,7 @@ bool LogicVector::has_unknown() const {
   return false;
 }
 
-bool LogicVector::all_strong01() const {
+bool LogicVector::all_known_strong() const {
   if (width_ == 0) return true;
   const std::size_t nw = words();
   const std::uint64_t* p1 = plane(1);
@@ -228,31 +205,69 @@ bool LogicVector::operator==(const LogicVector& o) const {
                     o.heap_.get());
 }
 
-LogicVector resolve(const LogicVector& a, const LogicVector& b) {
-  require(a.width_ == b.width_, "resolve: width mismatch");
-  LogicVector out;
-  out.allocate(a.width_);
-  if (a.width_ == 0) return out;
-  if (a.all_strong01() && b.all_strong01()) {
+void LogicVector::resolve_with(const LogicVector& o) {
+  require(width_ == o.width_, "resolve: width mismatch");
+  if (width_ == 0) return;
+  const std::size_t nw = words();
+  if (all_known_strong() && o.all_known_strong()) {
     // Two-valued fast path: agreeing drivers keep their value, disagreeing
-    // drivers resolve to 'X' (code 0001) — pure word arithmetic.
-    const std::size_t nw = a.words();
-    const std::uint64_t* a0 = a.plane(0);
-    const std::uint64_t* b0 = b.plane(0);
-    std::uint64_t* o0 = out.plane(0);
-    std::uint64_t* o1 = out.plane(1);
+    // drivers resolve to 'X' (code 0001) — pure word arithmetic.  Planes 2
+    // and 3 are zero in both operands and stay zero in the result.
+    std::uint64_t* a0 = plane(0);
+    std::uint64_t* a1 = plane(1);
+    const std::uint64_t* b0 = o.plane(0);
     for (std::size_t w = 0; w < nw; ++w) {
       const std::uint64_t m =
-          (w + 1 == nw) ? a.tail_mask() : ~std::uint64_t{0};
-      o0[w] = a0[w] | b0[w];
-      o1[w] = ~(a0[w] ^ b0[w]) & m;
+          (w + 1 == nw) ? tail_mask() : ~std::uint64_t{0};
+      const std::uint64_t av = a0[w];
+      a0[w] = av | b0[w];
+      a1[w] = ~(av ^ b0[w]) & m;
     }
-    return out;
+    return;
   }
-  // Nine-valued fallback: table-driven per-bit IEEE 1164 resolution.
-  for (std::size_t i = 0; i < a.width_; ++i) {
-    out.set_bit(i, resolve(a.bit(i), b.bit(i)));
+  // Nine-valued fallback: per-bit IEEE 1164 table lookups, but gathered a
+  // word at a time — the four plane words of both operands are loaded once,
+  // the resolved codes accumulate into local words, and each plane is
+  // written back with a single masked store (no per-bit read-modify-write).
+  for (std::size_t w = 0; w < nw; ++w) {
+    const std::uint64_t m = (w + 1 == nw) ? tail_mask() : ~std::uint64_t{0};
+    std::uint64_t a[kPlanes], b[kPlanes];
+    std::uint64_t out[kPlanes] = {0, 0, 0, 0};
+    for (std::size_t p = 0; p < kPlanes; ++p) {
+      a[p] = plane(p)[w];
+      b[p] = o.plane(p)[w];
+    }
+    std::uint64_t pending = m;
+    while (pending != 0) {
+      const int i = std::countr_zero(pending);
+      pending &= pending - 1;
+      const auto ca = static_cast<std::uint8_t>(
+          ((a[0] >> i) & 1) | (((a[1] >> i) & 1) << 1) |
+          (((a[2] >> i) & 1) << 2) | (((a[3] >> i) & 1) << 3));
+      const auto cb = static_cast<std::uint8_t>(
+          ((b[0] >> i) & 1) | (((b[1] >> i) & 1) << 1) |
+          (((b[2] >> i) & 1) << 2) | (((b[3] >> i) & 1) << 3));
+      const auto cr = static_cast<std::uint8_t>(
+          resolve(static_cast<Logic>(ca), static_cast<Logic>(cb)));
+      for (std::size_t p = 0; p < kPlanes; ++p) {
+        out[p] |= static_cast<std::uint64_t>((cr >> p) & 1) << i;
+      }
+    }
+    // `pending` covered only in-width bits, so `out` already honors the
+    // zero-tail invariant.
+    for (std::size_t p = 0; p < kPlanes; ++p) plane(p)[w] = out[p];
   }
+}
+
+void LogicVector::swap(LogicVector& o) noexcept {
+  std::swap(width_, o.width_);
+  std::swap(sbo_, o.sbo_);
+  heap_.swap(o.heap_);
+}
+
+LogicVector resolve(const LogicVector& a, const LogicVector& b) {
+  LogicVector out = a;
+  out.resolve_with(b);
   return out;
 }
 

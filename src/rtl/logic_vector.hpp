@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "src/core/error.hpp"
 #include "src/rtl/logic.hpp"
 
 namespace castanet::rtl {
@@ -53,17 +54,68 @@ class LogicVector {
   std::size_t width() const { return width_; }
   bool empty() const { return width_ == 0; }
 
-  Logic bit(std::size_t i) const;          ///< i = 0 is the LSB.
-  void set_bit(std::size_t i, Logic v);
+  /// i = 0 is the LSB.  Inline: a read_bool()-heavy module activation is a
+  /// handful of these, so the call must compile down to four masked loads.
+  Logic bit(std::size_t i) const {
+    require(i < width_, "LogicVector::bit: index out of range");
+    const std::size_t w = i / 64, b = i % 64;
+    std::uint8_t code = 0;
+    for (std::size_t p = 0; p < kPlanes; ++p) {
+      code |= static_cast<std::uint8_t>((plane(p)[w] >> b) & 1) << p;
+    }
+    return static_cast<Logic>(code);
+  }
+  void set_bit(std::size_t i, Logic v) {
+    require(i < width_, "LogicVector::set_bit: index out of range");
+    const std::size_t w = i / 64, b = i % 64;
+    const auto code = static_cast<std::uint8_t>(v);
+    const std::uint64_t m = std::uint64_t{1} << b;
+    for (std::size_t p = 0; p < kPlanes; ++p) {
+      std::uint64_t* pl = plane(p);
+      pl[w] = ((code >> p) & 1) != 0 ? (pl[w] | m) : (pl[w] & ~m);
+    }
+  }
 
   /// Interprets '1'/'H' as 1 and '0'/'L' as 0.  Throws LogicError if any bit
   /// lacks a defined boolean value (X/U/Z/W/-) — X-propagation must be
   /// handled explicitly by the caller.
-  std::uint64_t to_uint() const;
+  std::uint64_t to_uint() const {
+    require(width_ <= 64, "LogicVector::to_uint: width > 64");
+    if (width_ != 0 && sbo_[1] != tail_mask()) [[unlikely]] {
+      throw_undefined_bit();
+    }
+    return sbo_[0];
+  }
+
+  /// Value-plane word `w`: bit i of the result is set iff bit 64*w+i of the
+  /// vector is '1' or 'H'.  Only meaningful when the word is known defined
+  /// (see is_defined()/all_known_strong()); undefined bits read as 0.
+  std::uint64_t value_word(std::size_t w) const {
+    require(w < words(), "LogicVector::value_word: word out of range");
+    return plane(0)[w];
+  }
+  /// Overwrites bits [64*w, 64*w+64) — clipped to the vector width — with
+  /// strong '0'/'1' per `bits`.  The word-at-a-time dual of from_uint() for
+  /// wide buses (e.g. loading the 424-bit cell bus in 7 stores per plane).
+  void set_value_word(std::size_t w, std::uint64_t bits) {
+    require(w < words(), "LogicVector::set_value_word: word out of range");
+    const std::uint64_t m =
+        (w + 1 == words()) ? tail_mask() : ~std::uint64_t{0};
+    plane(0)[w] = bits & m;
+    plane(1)[w] = m;
+    plane(2)[w] = 0;
+    plane(3)[w] = 0;
+  }
   /// True when every bit is 0/1/L/H.
   bool is_defined() const;
   /// True if any bit is U or X.
   bool has_unknown() const;
+
+  /// True when every bit is a strong '0' or '1' — the domain of the
+  /// vectorized resolve fast path.  Excludes the weak L/H levels (they have
+  /// a defined boolean value but resolve differently) and everything
+  /// unknown/high-impedance.
+  bool all_known_strong() const;
 
   /// Bits [lo, lo+len) as a new vector.
   LogicVector slice(std::size_t lo, std::size_t len) const;
@@ -75,6 +127,17 @@ class LogicVector {
 
   bool operator==(const LogicVector& o) const;
   bool operator!=(const LogicVector& o) const { return !(*this == o); }
+
+  /// In-place element-wise resolution: *this := resolve(*this, o), never
+  /// allocating.  The kernel's multi-driver commit folds every contribution
+  /// through this — word-at-a-time over the bit-planes when both operands
+  /// are all_known_strong(), per-bit IEEE 1164 table lookups gathered into
+  /// masked word writes otherwise.
+  void resolve_with(const LogicVector& o);
+
+  /// O(1) content swap; the kernel uses it to recycle plane buffers between
+  /// a signal's effective and previous values.
+  void swap(LogicVector& o) noexcept;
 
   /// Element-wise resolution of two equal-width vectors.
   friend LogicVector resolve(const LogicVector& a, const LogicVector& b);
@@ -96,10 +159,9 @@ class LogicVector {
     const std::size_t r = width_ % 64;
     return r == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << r) - 1;
   }
-  /// True when every bit is a strong '0' or '1' (the fast resolve domain —
-  /// excludes the weak L/H levels, which resolve differently).
-  bool all_strong01() const;
   void allocate(std::size_t width);
+  /// Cold half of to_uint(): finds the offending bit for the diagnostic.
+  [[noreturn]] void throw_undefined_bit() const;
 
   std::size_t width_ = 0;
   // Invariant: bits at positions >= width_ are zero in every plane, so

@@ -119,12 +119,17 @@ class Module {
                              std::move(fn));
   }
   /// Registers a process that runs `fn` on every rising edge of `clk`.
+  /// The sensitivity entry is edge-restricted so the kernel never wakes the
+  /// process on the falling edge; the rose() guard stays for the
+  /// initialization run, where every process executes once unconditionally.
   ProcessId clocked(const std::string& local, const Signal& clk,
                     std::function<void()> fn) {
     Signal c = clk;
-    return process(local, {clk.id()}, [c, fn = std::move(fn)] {
+    const ProcessId pid = process(local, {clk.id()}, [c, fn = std::move(fn)] {
       if (c.rose()) fn();
     });
+    sim_->restrict_sensitivity_to_rising(pid, clk.id());
+    return pid;
   }
 
  private:

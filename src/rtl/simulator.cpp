@@ -46,8 +46,23 @@ ProcessId Simulator::add_process(std::string name,
   for (SignalId s : sensitivity) {
     require(s < signals_.size(), "add_process: unknown signal in sensitivity");
     signals_[s].sensitive.push_back(pid);
+    signals_[s].sensitive_rising.push_back(0);
   }
   return pid;
+}
+
+void Simulator::restrict_sensitivity_to_rising(ProcessId p, SignalId s) {
+  require(s < signals_.size(), "restrict_sensitivity_to_rising: unknown signal");
+  SignalState& st = signals_[s];
+  require(st.width == 1,
+          "restrict_sensitivity_to_rising: signal is not a scalar");
+  for (std::size_t i = 0; i < st.sensitive.size(); ++i) {
+    if (st.sensitive[i] == p) {
+      st.sensitive_rising[i] = 1;
+      return;
+    }
+  }
+  require(false, "restrict_sensitivity_to_rising: process not sensitive");
 }
 
 const std::string& Simulator::signal_name(SignalId s) const {
@@ -60,19 +75,15 @@ std::size_t Simulator::width(SignalId s) const {
   return signals_[s].width;
 }
 
-const LogicVector& Simulator::value(SignalId s) const {
-  require(s < signals_.size(), "value: unknown signal");
-  if (read_tracking_ && current_process_ != kExternalProcess) {
-    // Lint-only dataflow harvest; processes and their read sets are small,
-    // so the dedup scan stays cheap — and the tracking flag is off outside
-    // analysis runs.
-    auto& readers = const_cast<SignalState&>(signals_[s]).readers;
-    if (std::find(readers.begin(), readers.end(), current_process_) ==
-        readers.end()) {
-      readers.push_back(current_process_);
-    }
+void Simulator::harvest_read(SignalId s) const {
+  // Lint-only dataflow harvest; processes and their read sets are small,
+  // so the dedup scan stays cheap — and the tracking flag is off outside
+  // analysis runs.
+  auto& readers = const_cast<SignalState&>(signals_[s]).readers;
+  if (std::find(readers.begin(), readers.end(), current_process_) ==
+      readers.end()) {
+    readers.push_back(current_process_);
   }
-  return signals_[s].effective;
 }
 
 const std::vector<ProcessId>& Simulator::readers_of(SignalId s) const {
@@ -183,38 +194,66 @@ void Simulator::enqueue_runnable(ProcessId p) {
   runnable_.push_back(p);
 }
 
-void Simulator::apply(Transaction& t) {
+void Simulator::stage(Transaction& t) {
   SignalState& st = signals_[t.sig];
+  ++stats_.transactions;
   auto it = std::find_if(st.drivers.begin(), st.drivers.end(),
                          [&](const DriverSlot& d) { return d.pid == t.pid; });
   if (it == st.drivers.end()) {
     st.drivers.push_back({t.pid, std::move(t.value)});
-    it = st.drivers.end() - 1;
-  } else {
+  } else if (it->value != t.value) {
     it->value = std::move(t.value);
+  } else {
+    // Identical re-stage (modules re-assert unchanged outputs every clock,
+    // VHDL style): no resolution input changed, so the resolved value can't
+    // have either — skip dirtying the signal and the whole commit pass.
+    // If another driver of this net did change this delta, that driver's
+    // stage marked it dirty and commit still sees every contribution.
+    return;
   }
-  ++stats_.transactions;
+  if (st.staged_serial != delta_serial_) {
+    st.staged_serial = delta_serial_;
+    dirty_signals_.push_back(t.sig);
+  }
+}
+
+void Simulator::commit(SignalId sig) {
+  SignalState& st = signals_[sig];
   // Single-driver signals (the overwhelming majority) resolve to the sole
   // driver's value: compare in place, copy only on an actual event.  The
   // nine-valued multi-driver resolution runs only for genuinely resolved
-  // (bus) nets.
-  const LogicVector* next = &it->value;
-  LogicVector resolved;
+  // (bus) nets, once per signal per delta no matter how many transactions
+  // landed — and accumulates in place in a reused scratch vector.
+  const LogicVector* next = &st.drivers.front().value;
   if (st.drivers.size() > 1) {
-    resolved = st.drivers.front().value;
+    resolve_scratch_ = st.drivers.front().value;
     for (std::size_t i = 1; i < st.drivers.size(); ++i) {
-      resolved = resolve(resolved, st.drivers[i].value);
+      resolve_scratch_.resolve_with(st.drivers[i].value);
     }
-    next = &resolved;
+    next = &resolve_scratch_;
   }
-  if (!(*next == st.effective)) {
-    st.previous = std::move(st.effective);
-    st.effective = *next;
-    st.changed_serial = delta_serial_;
-    ++stats_.value_changes;
-    for (ProcessId p : st.sensitive) enqueue_runnable(p);
-    for (const auto& obs : observers_) obs(t.sig, st.effective, now_);
+  if (*next == st.effective) return;
+  // Recycle previous's plane storage instead of discarding it: swap makes
+  // the old effective the new previous, and the assignment below reuses the
+  // displaced buffer when the widths (word counts) match — which they
+  // always do after the first change.
+  st.effective.swap(st.previous);
+  st.effective = *next;
+  st.changed_serial = delta_serial_;
+  ++stats_.value_changes;
+  bool rising_known = false, rising = false;
+  for (std::size_t i = 0; i < st.sensitive.size(); ++i) {
+    if (st.sensitive_rising[i] != 0) {
+      if (!rising_known) {
+        rising =
+            to_bool(st.effective.bit(0)) && !to_bool(st.previous.bit(0), false);
+        rising_known = true;
+      }
+      if (!rising) continue;
+    }
+    enqueue_runnable(st.sensitive[i]);
   }
+  for (const auto& obs : observers_) obs(sig, st.effective, now_);
 }
 
 void Simulator::run_delta_loop(std::vector<Transaction>& batch,
@@ -226,8 +265,10 @@ void Simulator::run_delta_loop(std::vector<Transaction>& batch,
     ++delta_serial_;
     ++stats_.delta_cycles;
     runnable_.clear();
-    for (Transaction& t : batch) apply(t);
+    for (Transaction& t : batch) stage(t);
     batch.clear();
+    for (SignalId s : dirty_signals_) commit(s);
+    dirty_signals_.clear();
     if (first) {
       for (ProcessId p : preactivated) enqueue_runnable(p);
       first = false;

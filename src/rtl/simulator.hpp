@@ -74,6 +74,13 @@ class Simulator {
                          Logic init = Logic::U);
   ProcessId add_process(std::string name, std::vector<SignalId> sensitivity,
                         std::function<void()> fn);
+  /// Restricts an existing sensitivity entry (process `p` on width-1 signal
+  /// `s`) to rising edges: the kernel wakes `p` only when a commit takes bit
+  /// 0 from not-'1'/'H' to '1'/'H' (rose() semantics).  Clocked-process
+  /// helpers use this so the falling clock edge stops activating processes
+  /// whose bodies are rising-edge no-ops; event()/rose()/fell() queries on
+  /// `s` are unaffected.
+  void restrict_sensitivity_to_rising(ProcessId p, SignalId s);
   std::size_t signal_count() const { return signals_.size(); }
   const std::string& signal_name(SignalId s) const;
   std::size_t width(SignalId s) const;
@@ -121,7 +128,15 @@ class Simulator {
   static void set_elaboration_hook(ElaborationHook hook);
 
   // --- signal access ----------------------------------------------------
-  const LogicVector& value(SignalId s) const;
+  /// Inline fast path: every read_bool()/read() in module code lands here,
+  /// so the common (no read-tracking) case must be two loads.
+  const LogicVector& value(SignalId s) const {
+    require(s < signals_.size(), "value: unknown signal");
+    if (read_tracking_ && current_process_ != kExternalProcess) [[unlikely]] {
+      harvest_read(s);
+    }
+    return signals_[s].effective;
+  }
   /// Schedules a transaction on `s` for now+delay, driven by the currently
   /// executing process (or kExternalProcess outside any process).  Transport
   /// delay semantics; delay 0 lands in the next delta cycle.
@@ -180,8 +195,12 @@ class Simulator {
     LogicVector effective;
     std::vector<DriverSlot> drivers;
     std::vector<ProcessId> sensitive;
+    /// Parallel to `sensitive`: non-zero entries wake only on rising edges
+    /// of bit 0 (see restrict_sensitivity_to_rising).
+    std::vector<std::uint8_t> sensitive_rising;
     std::vector<ProcessId> readers;  ///< read-tracking harvest (lint only)
     std::uint64_t changed_serial = 0;  ///< delta serial of last change
+    std::uint64_t staged_serial = 0;   ///< delta serial of last driver update
     LogicVector previous;              ///< value before last change
   };
   struct ProcessState {
@@ -207,9 +226,20 @@ class Simulator {
 
   TimeBucket& bucket_for(SimTime when);
   void enqueue_runnable(ProcessId p);
-  void apply(Transaction& t);
+  /// Apply phase, first half: moves the transaction's value into its driver
+  /// slot and marks the signal dirty for this delta.  Resolution is
+  /// deferred to commit() so N same-delta transactions on one signal cost
+  /// one resolution, not N.
+  void stage(Transaction& t);
+  /// Apply phase, second half: resolves a dirty signal's driver
+  /// contributions once (in place, word-at-a-time), and only if the
+  /// resolved planes differ from the current value commits the change and
+  /// wakes the (edge-filtered) sensitive processes.
+  void commit(SignalId sig);
   void run_delta_loop(std::vector<Transaction>& batch,
                       const std::vector<ProcessId>& preactivated);
+  /// Cold half of value(): records the lint-only read-set entry.
+  void harvest_read(SignalId s) const;
 
   SimTime now_ = SimTime::zero();
   bool initialized_ = false;
@@ -237,6 +267,12 @@ class Simulator {
   // Scratch buffers recycled across time points.
   std::vector<Transaction> batch_scratch_;
   std::vector<std::function<void()>> cb_scratch_;
+  /// Signals whose driver slots were updated this delta (first-touch
+  /// order); resolved once each by commit() after all stages.
+  std::vector<SignalId> dirty_signals_;
+  /// Multi-driver resolution accumulator, reused across commits so the
+  /// steady state allocates nothing.
+  LogicVector resolve_scratch_;
 
   std::vector<ChangeObserver> observers_;
   std::vector<PortBinding> bindings_;

@@ -2,8 +2,12 @@
 // backend.  These tests run under TSan in CI (ctest -L cosim_threaded).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "src/castanet/backend.hpp"
 #include "src/castanet/session.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/hw/cell_bits.hpp"
 #include "src/hw/cell_rx.hpp"
 #include "src/traffic/processes.hpp"
@@ -12,6 +16,27 @@ namespace castanet::cosim {
 namespace {
 
 constexpr SimTime kClkPeriod = SimTime::from_ns(50);
+
+/// Zero-delay forwarder between generator and gateway that can sleep (wall
+/// clock) per cell from a given index.  Runs on the session thread, so a
+/// test can slow the *production* side of the pipeline — the only regime
+/// where the adaptive stride controller legitimately sees a calm channel
+/// (a saturated producer rightly holds the stride at its maximum).
+class ThrottleProcess : public netsim::ProcessModel {
+ public:
+  std::uint64_t throttle_after = ~std::uint64_t{0};
+  unsigned throttle_us = 0;
+
+  void handle_interrupt(const netsim::Interrupt& intr) override {
+    if (intr.kind != netsim::InterruptKind::kStream) return;
+    if (seen_++ >= throttle_after && throttle_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
+    send(0, intr.packet);
+  }
+
+ private:
+  std::uint64_t seen_ = 0;
+};
 
 /// Same rig as test_session.cpp's SessionRig: RTL cell receiver (primary)
 /// plus an echo reference backend, optionally corrupting from a cell index.
@@ -30,7 +55,13 @@ struct PipelineSessionRig {
   ReferenceBackend refb;
   VerificationSession session;
   traffic::SinkProcess* sink = nullptr;
+  ThrottleProcess* throttle = nullptr;
   std::uint64_t ref_seen = 0;
+  /// Deliberately slow the reference backend: sleep `slow_us` per cell for
+  /// the first `slow_cells` cells.  Set before run_until (read on the
+  /// worker thread).
+  std::uint64_t slow_cells = 0;
+  unsigned slow_us = 0;
 
   PipelineSessionRig(VerificationSession::Params sp, std::uint64_t cells,
                      SimTime period,
@@ -45,7 +76,9 @@ struct PipelineSessionRig {
     auto& gen = env.add_process<traffic::GeneratorProcess>(
         "gen", std::move(src), cells);
     sink = &env.add_process<traffic::SinkProcess>("sink");
-    net.connect(gen, 0, session.gateway(), 0);
+    throttle = &env.add_process<ThrottleProcess>("throttle");
+    net.connect(gen, 0, *throttle, 0);
+    net.connect(*throttle, 0, session.gateway(), 0);
     net.connect(session.gateway(), 0, *sink, 0);
 
     rtl.entity().register_input(0, 53, [this](const TimedMessage& m) {
@@ -59,6 +92,8 @@ struct PipelineSessionRig {
       }
     });
     refb.register_input(0, 1, [this, corrupt_from](const TimedMessage& m) {
+      if (ref_seen < slow_cells)
+        std::this_thread::sleep_for(std::chrono::microseconds(slow_us));
       atm::Cell c = *m.cell;
       if (ref_seen++ >= corrupt_from) c.payload[0] ^= 0xFF;
       refb.respond(0, m.timestamp, c);
@@ -138,6 +173,110 @@ TEST(PipelinedSession, TinyChannelsBackpressureStaysCorrect) {
   EXPECT_EQ(rig.sink->cells_received(), 40u);
   EXPECT_TRUE(rig.session.comparator().clean())
       << rig.session.comparator().report();
+}
+
+TEST(PipelinedSession, AdaptiveStrideBacksOffAndRecovers) {
+  // A deliberately slowed reference backend congests its command channel:
+  // the controller must back the stride off from the floor, and once the
+  // backend speeds up again, decay back towards it.  The effective stride
+  // is also observable as a telemetry gauge.
+  auto& hub = telemetry::Hub::instance();
+  hub.reset();
+  hub.enable();
+  auto params = pipelined_params();
+  params.clock_announce_stride = 1;        // fine-grained floor
+  params.max_clock_announce_stride = 32;
+  params.channel_capacity = 16;
+  params.fanout_batch_messages = 1;        // one controller observation/cell
+  PipelineSessionRig rig(params, 150, SimTime::from_us(2));
+  rig.slow_cells = 25;
+  rig.slow_us = 200;
+  // Once the backend speeds back up, throttle cell production instead so the
+  // workers provably keep up — a saturated producer (cells arriving faster
+  // than the workers drain them) would rightly hold the stride at its max.
+  rig.throttle->throttle_after = 30;
+  rig.throttle->throttle_us = 300;
+  rig.session.run_until(SimTime::from_us(400));
+  rig.session.comparator().finish();
+
+  EXPECT_EQ(rig.sink->cells_received(), 150u);
+  EXPECT_TRUE(rig.session.comparator().clean())
+      << rig.session.comparator().report();
+  const auto stats = rig.session.stats();
+  // Back-off happened...
+  EXPECT_GT(stats.max_effective_stride, params.clock_announce_stride);
+  // ...and the long fast tail decayed the stride back down.
+  EXPECT_LT(stats.effective_stride, stats.max_effective_stride)
+      << "stalls=" << stats.window_grant_stalls
+      << " max_occ=" << stats.max_channel_occupancy
+      << " batches=" << stats.fanout_batches
+      << " msgs=" << stats.fanout_messages;
+  // The gauge tracked the controller: its maximum is the high-water mark
+  // and its last value the final stride.
+  const telemetry::Gauge& g = hub.gauge("session.effective_stride");
+  ASSERT_TRUE(g.set_ever());
+  EXPECT_EQ(g.max(), static_cast<double>(stats.max_effective_stride));
+  EXPECT_EQ(g.value(), static_cast<double>(stats.effective_stride));
+  hub.reset();
+}
+
+TEST(PipelinedSession, FixedStrideKeepsLegacyBehaviour) {
+  // adaptive_stride off pins the effective stride to the configured value.
+  auto params = pipelined_params();
+  params.adaptive_stride = false;
+  params.clock_announce_stride = 4;
+  PipelineSessionRig rig(params, 30, SimTime::from_us(5));
+  rig.session.run_until(SimTime::from_us(600));
+  rig.session.comparator().finish();
+  EXPECT_TRUE(rig.session.comparator().clean())
+      << rig.session.comparator().report();
+  const auto stats = rig.session.stats();
+  EXPECT_EQ(stats.effective_stride, 4u);
+  EXPECT_EQ(stats.max_effective_stride, 4u);
+}
+
+TEST(PipelinedSession, FanoutBatchingCoalescesMessages) {
+  // With a rare stride boundary, gateway messages accumulate and ship as
+  // coalesced batches instead of one push per message-carrying event.
+  auto params = pipelined_params();
+  params.adaptive_stride = false;
+  params.clock_announce_stride = 1000;     // boundary every 50us of net time
+  params.fanout_batch_messages = 4;
+  PipelineSessionRig rig(params, 40, SimTime::from_us(2));
+  rig.session.run_until(SimTime::from_us(200));
+  rig.session.comparator().finish();
+
+  EXPECT_EQ(rig.sink->cells_received(), 40u);
+  EXPECT_TRUE(rig.session.comparator().clean())
+      << rig.session.comparator().report();
+  const auto stats = rig.session.stats();
+  EXPECT_GE(stats.fanout_messages, 40u);
+  ASSERT_GT(stats.fanout_batches, 0u);
+  // Mean batch size must show real coalescing (threshold is 4; the final
+  // horizon flush may be smaller).
+  EXPECT_GE(stats.fanout_messages, 3 * stats.fanout_batches);
+}
+
+TEST(PipelinedSession, BitIdenticalUnderAdaptiveStrideStress) {
+  // Bit-identity on the feed-forward rig must survive the adaptive
+  // controller and fan-out batching under tight channels: the DUT input
+  // stream is delayed and re-chunked, never reordered.
+  VerificationSession::Params serial;
+  serial.clock_period = kClkPeriod;
+  auto stressed = pipelined_params();
+  stressed.clock_announce_stride = 1;
+  stressed.max_clock_announce_stride = 64;
+  stressed.channel_capacity = 4;
+  stressed.fanout_batch_messages = 3;
+  PipelineSessionRig a(serial, 25, SimTime::from_us(5));
+  PipelineSessionRig b(stressed, 25, SimTime::from_us(5));
+  a.session.run_until(SimTime::from_us(500));
+  b.session.run_until(SimTime::from_us(500));
+  ASSERT_EQ(a.sink->log().size(), b.sink->log().size());
+  for (std::size_t i = 0; i < a.sink->log().size(); ++i) {
+    EXPECT_TRUE(a.sink->log()[i].cell == b.sink->log()[i].cell) << i;
+  }
+  EXPECT_EQ(a.rx.cells_accepted(), b.rx.cells_accepted());
 }
 
 TEST(PipelinedSession, RepeatedRunsAccumulate) {

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,65 @@ TEST_F(TelemetryTest, RingDropsOldestOnOverflow) {
   const MetricsSnapshot snap = Hub::instance().snapshot();
   EXPECT_EQ(snap.trace_events, kCap);
   EXPECT_EQ(snap.trace_dropped, 12u);
+}
+
+TEST_F(TelemetryTest, StreamTraceToDiskInsteadOfDropping) {
+  // With an attached stream, a full ring flushes to disk instead of
+  // dropping its oldest events; stop_trace_stream finalizes the file into
+  // valid Chrome trace JSON covering EVERY recorded event.
+  constexpr std::size_t kCap = 8;
+  const std::string path = ::testing::TempDir() + "castanet_stream_test.json";
+  Hub::instance().enable(kCap);
+  ASSERT_TRUE(Hub::instance().stream_trace_to(path));
+  for (int i = 0; i < 30; ++i) {
+    TraceEvent e;
+    e.name = "ev";
+    e.phase = TraceEvent::Phase::kInstant;
+    e.ts_us = static_cast<double>(i);
+    Hub::instance().record(e);
+  }
+  EXPECT_TRUE(Hub::instance().stop_trace_stream());
+  EXPECT_EQ(Hub::instance().trace_events_streamed(), 30u);
+  EXPECT_EQ(Hub::instance().trace_events_dropped(), 0u);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"displayTimeUnit\""), std::string::npos);
+  // All 30 instants made it to disk (they exceed the ring capacity).
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = body.find("\"ev\"", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 30u);
+  // A second stop without a stream reports failure.
+  EXPECT_FALSE(Hub::instance().stop_trace_stream());
+}
+
+TEST_F(TelemetryTest, ResetFinalizesAnActiveStream) {
+  const std::string path = ::testing::TempDir() + "castanet_stream_reset.json";
+  Hub::instance().enable(4);
+  ASSERT_TRUE(Hub::instance().stream_trace_to(path));
+  instant("mark", kMainTrack);
+  Hub::instance().reset();  // must close and finalize, not leak the FILE
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[1024];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(body.find("\"mark\""), std::string::npos);
+  EXPECT_NE(body.find("\"displayTimeUnit\""), std::string::npos);
 }
 
 TEST_F(TelemetryTest, TracksAreStableByName) {

@@ -42,12 +42,16 @@ TEST_P(SeededEquivalence, PolicerMatchesReferenceOnRandomTraffic) {
                 period * static_cast<std::int64_t>(lim), true);
 
   std::vector<std::pair<bool, bool>> rtl_out;  // (delivered, clp)
-  sim.add_process("cap", {upc.out_valid.id(), upc.discard.id()}, [&] {
-    if (upc.out_valid.rose()) {
+  // Level sampling at the falling edge: one verdict per cycle, and
+  // consecutive passes (or drops) hold the line high across cycles, which
+  // edge detection would collapse into one event.
+  sim.add_process("cap", {clk.id()}, [&] {
+    if (!clk.fell()) return;
+    if (upc.out_valid.read_bool()) {
       rtl_out.emplace_back(true,
                            bits_to_cell(upc.cell_out.read(), false).header.clp);
     }
-    if (upc.discard.rose()) rtl_out.emplace_back(false, false);
+    if (upc.discard.read_bool()) rtl_out.emplace_back(false, false);
   });
 
   std::vector<std::pair<bool, bool>> ref_out;

@@ -19,11 +19,16 @@ class PolicerTest : public ClockedTest {
   int discards = 0;
 
   void SetUp() override {
-    sim.add_process("cap", {upc.out_valid.id(), upc.discard.id()}, [this] {
-      if (upc.out_valid.rose()) {
+    // Sample levels mid-cycle (falling edge): the policer asserts
+    // out_valid/discard for exactly one clock per cell, and back-to-back
+    // cells hold the line high across cycles — edge detection would merge
+    // them into one event.
+    sim.add_process("cap", {clk.id()}, [this] {
+      if (!clk.fell()) return;
+      if (upc.out_valid.read_bool()) {
         passed.push_back(bits_to_cell(upc.cell_out.read(), false));
       }
-      if (upc.discard.rose()) ++discards;
+      if (upc.discard.read_bool()) ++discards;
     });
   }
 

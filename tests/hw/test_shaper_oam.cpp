@@ -20,8 +20,12 @@ class ShaperTest : public ClockedTest {
   std::uint64_t tick = 0;
 
   void SetUp() override {
-    sim.add_process("cap", {shaper.out_valid.id()}, [this] {
-      if (shaper.out_valid.rose()) {
+    // Level sampling at the falling edge (back-to-back releases hold
+    // out_valid high, which edge detection would merge); all assertions use
+    // tick differences, so the uniform half-cycle sampling shift cancels.
+    sim.add_process("cap", {clk.id()}, [this] {
+      if (!clk.fell()) return;
+      if (shaper.out_valid.read_bool()) {
         out.emplace_back(tick, bits_to_cell(shaper.cell_out.read(), false));
       }
     });

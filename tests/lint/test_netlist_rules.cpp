@@ -217,6 +217,70 @@ TEST_F(HooksTest, StrictHookAbortsElaborationOnContention) {
   EXPECT_THROW(sim.initialize(), LintError);
 }
 
+// --- per-signal rule suppressions -------------------------------------------
+
+TEST(NetlistRules, SuppressionWithholdsRuleOnNamedSignal) {
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("bus", 1, rtl::Logic::Z);
+  sim.add_process("a", {}, [&] { sim.schedule_write(s, rtl::Logic::L0); });
+  sim.add_process("b", {}, [&] { sim.schedule_write(s, rtl::Logic::L1); });
+  NetlistOptions opts;
+  opts.suppressions.push_back({"NET-CONTENTION", "bus"});
+  Report r;
+  analyze_netlist(sim, opts, r);
+  EXPECT_FALSE(r.has("NET-CONTENTION"));
+  EXPECT_EQ(r.errors(), 0u);
+  EXPECT_EQ(r.suppressed(), 1u);
+}
+
+TEST(NetlistRules, SuppressionIsRuleSpecific) {
+  // Suppressing a different rule on the same signal changes nothing.
+  rtl::Simulator sim;
+  const auto s = sim.create_signal("bus", 1, rtl::Logic::Z);
+  sim.add_process("a", {}, [&] { sim.schedule_write(s, rtl::Logic::L0); });
+  sim.add_process("b", {}, [&] { sim.schedule_write(s, rtl::Logic::L1); });
+  NetlistOptions opts;
+  opts.suppressions.push_back({"NET-UNDRIVEN", "bus"});
+  Report r;
+  analyze_netlist(sim, opts, r);
+  EXPECT_TRUE(r.has("NET-CONTENTION"));
+  EXPECT_EQ(r.suppressed(), 0u);
+}
+
+TEST(NetlistRules, SuppressionPrefixGlobAndWildcardRule) {
+  rtl::Simulator sim;
+  const auto s1 = sim.create_signal("sw.rx0.tied", 1, rtl::Logic::L0);
+  const auto s2 = sim.create_signal("sw.rx1.tied", 1, rtl::Logic::L0);
+  const auto s3 = sim.create_signal("other.tied", 1, rtl::Logic::L0);
+  sim.declare_port_binding(s1, rtl::PortDir::kIn, 1, "rx0.en");
+  sim.declare_port_binding(s2, rtl::PortDir::kIn, 1, "rx1.en");
+  sim.declare_port_binding(s3, rtl::PortDir::kIn, 1, "o.en");
+  NetlistOptions opts;
+  opts.depth = NetlistDepth::kProbed;
+  opts.suppressions.push_back({"*", "sw.rx*"});
+  Report r;
+  analyze_netlist(sim, opts, r);
+  // The two sw.rx* tie-off notes are withheld; the third survives.
+  ASSERT_EQ(r.by_rule("NET-UNDRIVEN-CONST").size(), 1u);
+  EXPECT_NE(r.by_rule("NET-UNDRIVEN-CONST").front()->location.find(
+                "other.tied"),
+            std::string::npos);
+  EXPECT_EQ(r.suppressed(), 2u);
+}
+
+TEST(NetlistRules, SuppressionsForwardedThroughSessionOptions) {
+  // The umbrella Options allowlist reaches every backend's netlist pass and
+  // the suppressed count survives the report merge into the summary text.
+  Report r;
+  r.note_suppressed();
+  r.note_suppressed();
+  Report merged;
+  merged.merge(r);
+  EXPECT_EQ(merged.suppressed(), 2u);
+  EXPECT_NE(merged.to_text().find("2 suppressed"), std::string::npos);
+  EXPECT_NE(merged.to_json().find("\"suppressed\": 2"), std::string::npos);
+}
+
 TEST_F(HooksTest, SinkSeesCleanReportWithoutThrowing) {
   std::size_t reports_seen = 0;
   std::size_t errors_seen = 0;

@@ -5,7 +5,7 @@
 // reports the findings.
 //
 //   castanet_lint [--design switch|board|all] [--json] [--strict]
-//                 [--depth elaboration|probed]
+//                 [--depth elaboration|probed] [--suppress RULE@SIGNAL]...
 //
 //   --design   which rig(s) to analyze                      (default: all)
 //   --json     machine-readable report instead of text
@@ -15,6 +15,10 @@
 //   --depth    elaboration = no kernel advances; probed = settle each RTL
 //              backend a few clock periods for the full rule set
 //              (default: probed)
+//   --suppress withhold findings of RULE on the named signal (repeatable;
+//              SIGNAL may end in '*' for a prefix glob, RULE may be '*';
+//              a bare SIGNAL with no '@' suppresses every rule on it).
+//              Suppressed findings are counted in the report summary.
 //
 // Exit code: 0 when no design produced an error-severity diagnostic,
 // 1 otherwise, 2 on usage errors or a --strict abort.
@@ -39,7 +43,8 @@ struct DesignReport {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--design switch|board|all] [--json] [--strict]\n"
-               "       [--depth elaboration|probed]\n",
+               "       [--depth elaboration|probed] [--suppress "
+               "RULE@SIGNAL]...\n",
                argv0);
   return 2;
 }
@@ -57,6 +62,19 @@ int main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       opts.strict = true;
+    } else if (std::strcmp(argv[i], "--suppress") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t at = spec.find('@');
+      lint::RuleSuppression s;
+      if (at == std::string::npos) {
+        s.rule = "*";
+        s.signal = spec;
+      } else {
+        s.rule = spec.substr(0, at);
+        s.signal = spec.substr(at + 1);
+      }
+      if (s.signal.empty()) return usage(argv[0]);
+      opts.suppressions.push_back(std::move(s));
     } else if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc) {
       const std::string d = argv[++i];
       if (d == "elaboration") {
