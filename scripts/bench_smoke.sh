@@ -47,10 +47,14 @@ floor = json.load(open(sys.argv[2]))
 allowed = floor.get("allowed_regression", 0.25)
 floors = floor["floors_clk_cycles_per_sec"]
 
+ceilings = floor.get("ceilings_kernel_activations", {})
+
 measured = {}
+activations = {}
 for row in result["rows"]:
     key = row["config"].split(":", 1)[0].strip()
     measured[key] = row["metrics"]["clk_cycles_per_sec"]
+    activations[key] = row["metrics"].get("kernel_activations")
 
 failures = []
 for key, base in floors.items():
@@ -66,6 +70,22 @@ for key, base in floors.items():
         failures.append(
             f"config {key}: {got:.0f} cps is below {limit:.0f} "
             f"({(1 - got / base) * 100:.1f}% under the floor)")
+
+# Activations are deterministic per configuration: exceeding the ceiling
+# means the levelized/gated scheduling stopped suppressing wakeups (a
+# semantic scheduling regression), independent of machine speed.
+for key, ceiling in ceilings.items():
+    got = activations.get(key)
+    if got is None:
+        failures.append(f"config {key}: kernel_activations missing")
+        continue
+    verdict = "OK" if got <= ceiling else "REGRESSION"
+    print(f"  {key:3s} {got:12.0f} activations  (ceiling {ceiling})  "
+          f"{verdict}")
+    if got > ceiling:
+        failures.append(
+            f"config {key}: {got:.0f} kernel activations exceed the "
+            f"ceiling {ceiling} (gating/levelization regression)")
 
 if failures:
     print("bench_smoke: FAIL", file=sys.stderr)

@@ -30,8 +30,11 @@ AccountingUnit::AccountingUnit(rtl::Simulator& sim, std::string name,
   bind_port(cs, rtl::PortDir::kIn, "cs");
   bind_port(rw, rtl::PortDir::kIn, "rw");
 
-  clocked("count", clk_, [this] { on_clk_count(); });
-  clocked("bus", clk_, [this] { on_clk_bus(); });
+  const rtl::ProcessId count_pid =
+      clocked("count", clk_, [this] { on_clk_count(); });
+  wake_on(count_pid, {rst_.id(), rx_->cell_valid.id()});
+  const rtl::ProcessId bus_pid = clocked("bus", clk_, [this] { on_clk_bus(); });
+  wake_on(bus_pid, {rst_.id(), cs.id()});
 }
 
 void AccountingUnit::bind_connection(atm::VcId vc, std::size_t index,
@@ -61,7 +64,10 @@ std::uint64_t AccountingUnit::charge(std::size_t index) const {
 
 void AccountingUnit::on_clk_count() {
   if (rst_.read_bool()) return;
-  if (!rx_->cell_valid.read_bool()) return;
+  if (!rx_->cell_valid.read_bool()) {
+    gate();  // counters only move on reassembled cells
+    return;
+  }
   const atm::Cell c = bits_to_cell(rx_->cell_out.read(), false);
   ++cells_observed_;
   auto it = bindings_.find({c.header.vpi, c.header.vci});
@@ -108,7 +114,10 @@ void AccountingUnit::on_clk_bus() {
     return;
   }
   if (!cs.read_bool()) {
+    // Bus idle: keep our contribution released; addr/rw/data are only
+    // sampled while the master asserts cs.
     data.release();
+    gate();
     return;
   }
   const auto& av = addr.read();

@@ -28,7 +28,7 @@ CellPortDriver::CellPortDriver(rtl::Simulator& sim, std::string name,
   bind_port(port_.data, rtl::PortDir::kOut, 8, "data");
   bind_port(port_.sync, rtl::PortDir::kOut, "sync");
   bind_port(port_.valid, rtl::PortDir::kOut, "valid");
-  clocked("drive", clk_, [this] { on_clk(); });
+  pid_ = clocked("drive", clk_, [this] { on_clk(); });
 }
 
 void CellPortDriver::enqueue(const atm::Cell& c) {
@@ -38,6 +38,9 @@ void CellPortDriver::enqueue(const atm::Cell& c) {
 void CellPortDriver::enqueue_bytes(
     const std::array<std::uint8_t, atm::kCellBytes>& bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // The queue lives outside the signal world, so no wake signal can re-arm
+  // the driver after it gates on an empty buffer — re-arm it explicitly.
+  sim().wake_process(pid_);
 }
 
 void CellPortDriver::on_clk() {
@@ -45,6 +48,7 @@ void CellPortDriver::on_clk() {
     port_.valid.write(rtl::Logic::L0);
     port_.sync.write(rtl::Logic::L0);
     phase_ = 0;
+    gate();  // nothing queued: sleep until enqueue_bytes() wakes us
     return;
   }
   const std::uint8_t b = buffer_.front();
@@ -70,11 +74,15 @@ CellPortMonitor::CellPortMonitor(rtl::Simulator& sim, std::string name,
   bind_port(port_.data, rtl::PortDir::kIn, 8, "data");
   bind_port(port_.sync, rtl::PortDir::kIn, "sync");
   bind_port(port_.valid, rtl::PortDir::kIn, "valid");
-  clocked("observe", clk_, [this] { on_clk(); });
+  const rtl::ProcessId pid = clocked("observe", clk_, [this] { on_clk(); });
+  wake_on(pid, {port_.valid.id()});
 }
 
 void CellPortMonitor::on_clk() {
-  if (!port_.valid.read_bool()) return;
+  if (!port_.valid.read_bool()) {
+    gate();  // between cells; data/sync are only read while valid is high
+    return;
+  }
   const bool sync = port_.sync.read_bool();
   if (sync && count_ != 0) {
     // Mid-cell resynchronization: drop the partial cell.

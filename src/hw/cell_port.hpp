@@ -46,6 +46,7 @@ class CellPortDriver : public rtl::Module {
 
   rtl::Signal clk_;
   CellPort port_;
+  rtl::ProcessId pid_ = 0;           // for wake_process() from enqueue
   std::deque<std::uint8_t> buffer_;  // flat octet stream; sync every 53
   std::size_t phase_ = 0;            // octet index within current cell
   std::uint64_t cells_driven_ = 0;

@@ -11,7 +11,8 @@ CellReceiver::CellReceiver(rtl::Simulator& sim, std::string name,
   cell_out = make_bus("cell_out", kCellBits);
   cell_valid = make_signal("cell_valid", rtl::Logic::L0);
   hec_error = make_signal("hec_error", rtl::Logic::L0);
-  clocked("rx", clk_, [this] { on_clk(); });
+  const rtl::ProcessId pid = clocked("rx", clk_, [this] { on_clk(); });
+  wake_on(pid, {rst_.id(), in_.valid.id()});
 }
 
 void CellReceiver::on_clk() {
@@ -25,7 +26,12 @@ void CellReceiver::on_clk() {
   cell_valid.write(rtl::Logic::L0);
   hec_error.write(rtl::Logic::L0);
 
-  if (!in_.valid.read_bool()) return;
+  if (!in_.valid.read_bool()) {
+    // Idle lane: until valid (or rst) changes, every run would only re-issue
+    // the deasserts committed above — sleep through those clock edges.
+    gate();
+    return;
+  }
   const bool sync = in_.sync.read_bool();
   if (sync) count_ = 0;
   if (!sync && count_ == 0) return;  // octets before first sync: skip

@@ -12,7 +12,8 @@ CellTransmitter::CellTransmitter(rtl::Simulator& sim, std::string name,
   cell_in = make_bus("cell_in", kCellBits);
   send = make_signal("send", rtl::Logic::L0);
   ready = make_signal("ready", rtl::Logic::L1);
-  clocked("tx", clk_, [this] { on_clk(); });
+  const rtl::ProcessId pid = clocked("tx", clk_, [this] { on_clk(); });
+  wake_on(pid, {rst_.id(), send.id()});
 }
 
 void CellTransmitter::on_clk() {
@@ -46,6 +47,9 @@ void CellTransmitter::on_clk() {
     out_.valid.write(rtl::Logic::L0);
     out_.sync.write(rtl::Logic::L0);
     ready.write(rtl::Logic::L1);
+    // Reached only with send low and idle insertion off: the lane stays
+    // silent until send (or rst) changes.
+    gate();
     return;
   }
 

@@ -16,7 +16,8 @@ EarlyPacketDiscard::EarlyPacketDiscard(rtl::Simulator& sim, std::string name,
   require(threshold >= 1, "EarlyPacketDiscard: threshold must be >= 1");
   cell_out = make_bus("cell_out", kCellBits);
   out_valid = make_signal("out_valid", rtl::Logic::L0);
-  clocked("epd", clk_, [this] { on_clk(); });
+  const rtl::ProcessId pid = clocked("epd", clk_, [this] { on_clk(); });
+  wake_on(pid, {rst_.id(), in_valid_.id()});
 }
 
 void EarlyPacketDiscard::on_clk() {
@@ -26,7 +27,10 @@ void EarlyPacketDiscard::on_clk() {
     return;
   }
   out_valid.write(rtl::Logic::L0);
-  if (!in_valid_.read_bool()) return;
+  if (!in_valid_.read_bool()) {
+    gate();  // no cell offered this edge; VC state only moves on cells
+    return;
+  }
 
   const atm::Cell c = bits_to_cell(cell_in_.read(), false);
   const atm::VcId vc{c.header.vpi, c.header.vci};

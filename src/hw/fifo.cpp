@@ -18,7 +18,8 @@ SyncFifo::SyncFifo(rtl::Simulator& sim, std::string name, rtl::Signal clk,
   empty = make_signal("empty", rtl::Logic::L1);
   full = make_signal("full", rtl::Logic::L0);
   occupancy = make_bus("occupancy", 16, rtl::Logic::L0);
-  clocked("fifo", clk_, [this] { on_clk(); });
+  const rtl::ProcessId pid = clocked("fifo", clk_, [this] { on_clk(); });
+  wake_on(pid, {rst_.id(), push.id(), pop.id()});
 }
 
 void SyncFifo::on_clk() {
@@ -43,6 +44,11 @@ void SyncFifo::on_clk() {
     }
   }
   refresh_outputs();
+  if (!push.read_bool() && !pop.read_bool()) {
+    // Neither side is moving data; the store (and hence every output) stays
+    // put until push or pop (or rst) changes.
+    gate();
+  }
 }
 
 void SyncFifo::refresh_outputs() {

@@ -42,7 +42,10 @@ GlobalControlUnit::GlobalControlUnit(rtl::Simulator& sim, std::string name,
     out_valids_.push_back(
         make_signal("out_valid" + std::to_string(i), rtl::Logic::L0));
   }
-  clocked("arbiter", clk_, [this] { on_clk(); });
+  std::vector<rtl::SignalId> wake{rst_.id()};
+  for (const InputIf& in : inputs_) wake.push_back(in.req.id());
+  const rtl::ProcessId pid = clocked("arbiter", clk_, [this] { on_clk(); });
+  wake_on(pid, std::move(wake));
 }
 
 void GlobalControlUnit::on_clk() {
@@ -56,8 +59,10 @@ void GlobalControlUnit::on_clk() {
   }
   const std::size_t n = inputs_.size();
   GcuRequest reqs[kMaxSwitchPorts];
+  bool any_req = false;
   for (std::size_t i = 0; i < n; ++i) {
     reqs[i].req = inputs_[i].req.read_bool();
+    any_req |= reqs[i].req;
     // The port deasserts req one cycle after grant; inhibit bridges that
     // cycle so the same head-of-line cell is never granted twice.
     reqs[i].inhibit = grants_[i].read_bool();
@@ -71,8 +76,10 @@ void GlobalControlUnit::on_clk() {
     }
   }
   const GcuDecision d = gcu_arbitrate(reqs, n, state_);
+  bool any_grant = false;
   for (std::size_t i = 0; i < n; ++i) {
     grants_[i].write(rtl::from_bool(d.grant[i]));
+    any_grant |= d.grant[i];
   }
   for (std::size_t o = 0; o < n; ++o) {
     if (d.source_for_output[o] >= 0) {
@@ -84,6 +91,12 @@ void GlobalControlUnit::on_clk() {
     } else {
       out_valids_[o].write(rtl::Logic::L0);
     }
+  }
+  if (!any_req && !any_grant) {
+    // No request on any port and nothing granted this edge: the round-robin
+    // pointers are untouched and every output was (re-)deasserted, so the
+    // arbiter is a no-op until some req line (or rst) changes.
+    gate();
   }
 }
 

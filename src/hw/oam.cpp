@@ -43,7 +43,8 @@ OamLoopbackResponder::OamLoopbackResponder(rtl::Simulator& sim,
   out_valid = make_signal("out_valid", rtl::Logic::L0);
   loop_out = make_bus("loop_out", kCellBits);
   loop_valid = make_signal("loop_valid", rtl::Logic::L0);
-  clocked("oam", clk_, [this] { on_clk(); });
+  const rtl::ProcessId pid = clocked("oam", clk_, [this] { on_clk(); });
+  wake_on(pid, {rst_.id(), in_valid_.id()});
 }
 
 void OamLoopbackResponder::on_clk() {
@@ -54,7 +55,10 @@ void OamLoopbackResponder::on_clk() {
   }
   out_valid.write(rtl::Logic::L0);
   loop_valid.write(rtl::Logic::L0);
-  if (!in_valid_.read_bool()) return;
+  if (!in_valid_.read_bool()) {
+    gate();  // idle until a cell arrives (or rst changes)
+    return;
+  }
 
   atm::Cell c = bits_to_cell(cell_in_.read(), false);
   if (is_loopback_request(c)) {

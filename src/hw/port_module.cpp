@@ -26,15 +26,28 @@ PortModule::PortModule(rtl::Simulator& sim, std::string name, rtl::Signal clk,
   tx_ = std::make_unique<CellTransmitter>(sim, this->name() + ".tx", clk, rst,
                                           phys_out, cfg.insert_idle);
 
-  clocked("rx_push", clk_, [this] { on_clk_rx_push(); });
-  clocked("request", clk_, [this] { on_clk_request(); });
-  clocked("fab_capture", clk_, [this] { on_clk_fab_capture(); });
-  clocked("tx_feed", clk_, [this] { on_clk_tx_feed(); });
+  const rtl::ProcessId rx_push_pid =
+      clocked("rx_push", clk_, [this] { on_clk_rx_push(); });
+  wake_on(rx_push_pid, {rst_.id(), translator_->out_valid.id(),
+                        translator_->cell_out.id(),
+                        translator_->dest_port.id()});
+  const rtl::ProcessId request_pid =
+      clocked("request", clk_, [this] { on_clk_request(); });
+  wake_on(request_pid, {rst_.id(), grant_.id(), rx_fifo_->empty.id(),
+                        rx_fifo_->dout.id()});
+  const rtl::ProcessId fab_pid =
+      clocked("fab_capture", clk_, [this] { on_clk_fab_capture(); });
+  wake_on(fab_pid, {rst_.id(), fab_valid_.id(), fab_cell_.id()});
+  const rtl::ProcessId tx_feed_pid =
+      clocked("tx_feed", clk_, [this] { on_clk_tx_feed(); });
+  wake_on(tx_feed_pid, {rst_.id(), tx_fifo_->empty.id(), tx_->ready.id(),
+                        tx_fifo_->dout.id()});
 }
 
 void PortModule::on_clk_rx_push() {
   if (rst_.read_bool()) {
     rx_fifo_->push.write(rtl::Logic::L0);
+    gate();
     return;
   }
   if (translator_->out_valid.read_bool()) {
@@ -46,6 +59,9 @@ void PortModule::on_clk_rx_push() {
   } else {
     rx_fifo_->push.write(rtl::Logic::L0);
   }
+  // Stateless: the outputs are a pure function of the wake set, so every
+  // run may sleep until an input changes.
+  gate();
 }
 
 void PortModule::on_clk_request() {
@@ -70,6 +86,8 @@ void PortModule::on_clk_request() {
     req_if_.req.write(rtl::Logic::L0);
     return;
   }
+  // Cooldown expired and no grant pending: with the queue head (and grant)
+  // unchanged, every further run re-issues exactly these writes.
   if (!rx_fifo_->empty.read_bool()) {
     const rtl::LogicVector& word = rx_fifo_->dout.read();
     req_if_.cell.write(word.slice(0, kCellBits));
@@ -78,11 +96,13 @@ void PortModule::on_clk_request() {
   } else {
     req_if_.req.write(rtl::Logic::L0);
   }
+  gate();
 }
 
 void PortModule::on_clk_fab_capture() {
   if (rst_.read_bool()) {
     tx_fifo_->push.write(rtl::Logic::L0);
+    gate();
     return;
   }
   if (fab_valid_.read_bool()) {
@@ -91,6 +111,7 @@ void PortModule::on_clk_fab_capture() {
   } else {
     tx_fifo_->push.write(rtl::Logic::L0);
   }
+  gate();  // stateless, like rx_push
 }
 
 void PortModule::on_clk_tx_feed() {
@@ -112,8 +133,11 @@ void PortModule::on_clk_tx_feed() {
     tx_fifo_->pop.write(rtl::Logic::L1);
     feed_cooldown_ = 3;
   } else {
+    // Queue empty or transmitter busy: nothing to feed until the queue
+    // flags or ready change.
     tx_->send.write(rtl::Logic::L0);
     tx_fifo_->pop.write(rtl::Logic::L0);
+    gate();
   }
 }
 

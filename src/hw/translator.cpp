@@ -12,7 +12,8 @@ HeaderTranslator::HeaderTranslator(rtl::Simulator& sim, std::string name,
   cell_out = make_bus("cell_out", kCellBits);
   out_valid = make_signal("out_valid", rtl::Logic::L0);
   dest_port = make_bus("dest_port", 4, rtl::Logic::L0);
-  clocked("translate", clk_, [this] { on_clk(); });
+  const rtl::ProcessId pid = clocked("translate", clk_, [this] { on_clk(); });
+  wake_on(pid, {rst_.id(), in_valid_.id()});
 }
 
 void HeaderTranslator::on_clk() {
@@ -21,7 +22,10 @@ void HeaderTranslator::on_clk() {
     return;
   }
   out_valid.write(rtl::Logic::L0);
-  if (!in_valid_.read_bool()) return;
+  if (!in_valid_.read_bool()) {
+    gate();  // no cell offered: idle until in_valid (or rst) changes
+    return;
+  }
 
   atm::Cell c = bits_to_cell(cell_in_.read(), false);
   const auto route = table_.lookup({c.header.vpi, c.header.vci});

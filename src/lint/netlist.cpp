@@ -1,6 +1,5 @@
 #include "src/lint/netlist.hpp"
 
-#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,64 +50,6 @@ bool has_u(const rtl::LogicVector& v) {
   return false;
 }
 
-/// One dataflow edge: following `sig`, control/data reaches process `to`.
-struct Edge {
-  rtl::ProcessId to;
-  rtl::SignalId sig;
-};
-using Graph = std::vector<std::vector<Edge>>;
-
-/// Process-granularity cycle search (iterative DFS with an explicit stack so
-/// deep designs cannot overflow the call stack).  Returns the first cycle
-/// found as alternating "process -> signal -> process" path elements, or an
-/// empty vector when the graph is acyclic.
-std::vector<std::string> find_cycle(const rtl::Simulator& sim,
-                                    const Graph& g) {
-  enum : std::uint8_t { kWhite, kGray, kBlack };
-  std::vector<std::uint8_t> color(g.size(), kWhite);
-  struct Frame {
-    rtl::ProcessId pid;
-    std::size_t next_edge;
-  };
-  for (rtl::ProcessId root = 0; root < g.size(); ++root) {
-    if (color[root] != kWhite) continue;
-    std::vector<Frame> stack{{root, 0}};
-    // via[i] is the signal that led from stack[i-1] to stack[i].
-    std::vector<rtl::SignalId> via{0};
-    color[root] = kGray;
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      if (f.next_edge < g[f.pid].size()) {
-        const Edge& e = g[f.pid][f.next_edge++];
-        if (color[e.to] == kGray) {
-          // Found a back edge: unwind the stack to the cycle entry.
-          std::size_t start = stack.size();
-          while (start > 0 && stack[start - 1].pid != e.to) --start;
-          std::vector<std::string> path;
-          for (std::size_t i = start - 1; i < stack.size(); ++i) {
-            path.push_back("process '" + sim.process_name(stack[i].pid) + "'");
-            const rtl::SignalId s =
-                i + 1 < stack.size() ? via[i + 1] : e.sig;
-            path.push_back("signal '" + sim.signal_name(s) + "'");
-          }
-          path.push_back("process '" + sim.process_name(e.to) + "'");
-          return path;
-        }
-        if (color[e.to] == kWhite) {
-          color[e.to] = kGray;
-          stack.push_back({e.to, 0});
-          via.push_back(e.sig);
-        }
-      } else {
-        color[f.pid] = kBlack;
-        stack.pop_back();
-        via.pop_back();
-      }
-    }
-  }
-  return {};
-}
-
 std::string join_path(const std::vector<std::string>& path) {
   std::string out;
   for (std::size_t i = 0; i < path.size(); ++i) {
@@ -116,50 +57,6 @@ std::string join_path(const std::vector<std::string>& path) {
     out += path[i];
   }
   return out;
-}
-
-/// Combinational dependency graph: P -> Q when P (a real process) drives a
-/// signal Q is *sensitive* to.  All kernel writes are zero-delay, so a cycle
-/// here is genuine delta-cycle feedback; clocked processes are only
-/// sensitive to their clock, which the clock generator drives from the
-/// external slot, so register loops do not appear.
-Graph comb_graph(const rtl::Simulator& sim) {
-  Graph g(sim.process_count());
-  for (rtl::SignalId s = 0; s < sim.signal_count(); ++s) {
-    for (rtl::ProcessId p : sim.drivers_of(s)) {
-      if (p == rtl::kExternalProcess) continue;
-      for (rtl::ProcessId q : sim.sensitive_processes(s)) {
-        if (q == rtl::kExternalProcess) continue;
-        g[p].push_back({q, s});
-      }
-    }
-  }
-  return g;
-}
-
-/// Dataflow graph for the topology classifier: P -> Q when P drives a signal
-/// Q is sensitive to *or reads* (read tracking).  Cycles here mean some
-/// process's outputs eventually influence its own inputs — the design has
-/// feedback across the module graph even if every individual path is
-/// registered.
-Graph dataflow_graph(const rtl::Simulator& sim) {
-  Graph g(sim.process_count());
-  for (rtl::SignalId s = 0; s < sim.signal_count(); ++s) {
-    std::vector<rtl::ProcessId> sinks = sim.sensitive_processes(s);
-    for (rtl::ProcessId r : sim.readers_of(s)) {
-      if (std::find(sinks.begin(), sinks.end(), r) == sinks.end()) {
-        sinks.push_back(r);
-      }
-    }
-    for (rtl::ProcessId p : sim.drivers_of(s)) {
-      if (p == rtl::kExternalProcess) continue;
-      for (rtl::ProcessId q : sinks) {
-        if (q == rtl::kExternalProcess || q == p) continue;
-        g[p].push_back({q, s});
-      }
-    }
-  }
-  return g;
 }
 
 void check_drivers(const rtl::Simulator& sim, const NetlistOptions& opts,
@@ -260,13 +157,6 @@ void settle(rtl::Simulator& sim, SimTime clock_period, std::uint64_t cycles) {
   }
 }
 
-TopologyInfo classify_topology(const rtl::Simulator& sim) {
-  TopologyInfo info;
-  info.cycle = find_cycle(sim, dataflow_graph(sim));
-  info.feed_forward = info.cycle.empty();
-  return info;
-}
-
 void analyze_netlist(rtl::Simulator& sim, const NetlistOptions& opts,
                      Report& report) {
   sim.initialize();
@@ -275,7 +165,7 @@ void analyze_netlist(rtl::Simulator& sim, const NetlistOptions& opts,
   check_drivers(sim, opts, report);
 
   const std::vector<std::string> comb_cycle =
-      find_cycle(sim, comb_graph(sim));
+      rtl::find_combinational_cycle(sim);
   if (!comb_cycle.empty()) {
     report.add("NET-COMB-LOOP", Severity::kError, kFamily,
                qualify(opts.scope, comb_cycle.front()),
@@ -301,6 +191,25 @@ void analyze_netlist(rtl::Simulator& sim, const NetlistOptions& opts,
                      "does not apply automatically",
                  "verify responses do not influence later stimulus, or use "
                  "serial mode for signoff");
+    }
+
+    // Name every region the two-phase scheduler refuses to levelize
+    // (DESIGN.md §7.7): these processes evaluate under the delta loop on
+    // every wake, so they are where a redesign buys simulation speed.
+    const rtl::LevelSchedule sched = rtl::levelize(sim);
+    for (const rtl::FallbackRegion& region : sched.fallback_regions) {
+      std::string members;
+      for (std::size_t i = 0; i < region.members.size(); ++i) {
+        if (i) members += ", ";
+        members += "'" + sim.process_name(region.members[i]) + "'";
+      }
+      report.add("LEVELIZE-FALLBACK", Severity::kNote, kFamily,
+                 qualify(opts.scope, "design"),
+                 "combinational region {" + members +
+                     "} is cyclic: the levelized two-phase scheduler falls "
+                     "back to delta iteration for time points that wake it",
+                 "break the combinational cycle (register one path) to let "
+                 "the kernel evaluate these processes in one ranked pass");
     }
   }
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include "src/lint/diagnostic.hpp"
+#include "src/rtl/levelize.hpp"
 #include "src/rtl/simulator.hpp"
 
 namespace castanet::lint {
@@ -49,13 +50,12 @@ struct NetlistOptions {
   std::vector<RuleSuppression> suppressions;
 };
 
-/// Result of the §3.2/§7 topology classification (see classify_topology).
-struct TopologyInfo {
-  bool feed_forward = true;
-  /// When not feed-forward: one process cycle, as "process -> signal ->
-  /// process -> ... " path elements.
-  std::vector<std::string> cycle;
-};
+/// The §3.2/§7 topology classification now lives in the shared rtl
+/// elaboration facility (src/rtl/levelize.hpp) — the kernel's two-phase
+/// scheduler and these rules consume one implementation.  The lint names
+/// stay valid for existing callers.
+using TopologyInfo = rtl::TopologyInfo;
+using rtl::classify_topology;
 
 /// Prepares `sim` for a kProbed analysis: enables read tracking, runs
 /// initialize(), then `cycles` periods of `clock_period` so clocked
@@ -63,14 +63,6 @@ struct TopologyInfo {
 /// tracking enabled (harvest continues if the caller keeps simulating).
 void settle(rtl::Simulator& sim, SimTime clock_period,
             std::uint64_t cycles = 4);
-
-/// Classifies the design's dataflow topology: feed-forward (every dataflow
-/// path moves from sources towards sinks — the precondition DESIGN.md §7
-/// puts on the pipelined-mode bit-identity guarantee) or feedback (some
-/// process's outputs influence its own inputs, e.g. a bidirectional bus).
-/// Dataflow edges combine sensitivity lists with read-tracked reads, so the
-/// classification is only meaningful after settle().
-TopologyInfo classify_topology(const rtl::Simulator& sim);
 
 /// Runs every netlist rule applicable at `opts.depth` and appends the
 /// findings to `report`.  Calls sim.initialize() if the caller has not.

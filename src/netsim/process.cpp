@@ -25,7 +25,7 @@ bool ProcessModel::cancel_self(EventHandle h) {
 }
 
 Packet ProcessModel::make_packet() {
-  Packet p;
+  Packet p = sim_->packet_pool().make();
   p.set_id(sim_->next_packet_id());
   p.set_creation_time(now());
   return p;

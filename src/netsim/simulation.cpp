@@ -122,6 +122,7 @@ void Simulation::finish() {
     intr.kind = InterruptKind::kEnd;
     deliver(*p, intr);
   }
+  packet_pool_.publish_telemetry();
 }
 
 SampleStat& Simulation::sample_stat(const std::string& name) {

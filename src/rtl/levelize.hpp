@@ -1,0 +1,86 @@
+// Netlist topology analysis shared by the kernel's two-phase scheduler and
+// the lint analyzers (DESIGN.md §7.7).
+//
+// CCSS-style co-simulation (PAPERS.md) splits hardware evaluation into fast
+// single-pass combinational-logic computing plus sequential-logic
+// synchronization at clock boundaries.  This pass derives that split from
+// the elaborated process/signal graph the kernel already exposes:
+//
+//   * every process is classified (sequential = all sensitivity entries
+//     edge-restricted, combinational = at least one level-sensitive entry),
+//   * the combinational dependency subgraph (P -> Q when P drives a signal
+//     Q is level-sensitive to) is topologically levelized with Kahn ranks,
+//   * processes on combinational cycles — genuine delta feedback, latches
+//     modelled as level-sensitive self-loops — are grouped into fallback
+//     regions (strongly connected components) that the kernel evaluates
+//     with the classic delta loop instead of ranked single-pass execution.
+//
+// Driver edges are harvested from execution (a driver slot appears the
+// first time a process writes a signal), so a schedule is only as complete
+// as the runs behind it; the kernel re-levelizes lazily whenever a new
+// driver slot, process or edge restriction appears, and guards ranked
+// execution with dynamic checks that degrade a time point to the delta
+// loop whenever the schedule proves stale.  Either way the committed
+// signal trajectory is bit-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rtl/simulator.hpp"
+
+namespace castanet::rtl {
+
+/// Scheduling class of one process slot (parallel to Simulator process ids).
+enum class ProcKind : std::uint8_t {
+  kExternal = 0,       ///< reserved slot 0 (test-bench writes)
+  kSequential = 1,     ///< woken only by edges (clocked processes)
+  kCombinational = 2,  ///< level-sensitive, acyclic: ranked evaluation
+  kFallback = 3,       ///< level-sensitive on a cycle: delta-loop region
+};
+
+/// One cyclic region of the combinational graph (an SCC with a back edge):
+/// its member processes are evaluated with the generic delta loop.
+struct FallbackRegion {
+  std::vector<ProcessId> members;
+};
+
+/// The two-phase evaluation schedule for one elaborated simulator.
+struct LevelSchedule {
+  std::vector<ProcKind> kind;       ///< per process slot (index 0 included)
+  std::vector<std::uint32_t> rank;  ///< Kahn rank; meaningful for kCombinational
+  std::uint32_t max_rank = 0;
+  std::vector<FallbackRegion> fallback_regions;
+  std::size_t sequential_count = 0;
+  std::size_t combinational_count = 0;
+  std::size_t fallback_count = 0;
+};
+
+/// Builds the levelized schedule from the simulator's current structure
+/// (sensitivity lists, edge restrictions, harvested driver slots).
+LevelSchedule levelize(const Simulator& sim);
+
+/// Result of the §3.2/§7 dataflow topology classification (moved here from
+/// src/lint so the kernel and the netlist rules share one implementation).
+struct TopologyInfo {
+  bool feed_forward = true;
+  /// When not feed-forward: one process cycle, as "process 'p' -> signal
+  /// 's' -> process 'q' ..." path elements.
+  std::vector<std::string> cycle;
+};
+
+/// Classifies the design's dataflow topology: feed-forward (every dataflow
+/// path moves from sources towards sinks — the precondition DESIGN.md §7
+/// puts on the pipelined-mode bit-identity guarantee) or feedback.
+/// Dataflow edges combine sensitivity lists with read-tracked reads, so the
+/// classification is only meaningful after lint::settle().
+TopologyInfo classify_topology(const Simulator& sim);
+
+/// Finds one zero-delay combinational loop (P drives a signal Q is
+/// *sensitive* to, around to P) and returns it as alternating
+/// process/signal path elements, or empty when the comb graph is acyclic.
+/// Used by the NET-COMB-LOOP lint rule.
+std::vector<std::string> find_combinational_cycle(const Simulator& sim);
+
+}  // namespace castanet::rtl

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/rtl/simulator.hpp"
 
@@ -118,6 +119,18 @@ class Module {
     return sim_->add_process(name_ + "." + local, std::move(sensitivity),
                              std::move(fn));
   }
+  /// Declares the signals whose value change re-arms a self-gated process
+  /// (Simulator::set_wake_signals); call once at construction, after the
+  /// process is registered.
+  void wake_on(ProcessId pid, std::vector<SignalId> sigs) {
+    sim_->set_wake_signals(pid, sigs);
+  }
+  /// Suppresses future wakeups of the running process until a declared wake
+  /// signal changes (Simulator::gate_current_process).  Call only where the
+  /// remaining behavior is a pure function of the wake set — see the
+  /// soundness contract on the kernel API.
+  void gate() { sim_->gate_current_process(); }
+
   /// Registers a process that runs `fn` on every rising edge of `clk`.
   /// The sensitivity entry is edge-restricted so the kernel never wakes the
   /// process on the falling edge; the rose() guard stays for the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/error.hpp"
+#include "src/rtl/levelize.hpp"
 
 namespace castanet::rtl {
 
@@ -31,6 +32,7 @@ SignalId Simulator::create_signal(std::string name, std::size_t width,
   st.effective = LogicVector(width, init);
   st.previous = st.effective;
   signals_.push_back(std::move(st));
+  schedule_dirty_ = true;
   return static_cast<SignalId>(signals_.size() - 1);
 }
 
@@ -43,6 +45,8 @@ ProcessId Simulator::add_process(std::string name,
   processes_.push_back({std::move(name), std::move(fn)});
   const auto pid = static_cast<ProcessId>(processes_.size() - 1);
   runnable_stamp_.resize(processes_.size(), 0);
+  gated_.resize(processes_.size(), 0);
+  schedule_dirty_ = true;
   for (SignalId s : sensitivity) {
     require(s < signals_.size(), "add_process: unknown signal in sensitivity");
     signals_[s].sensitive.push_back(pid);
@@ -59,10 +63,39 @@ void Simulator::restrict_sensitivity_to_rising(ProcessId p, SignalId s) {
   for (std::size_t i = 0; i < st.sensitive.size(); ++i) {
     if (st.sensitive[i] == p) {
       st.sensitive_rising[i] = 1;
+      schedule_dirty_ = true;
       return;
     }
   }
   require(false, "restrict_sensitivity_to_rising: process not sensitive");
+}
+
+void Simulator::set_wake_signals(ProcessId p,
+                                 const std::vector<SignalId>& sigs) {
+  require(p != kExternalProcess && p < processes_.size(),
+          "set_wake_signals: unknown process");
+  for (SignalId s : sigs) {
+    require(s < signals_.size(), "set_wake_signals: unknown signal");
+    std::vector<ProcessId>& watch = signals_[s].wake_watch;
+    if (std::find(watch.begin(), watch.end(), p) == watch.end()) {
+      watch.push_back(p);
+    }
+  }
+}
+
+void Simulator::gate_current_process() {
+  if (current_process_ == kExternalProcess) return;
+  gated_[current_process_] = 1;
+}
+
+void Simulator::wake_process(ProcessId p) {
+  require(p < processes_.size(), "wake_process: unknown process");
+  gated_[p] = 0;
+}
+
+bool Simulator::process_gated(ProcessId p) const {
+  require(p < processes_.size(), "process_gated: unknown process");
+  return gated_[p] != 0;
 }
 
 const std::string& Simulator::signal_name(SignalId s) const {
@@ -100,6 +133,12 @@ const std::vector<ProcessId>& Simulator::sensitive_processes(
     SignalId s) const {
   require(s < signals_.size(), "sensitive_processes: unknown signal");
   return signals_[s].sensitive;
+}
+
+const std::vector<std::uint8_t>& Simulator::sensitive_rising(
+    SignalId s) const {
+  require(s < signals_.size(), "sensitive_rising: unknown signal");
+  return signals_[s].sensitive_rising;
 }
 
 std::vector<ProcessId> Simulator::drivers_of(SignalId s) const {
@@ -201,6 +240,9 @@ void Simulator::stage(Transaction& t) {
                          [&](const DriverSlot& d) { return d.pid == t.pid; });
   if (it == st.drivers.end()) {
     st.drivers.push_back({t.pid, std::move(t.value)});
+    // A first-time driver slot is a new dependency edge the level schedule
+    // has not seen; re-levelize before the next time point.
+    schedule_dirty_ = true;
   } else if (it->value != t.value) {
     it->value = std::move(t.value);
   } else {
@@ -253,7 +295,21 @@ void Simulator::commit(SignalId sig) {
     }
     enqueue_runnable(st.sensitive[i]);
   }
+  for (ProcessId w : st.wake_watch) gated_[w] = 0;
   for (const auto& obs : observers_) obs(sig, st.effective, now_);
+}
+
+void Simulator::execute_runnable() {
+  for (ProcessId p : runnable_) {
+    if (gated_[p]) {
+      ++stats_.gated_skips;
+      continue;
+    }
+    current_process_ = p;
+    ++stats_.process_activations;
+    processes_[p].fn();
+  }
+  current_process_ = kExternalProcess;
 }
 
 void Simulator::run_delta_loop(std::vector<Transaction>& batch,
@@ -273,15 +329,133 @@ void Simulator::run_delta_loop(std::vector<Transaction>& batch,
       for (ProcessId p : preactivated) enqueue_runnable(p);
       first = false;
     }
-    for (ProcessId p : runnable_) {
-      current_process_ = p;
-      ++stats_.process_activations;
-      processes_[p].fn();
-    }
-    current_process_ = kExternalProcess;
+    execute_runnable();
   }
   // Close the simulation cycle: 'event (and rose/fell) are only true while
   // the triggering delta executes, exactly as in VHDL.
+  ++delta_serial_;
+}
+
+void Simulator::rebuild_schedule() {
+  schedule_dirty_ = false;
+  const LevelSchedule ls = levelize(*this);
+  proc_kind_.assign(ls.kind.size(), 0);
+  for (std::size_t i = 0; i < ls.kind.size(); ++i) {
+    proc_kind_[i] = static_cast<std::uint8_t>(ls.kind[i]);
+  }
+  proc_rank_ = ls.rank;
+  max_rank_ = ls.max_rank;
+  rank_buckets_.assign(static_cast<std::size_t>(max_rank_) + 1, {});
+  pending_member_.assign(processes_.size(), 0);
+  if (telemetry::enabled()) {
+    auto& hub = telemetry::Hub::instance();
+    hub.counter("rtl.levelize.rebuilds").add(1);
+    hub.gauge("rtl.levelize.max_rank").set(static_cast<double>(max_rank_));
+    hub.gauge("rtl.levelize.comb_procs")
+        .set(static_cast<double>(ls.combinational_count));
+    hub.gauge("rtl.levelize.fallback_procs")
+        .set(static_cast<double>(ls.fallback_count));
+  }
+}
+
+void Simulator::run_time_point(std::vector<Transaction>& batch) {
+  if (!levelize_enabled_) {
+    run_delta_loop(batch, {});
+    return;
+  }
+  if (schedule_dirty_) rebuild_schedule();
+
+  // Wave 1 — the triggering delta.  Runs exactly like the first delta of
+  // the generic loop: every woken process executes with full event()/rose()
+  // visibility of the trigger (clock edges, external stimulus), whatever
+  // its scheduling class.  This is the "sequential-logic synchronization"
+  // half of the CCSS split.
+  if (batch.empty()) batch.swap(next_delta_);
+  if (batch.empty()) return;  // callbacks scheduled nothing
+  ++delta_serial_;
+  ++stats_.delta_cycles;
+  runnable_.clear();
+  for (Transaction& t : batch) stage(t);
+  batch.clear();
+  for (SignalId s : dirty_signals_) commit(s);
+  dirty_signals_.clear();
+  execute_runnable();
+
+  // Settling waves — the "combinational-logic computing" half: drain the
+  // produced transactions, then run woken acyclic combinational processes
+  // in topological-rank order, each at most once, lowest rank first.  Any
+  // surprise (a sequential or fallback-region process woken by settling, or
+  // a wake at an already-passed rank — a dynamic back edge the schedule
+  // missed) degrades the remainder of the time point to the delta loop,
+  // which is bit-identical by construction.
+  bool degrade = false;
+  std::uint32_t next_rank = 0;
+  std::size_t pending = 0;
+  while (true) {
+    if (!next_delta_.empty()) {
+      ++delta_serial_;
+      ++stats_.delta_cycles;
+      runnable_.clear();
+      batch.swap(next_delta_);
+      for (Transaction& t : batch) stage(t);
+      batch.clear();
+      for (SignalId s : dirty_signals_) commit(s);
+      dirty_signals_.clear();
+      for (ProcessId p : runnable_) {
+        if (proc_kind_[p] ==
+            static_cast<std::uint8_t>(ProcKind::kCombinational)) {
+          if (proc_rank_[p] < next_rank) degrade = true;
+          if (!pending_member_[p]) {
+            pending_member_[p] = 1;
+            rank_buckets_[proc_rank_[p]].push_back(p);
+            ++pending;
+          }
+        } else {
+          degrade = true;
+        }
+      }
+      if (degrade) break;
+      runnable_.clear();
+      continue;  // drain every transaction before running the next rank
+    }
+    if (pending == 0) break;
+    while (rank_buckets_[next_rank].empty()) ++next_rank;
+    std::vector<ProcessId>& bucket = rank_buckets_[next_rank];
+    runnable_.clear();
+    for (ProcessId p : bucket) {
+      pending_member_[p] = 0;
+      runnable_.push_back(p);
+    }
+    pending -= bucket.size();
+    bucket.clear();
+    ++next_rank;
+    execute_runnable();
+  }
+
+  if (degrade) {
+    ++stats_.fallback_points;
+    // The schedule told us nothing useful about this wave; recompute it
+    // before the next time point (a dynamic back edge means a stale rank).
+    schedule_dirty_ = true;
+    // Merge the still-pending ranked processes into the current delta's
+    // runnable set (the generation stamp dedups against the processes the
+    // triggering commit already enqueued) and finish the time point with
+    // the generic loop.
+    for (std::uint32_t r = 0; r <= max_rank_; ++r) {
+      for (ProcessId p : rank_buckets_[r]) {
+        if (pending_member_[p]) {
+          pending_member_[p] = 0;
+          enqueue_runnable(p);
+        }
+      }
+      rank_buckets_[r].clear();
+    }
+    execute_runnable();
+    run_delta_loop(batch, {});
+    return;
+  }
+  ++stats_.levelized_points;
+  // Close the event window exactly as the generic loop does.
   ++delta_serial_;
 }
 
@@ -327,7 +501,7 @@ bool Simulator::step_time() {
   // Callbacks first: stimulus generators may schedule zero-delay writes that
   // then land in the first delta of this time point.
   for (auto& fn : cb_scratch_) fn();
-  run_delta_loop(batch_scratch_, {});
+  run_time_point(batch_scratch_);
   return true;
 }
 

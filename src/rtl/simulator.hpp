@@ -45,6 +45,9 @@ struct KernelStats {
   std::uint64_t process_activations = 0; ///< process executions
   std::uint64_t delta_cycles = 0;        ///< apply+execute rounds
   std::uint64_t time_points = 0;         ///< distinct times with activity
+  std::uint64_t gated_skips = 0;         ///< wakeups suppressed by a gate
+  std::uint64_t levelized_points = 0;    ///< time points settled rank-ordered
+  std::uint64_t fallback_points = 0;     ///< time points degraded to deltas
 };
 
 /// Direction of a declared port binding (module-level contract on a signal,
@@ -81,6 +84,48 @@ class Simulator {
   /// whose bodies are rising-edge no-ops; event()/rose()/fell() queries on
   /// `s` are unaffected.
   void restrict_sensitivity_to_rising(ProcessId p, SignalId s);
+
+  // --- activity gating (input-cone clock gating) ------------------------
+  // A clocked process whose body is provably a no-op until one of a known
+  // set of input signals changes can *gate* itself: the kernel keeps waking
+  // it on clock edges but skips the call (counted in stats().gated_skips)
+  // until a declared wake signal changes value, wake_process() is called,
+  // or the process is re-armed some other way.  Soundness contract for the
+  // caller: gate only at a point where every future run, with the wake
+  // signals and internal C++ state unchanged, would re-issue exactly the
+  // writes already committed (identical re-writes are elided by stage(), so
+  // the skipped runs are observationally void).  Declare *every* signal the
+  // remaining behavior depends on — a missing wake signal silently freezes
+  // the process.
+  /// Declares the signals whose value change re-arms `p` after it gates
+  /// itself.  Cumulative; duplicates are ignored.
+  void set_wake_signals(ProcessId p, const std::vector<SignalId>& sigs);
+  /// Called from inside a process body: suppress future wakeups of the
+  /// running process until a wake signal changes.  No-op outside a process.
+  void gate_current_process();
+  /// Explicitly re-arms `p` (e.g. test-bench state pushed into a driver
+  /// module between clock edges, invisible to any signal).
+  void wake_process(ProcessId p);
+  /// True while `p` is gated (introspection for tests/telemetry).
+  bool process_gated(ProcessId p) const;
+
+  // --- two-phase evaluation ---------------------------------------------
+  /// Levelized two-phase evaluation (DESIGN.md §7.7) is on by default: the
+  /// triggering delta of each time point runs generically, then acyclic
+  /// combinational wakeups settle in topological-rank order — each process
+  /// at most once per wave — while cyclic/latch regions and any dynamic
+  /// surprise (sequential wakeup mid-settling, stale rank) degrade the
+  /// remainder of the time point to the classic delta loop.  Off: every
+  /// time point uses the delta loop.  For processes honouring the
+  /// combinational purity contract (compute from value() reads only) the
+  /// settled value of every signal at every time point is bit-identical
+  /// either way; ranked settling may elide intermediate stale-input glitch
+  /// commits *within* a time point (a deferred process runs once with
+  /// fresh inputs instead of re-running), so delta-granular change counts
+  /// can only shrink, never diverge at settled points.
+  void set_levelized(bool on) { levelize_enabled_ = on; }
+  bool levelized() const { return levelize_enabled_; }
+
   std::size_t signal_count() const { return signals_.size(); }
   const std::string& signal_name(SignalId s) const;
   std::size_t width(SignalId s) const;
@@ -92,6 +137,10 @@ class Simulator {
   const std::string& process_name(ProcessId p) const;
   /// Processes on `s`'s sensitivity list (static, set at add_process).
   const std::vector<ProcessId>& sensitive_processes(SignalId s) const;
+  /// Parallel to sensitive_processes(s): non-zero entries are restricted to
+  /// rising edges (see restrict_sensitivity_to_rising).  Consumed by the
+  /// levelization pass to separate sequential from combinational wakeups.
+  const std::vector<std::uint8_t>& sensitive_rising(SignalId s) const;
   /// Distinct processes that have driven `s` so far (driver slots persist
   /// for the simulator's lifetime; kExternalProcess marks test-bench
   /// writes).  Empty until the driving processes have executed — run
@@ -198,6 +247,9 @@ class Simulator {
     /// Parallel to `sensitive`: non-zero entries wake only on rising edges
     /// of bit 0 (see restrict_sensitivity_to_rising).
     std::vector<std::uint8_t> sensitive_rising;
+    /// Gated processes re-armed by any value change of this signal (see
+    /// set_wake_signals).  Empty for almost every signal.
+    std::vector<ProcessId> wake_watch;
     std::vector<ProcessId> readers;  ///< read-tracking harvest (lint only)
     std::uint64_t changed_serial = 0;  ///< delta serial of last change
     std::uint64_t staged_serial = 0;   ///< delta serial of last driver update
@@ -236,8 +288,19 @@ class Simulator {
   /// resolved planes differ from the current value commits the change and
   /// wakes the (edge-filtered) sensitive processes.
   void commit(SignalId sig);
+  /// Runs every process in runnable_ (skipping gated ones) and resets
+  /// current_process_; shared by the delta loop and the ranked waves.
+  void execute_runnable();
   void run_delta_loop(std::vector<Transaction>& batch,
                       const std::vector<ProcessId>& preactivated);
+  /// Executes one complete time point: levelized two-phase evaluation when
+  /// enabled (with dynamic degradation to the delta loop), the classic
+  /// delta loop otherwise.
+  void run_time_point(std::vector<Transaction>& batch);
+  /// Recomputes the flattened LevelSchedule (see levelize.hpp) from the
+  /// current netlist structure; called lazily from run_time_point whenever
+  /// elaboration or a newly discovered driver edge marked it dirty.
+  void rebuild_schedule();
   /// Cold half of value(): records the lint-only read-set entry.
   void harvest_read(SignalId s) const;
 
@@ -263,6 +326,21 @@ class Simulator {
   // sensitivity signals changed.
   std::vector<ProcessId> runnable_;
   std::vector<std::uint64_t> runnable_stamp_;  // last delta_serial_ enqueued
+
+  // Activity gates (see gate_current_process): per-process suppression
+  // flags, cleared by wake-signal commits and wake_process().
+  std::vector<std::uint8_t> gated_;
+
+  // Flattened LevelSchedule (rtl/levelize.hpp), rebuilt lazily: per-process
+  // scheduling kind (ProcKind as uint8) and topological rank, plus the
+  // rank-bucket scratch used while settling a levelized time point.
+  bool levelize_enabled_ = true;
+  bool schedule_dirty_ = true;
+  std::uint32_t max_rank_ = 0;
+  std::vector<std::uint8_t> proc_kind_;
+  std::vector<std::uint32_t> proc_rank_;
+  std::vector<std::vector<ProcessId>> rank_buckets_;
+  std::vector<std::uint8_t> pending_member_;
 
   // Scratch buffers recycled across time points.
   std::vector<Transaction> batch_scratch_;
