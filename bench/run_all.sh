@@ -67,6 +67,32 @@ for b in $BENCHES; do
   $NICE "$bin" --json "$tmp/$b.json"
 done
 
+# Farm speedup: 8 board-in-the-loop sessions whose real-time hardware waits
+# the session farm overlaps — serial baseline vs 4 worker processes.  The
+# per-session digests are byte-identical between the two runs (the farm_smoke
+# ctest asserts this); here only the wall-clock ratio is measured.
+FARM_JSON=""
+FARM_BIN="$BUILD/tools/castanet_farm"
+if [ -x "$FARM_BIN" ]; then
+  echo "== castanet_farm board_speedup (serial, then -j4)"
+  $NICE "$FARM_BIN" --experiment experiments/board_speedup.json --serial \
+    --out "$tmp/farm_serial.json" 2>/dev/null
+  $NICE "$FARM_BIN" --experiment experiments/board_speedup.json -j4 \
+    --out "$tmp/farm_j4.json" 2>/dev/null
+  farm_serial_s=$(grep -m1 '"wall_seconds"' "$tmp/farm_serial.json" \
+    | sed 's/[^0-9.]//g')
+  farm_j4_s=$(grep -m1 '"wall_seconds"' "$tmp/farm_j4.json" \
+    | sed 's/[^0-9.]//g')
+  farm_speedup=$(awk "BEGIN {printf \"%.3f\", $farm_serial_s / $farm_j4_s}")
+  farm_sessions=$(grep -c '"id"' "$tmp/farm_serial.json")
+  printf '{\n"bench": "farm_speedup",\n"rows": [\n{"config": "serial", "metrics": {"sessions": %s, "wall_seconds": %s}},\n{"config": "farm -j4", "metrics": {"sessions": %s, "wall_seconds": %s, "speedup_vs_serial": %s}}\n]\n}\n' \
+    "$farm_sessions" "$farm_serial_s" "$farm_sessions" "$farm_j4_s" \
+    "$farm_speedup" > "$tmp/farm.json"
+  FARM_JSON="$tmp/farm.json"
+else
+  echo "run_all: missing $FARM_BIN (farm bench skipped)" >&2
+fi
+
 # Separate telemetry pass: --metrics enables the hub, which perturbs the
 # timing fast path, so the snapshots must not come from the runs that
 # produced the numbers above.  One repetition suffices for counters.  Not
@@ -93,6 +119,10 @@ done
     first=0
     cat "$tmp/$b.json"
   done
+  if [ -n "$FARM_JSON" ]; then
+    printf ',\n'
+    cat "$FARM_JSON"
+  fi
   printf ']\n}\n'
 } > "$OUT"
 

@@ -74,6 +74,7 @@ AccountingRig::AccountingRig(Params params)
   cosim::BoardBackend::Params bp;
   bp.sync = sync_params(p);
   bp.stream = {4096, p.board_clock_hz};
+  bp.real_time_per_test_cycle = p.board_real_time_per_test_cycle;
   brd = std::make_unique<cosim::BoardBackend>("board", board, *dut.adapter,
                                               bp);
   brd->register_cell_input(0, 53);

@@ -12,6 +12,7 @@
 // delta-cycle execution order are unchanged.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 
@@ -37,6 +38,9 @@ class AccountingRig {
     std::uint64_t rated_hz = 10'000'000;
     /// Adapter corruption period once overclocked (every Nth cell).
     std::uint64_t fault_period = 7;
+    /// Wall-clock wait per board test cycle (the physical board replays
+    /// stimulus in real time; see BoardBackend::Params).  Zero = no wait.
+    std::chrono::microseconds board_real_time_per_test_cycle{0};
     SimTime clk_period = clock_period_hz(20'000'000);
     cosim::SyncPolicy policy = cosim::SyncPolicy::kGlobalOrder;
     /// Session parameters; clock_period is forced to clk_period.

@@ -10,6 +10,8 @@
 #   scripts/check.sh --lint    # + castanet_lint on both example designs
 #   scripts/check.sh --tidy    # + clang-tidy over src/ (needs clang-tidy)
 #   scripts/check.sh --bench-smoke  # + bench_e1 small-workload regression gate
+#   scripts/check.sh --farm    # + session-farm smoke (2 workers x 4 sessions,
+#                              #   farmed results checked against serial)
 #
 # Flags combine; --asan and --ubsan together use one address,undefined tree.
 #
@@ -34,6 +36,7 @@ run_ubsan=0
 run_lint=0
 run_tidy=0
 run_bench_smoke=0
+run_farm=0
 for arg in "$@"; do
   case "$arg" in
     --tsan)  run_tsan=1 ;;
@@ -42,6 +45,7 @@ for arg in "$@"; do
     --lint)  run_lint=1 ;;
     --tidy)  run_tidy=1 ;;
     --bench-smoke) run_bench_smoke=1 ;;
+    --farm)  run_farm=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -68,6 +72,14 @@ if [ "$run_lint" -eq 1 ]; then
   # Exit status 0 requires zero error-severity diagnostics on every design.
   echo "== castanet_lint --design all ($BUILD)"
   "$BUILD/tools/castanet_lint" --design all
+fi
+
+if [ "$run_farm" -eq 1 ]; then
+  # --check reruns the experiment serially and fails unless every farmed
+  # session result is byte-identical (id, digest, responses, divergences).
+  echo "== castanet_farm smoke (farm_smoke.json, -j2, --check)"
+  "$BUILD/tools/castanet_farm" --experiment experiments/farm_smoke.json \
+    -j2 --check > "$BUILD/farm_smoke_report.json"
 fi
 
 if [ "$run_bench_smoke" -eq 1 ]; then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <thread>
 
 #include "src/core/error.hpp"
 
@@ -170,6 +171,12 @@ void BoardBackend::run_pending() {
   for (const traffic::CellArrival& a : pending_)
     rebased.push_back({a.time - origin, a.cell});
   const BoardCellStream::Result r = stream_.run(dut_, rebased);
+  if (p_.real_time_per_test_cycle.count() > 0 && r.test_cycles > 0) {
+    // The physical board replays the batch in real time; the driving
+    // process waits for it (the paper's SCSI request blocks).  This wait is
+    // wall-clock only — simulated time stays defined by the sync protocol.
+    std::this_thread::sleep_for(r.test_cycles * p_.real_time_per_test_cycle);
+  }
   totals_.totals.cycles += r.totals.cycles;
   totals_.totals.sw_time += r.totals.sw_time;
   totals_.totals.hw_time += r.totals.hw_time;

@@ -22,6 +22,7 @@
 // backend may be shared with another backend.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -56,7 +57,9 @@ class DutBackend {
   }
 
   /// Feeds one message (or pure time update) from the network side.
-  void push(const TimedMessage& m) { sync().push(m); }
+  /// Virtual so proxy backends (RemoteBackend) can forward the identical
+  /// stream across a process boundary while mirroring it locally.
+  virtual void push(const TimedMessage& m) { sync().push(m); }
 
   /// Current safe window (exclusive) for this backend.
   SimTime window() const { return sync().window(); }
@@ -210,6 +213,14 @@ class BoardBackend : public DutBackend {
     /// Deliverable cells buffered before a hardware test-cycle batch runs;
     /// remaining cells flush in finish().
     std::size_t cells_per_batch = 64;
+    /// WALL-CLOCK time one hardware test cycle occupies the (shared,
+    /// SCSI-attached) test board — the §3.3 board runs in real time, so a
+    /// batch of k test cycles blocks the calling process for k times this.
+    /// Zero (default) models an infinitely fast board and keeps every
+    /// existing rig untouched.  Simulated time is NOT affected; this is the
+    /// hardware-in-the-loop latency the session farm overlaps across worker
+    /// processes.
+    std::chrono::microseconds real_time_per_test_cycle{0};
   };
 
   /// `board` must be configured; `dut` is the device on it.  Both outlive

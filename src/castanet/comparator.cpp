@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/castanet/message.hpp"
+#include "src/castanet/wire.hpp"
 #include "src/core/error.hpp"
 
 namespace castanet::cosim {
@@ -147,6 +148,7 @@ void SessionComparator::note_response(std::size_t backend,
   slot.time = m.timestamp;
   slot.cell = m.cell;
   slot.words = m.words;
+  slot.hash = wire::content_hash(m);
   if (backend == primary_) {
     s.primary.push_back(std::move(slot));
     ++s.primary_seen;
@@ -169,11 +171,14 @@ void SessionComparator::match_ready(std::uint32_t stream_id, Stream& s,
     const Slot& want = s.primary[lane.taken - s.matched_floor];
     const Slot& got = lane.pending.front();
     ++compared_;
-    const std::string diff =
-        diff_payload(want.cell, want.words, got.cell, got.words);
-    if (diff.empty()) {
+    // Digest comparison first: equal digests match without touching the
+    // payloads (they were hashed once at enqueue).  Only a digest mismatch
+    // pays for the field-by-field diff that names the divergent octet.
+    if (want.hash == got.hash) {
       ++matched_;
     } else {
+      const std::string diff =
+          diff_payload(want.cell, want.words, got.cell, got.words);
       // First divergence on this (backend, stream) pair; freeze the lane so
       // one root cause does not cascade into a mismatch per response.
       divergences_.push_back({backend, stream_id, lane.taken, want.time,

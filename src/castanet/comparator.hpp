@@ -119,6 +119,11 @@ class SessionComparator {
     SimTime time;
     std::optional<atm::Cell> cell;
     std::vector<std::uint64_t> words;
+    /// FNV-1a digest of the content (wire::content_hash), computed ONCE at
+    /// enqueue.  Matching compares digests — O(1) per compare instead of a
+    /// payload walk per compare — and falls back to the full field diff
+    /// only when digests disagree, to produce the detailed report.
+    std::uint64_t hash = 0;
   };
   struct PerBackendStream {
     std::deque<Slot> pending;   ///< responses not yet matched

@@ -4,7 +4,7 @@
 
 namespace castanet::cosim {
 
-GatewayProcess::GatewayProcess(MessageChannel& to_hdl, unsigned streams,
+GatewayProcess::GatewayProcess(MessageTransport& to_hdl, unsigned streams,
                                MessageType base_type)
     : to_hdl_(to_hdl), streams_(streams), base_type_(base_type) {
   require(streams > 0, "GatewayProcess: need at least one stream");

@@ -17,7 +17,9 @@ namespace castanet::cosim {
 
 class GatewayProcess : public netsim::ProcessModel {
  public:
-  GatewayProcess(MessageChannel& to_hdl, unsigned streams,
+  /// `to_hdl` is any MessageTransport — the in-process channel by default,
+  /// or a socket transport when the HDL side lives in another process.
+  GatewayProcess(MessageTransport& to_hdl, unsigned streams,
                  MessageType base_type = 0);
 
   void handle_interrupt(const netsim::Interrupt& intr) override;
@@ -31,7 +33,7 @@ class GatewayProcess : public netsim::ProcessModel {
   std::uint64_t responses_emitted() const { return responses_; }
 
  private:
-  MessageChannel& to_hdl_;
+  MessageTransport& to_hdl_;
   unsigned streams_;
   MessageType base_type_;
   std::uint64_t forwarded_ = 0;

@@ -43,8 +43,41 @@ TimedMessage make_word_message(MessageType type, SimTime ts,
                                std::vector<std::uint64_t> words);
 TimedMessage make_time_update(SimTime ts);
 
-/// Unidirectional FIFO channel with transfer accounting.
-class MessageChannel {
+/// Abstract unidirectional FIFO transport of timed messages between the
+/// network simulator and the HDL side — the seam the paper's UNIX-IPC
+/// coupling occupies.  Two implementations exist: MessageChannel (below),
+/// an in-process queue and the default, and SocketMessageTransport
+/// (castanet/transport.hpp), which serializes every message over an AF_UNIX
+/// stream socket.  Both account identical MODELED per-message overhead, so
+/// swapping the physical transport never changes simulated time.
+///
+/// Semantics all implementations honor: send() never blocks the simulation
+/// indefinitely, receive() is non-blocking (nullopt when nothing is
+/// pending), and delivery is reliable and ordered.
+class MessageTransport {
+ public:
+  virtual ~MessageTransport() = default;
+  MessageTransport(const MessageTransport&) = delete;
+  MessageTransport& operator=(const MessageTransport&) = delete;
+
+  virtual void send(TimedMessage m) = 0;
+  virtual std::optional<TimedMessage> receive() = 0;
+  virtual bool empty() const = 0;
+  virtual std::size_t pending() const = 0;
+
+  virtual std::uint64_t messages_sent() const = 0;
+  /// Accumulated modeled transport cost (the paper's IPC syscall pair).
+  virtual SimTime transport_overhead() const = 0;
+  /// Stable identifier ("in-process", "socket") for telemetry and lint.
+  virtual const char* kind_name() const = 0;
+
+ protected:
+  MessageTransport() = default;
+};
+
+/// Unidirectional FIFO channel with transfer accounting — the in-process
+/// MessageTransport implementation (and the zero-regression default).
+class MessageChannel final : public MessageTransport {
  public:
   struct Params {
     /// Modeled cost per message (UNIX IPC syscall pair in the paper's
@@ -55,13 +88,14 @@ class MessageChannel {
   MessageChannel() = default;
   explicit MessageChannel(Params p) : p_(p) {}
 
-  void send(TimedMessage m);
-  std::optional<TimedMessage> receive();
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  void send(TimedMessage m) override;
+  std::optional<TimedMessage> receive() override;
+  bool empty() const override { return queue_.empty(); }
+  std::size_t pending() const override { return queue_.size(); }
 
-  std::uint64_t messages_sent() const { return sent_; }
-  SimTime transport_overhead() const { return overhead_; }
+  std::uint64_t messages_sent() const override { return sent_; }
+  SimTime transport_overhead() const override { return overhead_; }
+  const char* kind_name() const override { return "in-process"; }
 
  private:
   Params p_;

@@ -26,10 +26,19 @@ VerificationSession::VerificationSession(netsim::Simulation& net,
                                          netsim::Node& node, unsigned streams,
                                          Params params)
     : net_(net),
-      from_gateway_(MessageChannel::Params{params.ipc_overhead_per_message}),
+      from_gateway_(
+          make_transport(params.transport, params.ipc_overhead_per_message)),
       params_(params) {
-  gateway_ = &node.add_process<GatewayProcess>("castanet_if", from_gateway_,
+  gateway_ = &node.add_process<GatewayProcess>("castanet_if", *from_gateway_,
                                                streams);
+}
+
+MessageChannel& VerificationSession::gateway_channel() {
+  auto* ch = dynamic_cast<MessageChannel*>(from_gateway_.get());
+  require(ch != nullptr,
+          "VerificationSession: gateway_channel() needs the in-process "
+          "transport; use gateway_transport() instead");
+  return *ch;
 }
 
 VerificationSession::~VerificationSession() {
@@ -91,6 +100,7 @@ void VerificationSession::assign_tracks() {
   if (!telemetry::enabled()) {
     fanout_timing_ = nullptr;
     stride_gauge_ = nullptr;
+    compare_timing_ = nullptr;
     return;
   }
   auto& hub = telemetry::Hub::instance();
@@ -99,6 +109,7 @@ void VerificationSession::assign_tracks() {
   net_.scheduler().set_telemetry_track(hub.track("net"));
   fanout_timing_ = &hub.timing("session.fanout_batch");
   stride_gauge_ = &hub.gauge("session.effective_stride");
+  compare_timing_ = &hub.timing("session.compare_ns");
 }
 
 void VerificationSession::publish_metrics() const {
@@ -160,7 +171,16 @@ void VerificationSession::schedule_response(TimedMessage m) {
 void VerificationSession::handle_response(std::size_t backend, TimedMessage m,
                                           bool in_run) {
   ++responses_drained_[backend];
-  comparator_.note_response(backend, m);
+  if (compare_timing_ != nullptr && telemetry::enabled()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    comparator_.note_response(backend, m);
+    compare_timing_->record(
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  } else {
+    comparator_.note_response(backend, m);
+  }
   // New comparator divergences become instant events on the offending
   // backend's timeline row.  The count is tracked unconditionally so
   // enabling the hub mid-sequence does not replay old divergences.
@@ -218,7 +238,7 @@ void VerificationSession::run_until_serial(SimTime limit) {
     ++net_events_;
 
     msg_scratch_.clear();
-    while (auto m = from_gateway_.receive())
+    while (auto m = from_gateway_->receive())
       msg_scratch_.push_back(std::move(*m));
     if (!msg_scratch_.empty()) {
       ++fanout_batches_;
@@ -242,7 +262,7 @@ void VerificationSession::run_until_serial(SimTime limit) {
     net_.scheduler().advance_to(
         std::min(limit, net_.scheduler().next_event_time()));
     msg_scratch_.clear();
-    while (auto m = from_gateway_.receive())
+    while (auto m = from_gateway_->receive())
       msg_scratch_.push_back(std::move(*m));
     const TimedMessage horizon = make_time_update(limit);
     for (std::size_t i = 0; i < backends_.size(); ++i) {
@@ -549,7 +569,7 @@ void VerificationSession::run_until_pipelined(SimTime limit) {
       // no backend can pass the last ANNOUNCED clock, which only moves at
       // flush time.
       WorkerCmd cmd;
-      while (auto m = from_gateway_.receive())
+      while (auto m = from_gateway_->receive())
         cmd.msgs.push_back(std::move(*m));
       const SimTime now = net_.now();
       cmd.net_now = now;
@@ -589,7 +609,7 @@ void VerificationSession::run_until_pipelined(SimTime limit) {
       net_.scheduler().advance_to(
           std::min(limit, net_.scheduler().next_event_time()));
       WorkerCmd cmd;
-      while (auto m = from_gateway_.receive())
+      while (auto m = from_gateway_->receive())
         cmd.msgs.push_back(std::move(*m));
       cmd.net_now = limit;
       cmd.limit = limit;
@@ -620,7 +640,7 @@ VerificationSession::Stats VerificationSession::stats() const {
   // order every worker-side write before these reads.
   Stats s;
   s.net_events = net_events_;
-  s.messages_to_hdl = from_gateway_.messages_sent();
+  s.messages_to_hdl = from_gateway_->messages_sent();
   s.window_grant_stalls = window_grant_stalls_;
   s.max_channel_occupancy = max_channel_occupancy_;
   s.effective_stride = effective_stride_;

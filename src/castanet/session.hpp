@@ -46,6 +46,7 @@
 #include "src/castanet/backend.hpp"
 #include "src/castanet/comparator.hpp"
 #include "src/castanet/gateway.hpp"
+#include "src/castanet/transport.hpp"
 #include "src/netsim/simulation.hpp"
 
 namespace castanet::cosim {
@@ -81,6 +82,11 @@ class VerificationSession {
     /// in a two-party setup; backends keep their own periods in their own
     /// sync params).
     SimTime clock_period = SimTime::from_ns(50);
+    /// Which transport carries gateway -> session messages.  kInProcess is
+    /// the plain queue (default, zero overhead change); kSocket routes every
+    /// message through the wire serializer and an AF_UNIX socketpair while
+    /// accounting identical modeled latency, so results are byte-identical.
+    TransportKind transport = TransportKind::kInProcess;
   };
 
   /// The gateway is created inside `node` with `streams` bidirectional
@@ -113,8 +119,12 @@ class VerificationSession {
   /// the run before anything advanced.
   using ElaborationHook = std::function<void(VerificationSession&)>;
   static void set_elaboration_hook(ElaborationHook hook);
-  /// The gateway -> session channel (transport-overhead accounting).
-  MessageChannel& gateway_channel() { return from_gateway_; }
+  /// The gateway -> session transport (transport-overhead accounting).
+  MessageTransport& gateway_transport() { return *from_gateway_; }
+  /// The gateway -> session transport as the in-process channel.  Only
+  /// valid with Params::transport == kInProcess (throws otherwise); kept
+  /// for two-party-shim callers that predate the transport seam.
+  MessageChannel& gateway_channel();
 
   /// Handles a primary-backend response; default (if unset): cell responses
   /// re-emitted by the gateway on the stream matching the message type.
@@ -221,7 +231,7 @@ class VerificationSession {
   bool worker_catch_up(Worker& w, SimTime limit);
 
   netsim::Simulation& net_;
-  MessageChannel from_gateway_;
+  std::unique_ptr<MessageTransport> from_gateway_;
   GatewayProcess* gateway_ = nullptr;
   Params params_;
   std::vector<DutBackend*> backends_;
@@ -255,6 +265,9 @@ class VerificationSession {
   /// assign_tracks each run).
   telemetry::Timing* fanout_timing_ = nullptr;
   telemetry::Gauge* stride_gauge_ = nullptr;
+  /// Wall-clock nanoseconds spent in SessionComparator::note_response —
+  /// the distribution that proves the enqueue-time hashing amortization.
+  telemetry::Timing* compare_timing_ = nullptr;
   std::vector<TimedMessage> msg_scratch_;    // session thread only
   std::vector<TimedMessage> resp_scratch_;   // session thread only
 };

@@ -1,0 +1,101 @@
+#include "src/castanet/transport.hpp"
+
+#include "src/castanet/wire.hpp"
+#include "src/core/error.hpp"
+
+namespace castanet::cosim {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProcess: return "in-process";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "?";
+}
+
+TransportKind transport_kind_from_string(const std::string& s) {
+  if (s == "in-process" || s == "inprocess" || s == "in_process") {
+    return TransportKind::kInProcess;
+  }
+  if (s == "socket") return TransportKind::kSocket;
+  throw ConfigError("unknown transport kind '" + s +
+                    "' (expected \"in-process\" or \"socket\")");
+}
+
+SocketMessageTransport::SocketMessageTransport(Params p) : p_(p) {
+  auto [a, b] = transport::make_socket_pipe();
+  tx_ = std::move(a);
+  rx_ = std::move(b);
+}
+
+SocketMessageTransport::SocketMessageTransport(
+    Params p, std::unique_ptr<transport::FramePipe> tx,
+    std::unique_ptr<transport::FramePipe> rx)
+    : p_(p), tx_(std::move(tx)), rx_(std::move(rx)) {
+  require(tx_ != nullptr || rx_ != nullptr,
+          "SocketMessageTransport: need at least one pipe endpoint");
+}
+
+SocketMessageTransport::~SocketMessageTransport() {
+  if (tx_) tx_->close();
+  if (rx_) rx_->close();
+}
+
+void SocketMessageTransport::send(TimedMessage m) {
+  require(tx_ != nullptr, "SocketMessageTransport: send on a receive-only end");
+  const std::vector<std::uint8_t> frame = wire::encode_message(m);
+  if (!tx_->send_frame(frame)) {
+    throw ProtocolError("socket transport: peer closed while sending");
+  }
+  ++sent_;
+  overhead_ = overhead_ + p_.per_message_overhead;
+  // Keep the kernel buffer drained so a long send burst can never fill it
+  // and block the (single) simulation thread against itself.
+  pump();
+}
+
+void SocketMessageTransport::pump() const {
+  if (!rx_) return;
+  std::vector<std::uint8_t> frame;
+  while (rx_->recv_frame(frame, 0) == transport::RecvStatus::kFrame) {
+    inbox_.push_back(wire::decode_message(frame));
+  }
+}
+
+std::optional<TimedMessage> SocketMessageTransport::receive() {
+  require(rx_ != nullptr, "SocketMessageTransport: receive on a send-only end");
+  if (inbox_.empty()) pump();
+  if (inbox_.empty()) return std::nullopt;
+  TimedMessage m = std::move(inbox_.front());
+  inbox_.pop_front();
+  return m;
+}
+
+bool SocketMessageTransport::empty() const {
+  pump();
+  return inbox_.empty();
+}
+
+std::size_t SocketMessageTransport::pending() const {
+  pump();
+  return inbox_.size();
+}
+
+std::uint64_t SocketMessageTransport::bytes_sent() const {
+  return tx_ ? tx_->bytes_sent() : 0;
+}
+
+std::unique_ptr<MessageTransport> make_transport(TransportKind kind,
+                                                 SimTime per_message_overhead) {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return std::make_unique<MessageChannel>(
+          MessageChannel::Params{per_message_overhead});
+    case TransportKind::kSocket:
+      return std::make_unique<SocketMessageTransport>(
+          SocketMessageTransport::Params{per_message_overhead});
+  }
+  throw LogicError("make_transport: bad TransportKind");
+}
+
+}  // namespace castanet::cosim

@@ -66,9 +66,31 @@ void check_declared_types(const cosim::VerificationSession& session,
   }
 }
 
+void check_transport(cosim::VerificationSession& session, Report& report) {
+  const auto& p = session.params();
+  if (p.transport == cosim::TransportKind::kSocket &&
+      p.ipc_overhead_per_message <= SimTime::zero()) {
+    report.add("SYN-TRANSPORT", Severity::kWarning, kFamily, "session",
+               "socket transport with zero modeled ipc_overhead_per_message: "
+               "every gateway message crosses a real kernel boundary whose "
+               "cost the simulated clock never sees",
+               "model the IPC cost (ipc_overhead_per_message > 0) so socket "
+               "and in-process runs make the same timing claims");
+  }
+}
+
 void check_channels(cosim::VerificationSession& session, Report& report) {
   const auto& p = session.params();
   if (!p.pipelined) return;
+  if (p.fanout_batch_messages > p.channel_capacity) {
+    report.add("SYN-CAPACITY", Severity::kWarning, kFamily, "session",
+               "fan-out batch of " + std::to_string(p.fanout_batch_messages) +
+                   " messages exceeds the SPSC channel capacity " +
+                   std::to_string(p.channel_capacity) +
+                   ": every coalesced flush back-pressures the session "
+                   "thread mid-batch",
+               "keep fanout_batch_messages at or below channel_capacity");
+  }
   if (p.channel_capacity < 2) {
     report.add("SYN-CAPACITY", Severity::kWarning, kFamily, "session",
                "pipelined mode with channel capacity " +
@@ -112,6 +134,7 @@ void analyze_session_sync(cosim::VerificationSession& session,
                "side with nothing to verify",
                "attach at least one DutBackend before running");
   }
+  check_transport(session, report);
   check_channels(session, report);
 }
 

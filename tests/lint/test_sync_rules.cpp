@@ -106,6 +106,54 @@ TEST(SyncRules, SerialTinyChannelIsFine) {
   EXPECT_FALSE(analyze(f.session).has("SYN-CAPACITY"));
 }
 
+TEST(SyncRules, SocketTransportWithoutModeledIpcCostWarns) {
+  cosim::VerificationSession::Params vp;
+  vp.transport = cosim::TransportKind::kSocket;  // ipc overhead left at zero
+  SyncFixture f(1, {}, vp);
+  f.declare(0);
+  f.session.attach(f.backend);
+  const Report r = analyze(f.session);
+  ASSERT_TRUE(r.has("SYN-TRANSPORT"));
+  const Diagnostic& d = *r.by_rule("SYN-TRANSPORT").front();
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_NE(d.message.find("ipc_overhead_per_message"), std::string::npos);
+}
+
+TEST(SyncRules, SocketTransportWithModeledCostIsClean) {
+  cosim::VerificationSession::Params vp;
+  vp.transport = cosim::TransportKind::kSocket;
+  vp.ipc_overhead_per_message = SimTime::from_ns(500);
+  SyncFixture f(1, {}, vp);
+  f.declare(0);
+  f.session.attach(f.backend);
+  EXPECT_FALSE(analyze(f.session).has("SYN-TRANSPORT"));
+  // In-process with zero overhead stays silent too: nothing real is hidden.
+  SyncFixture g(1);
+  g.declare(0);
+  g.session.attach(g.backend);
+  EXPECT_FALSE(analyze(g.session).has("SYN-TRANSPORT"));
+}
+
+TEST(SyncRules, FanoutBatchBeyondChannelCapacityWarns) {
+  cosim::VerificationSession::Params vp;
+  vp.pipelined = true;
+  vp.channel_capacity = 4;
+  vp.fanout_batch_messages = 8;
+  SyncFixture f(1, {}, vp);
+  f.declare(0);
+  f.session.attach(f.backend);
+  const Report r = analyze(f.session);
+  ASSERT_TRUE(r.has("SYN-CAPACITY"));
+  EXPECT_NE(r.by_rule("SYN-CAPACITY").front()->message.find("fan-out"),
+            std::string::npos);
+  // Serial mode never touches the channels: same params, no warning.
+  vp.pipelined = false;
+  SyncFixture g(1, {}, vp);
+  g.declare(0);
+  g.session.attach(g.backend);
+  EXPECT_FALSE(analyze(g.session).has("SYN-CAPACITY"));
+}
+
 TEST(SyncRules, BoardBatchLargerThanChannelWarns) {
   rigs::AccountingRig::Params p;
   p.session.pipelined = true;
