@@ -1,8 +1,10 @@
 #!/bin/sh
 # Runs every bench_e* binary with --json and composes the per-bench reports
-# into one machine-readable file (default: BENCH_PR2.json in the repo root).
+# into one machine-readable file (default: BENCH_PR8.json in the repo root).
 # Each bench also runs with the telemetry hub enabled (--metrics); the flat
-# metrics snapshots are archived next to the report as METRICS_PR<n>.json.
+# metrics snapshots are archived next to the report as METRICS_PR<n>.json,
+# together with a merged farm-telemetry run report (per-shard snapshots from
+# the farm smoke experiment consolidated by the parent) under "farm".
 #
 #   bench/run_all.sh [output.json]
 #
@@ -16,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=${BUILD_DIR:-build}
-PR=${PR_NUMBER:-2}
+PR=${PR_NUMBER:-8}
 OUT=${1:-BENCH_PR${PR}.json}
 : "${CASTANET_E1_REPS:=9}"
 export CASTANET_E1_REPS
@@ -126,6 +128,19 @@ done
   printf ']\n}\n'
 } > "$OUT"
 
+# Merged farm telemetry: the smoke experiment with per-worker metrics
+# shipping enabled; the parent merges the per-shard snapshots into one run
+# report (counters summed, histograms bucket-merged) which is archived
+# verbatim under "farm" in METRICS_PR<n>.json.
+FARM_REPORT=""
+if [ -x "$FARM_BIN" ]; then
+  echo "== castanet_farm farm_smoke --report (merged shard telemetry)"
+  $NICE "$FARM_BIN" --experiment experiments/farm_smoke.json -j2 \
+    --metrics "$tmp/farm_smoke.metrics.json" \
+    --report "$tmp/farm_report.json" > /dev/null 2>&1
+  [ -s "$tmp/farm_report.json" ] && FARM_REPORT="$tmp/farm_report.json"
+fi
+
 {
   printf '{\n"pr": %s,\n"generated_by": "bench/run_all.sh",\n%s,\n"metrics": {\n' "$PR" "$META"
   first=1
@@ -135,7 +150,12 @@ done
     printf '"%s": ' "$b"
     cat "$tmp/$b.metrics.json"
   done
-  printf '}\n}\n'
+  printf '}\n'
+  if [ -n "$FARM_REPORT" ]; then
+    printf ',\n"farm": '
+    cat "$FARM_REPORT"
+  fi
+  printf '}\n'
 } > "$METRICS_OUT"
 
 echo "wrote $OUT and $METRICS_OUT"

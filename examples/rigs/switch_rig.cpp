@@ -63,6 +63,13 @@ SwitchRig::SwitchRig(Params params)
                            {}};
     sw.install_route(pt, in, route);
     ref.table(pt).install(in, route);
+    // The switch translates headers, so cells leave on a different flow than
+    // they entered: map the observed output flow (translated VC, on the
+    // monitored out-port's stream) back to the input flow so per-flow
+    // cells_out and latency are charged where the oracle expects them.
+    net.flows().alias({route.out_vc.vpi, route.out_vc.vci,
+                       static_cast<std::uint32_t>(route.out_port)},
+                      {in.vpi, in.vci, static_cast<std::uint32_t>(pt)});
 
     rtl.entity().register_input(
         static_cast<cosim::MessageType>(pt), 53,

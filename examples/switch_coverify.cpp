@@ -12,18 +12,24 @@
 //
 // Build & run:  ./build/examples/switch_coverify [cells-per-source]
 //                                                [--vcd PATH] [--trace PATH]
+//                                                [--metrics PATH]
 // The VCD defaults to <binary-dir>/switch_port0.vcd so runs never litter
 // the source tree.  --trace enables the telemetry hub and writes a Chrome
 // trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev)
 // with one timeline row per backend plus the network scheduler, and prints
-// the flat metrics table.
+// the flat metrics table.  --metrics enables the hub, writes the metrics
+// snapshot JSON, prints the per-flow latency quantile table and checks the
+// per-flow oracle: every recorded cell must enter and leave its flow, with
+// zero drops.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "examples/rigs/switch_rig.hpp"
 #include "src/core/telemetry.hpp"
+#include "src/netsim/flow_stats.hpp"
 #include "src/rtl/waveform.hpp"
 
 using namespace castanet;
@@ -33,6 +39,7 @@ int main(int argc, char** argv) {
   std::string vcd_path;
   std::string trace_path;
   std::string stream_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
@@ -40,11 +47,13 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       stream_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       cells_per_source = std::strtoull(argv[i], nullptr, 10);
     }
   }
-  if (!trace_path.empty() || !stream_path.empty())
+  if (!trace_path.empty() || !stream_path.empty() || !metrics_path.empty())
     telemetry::Hub::instance().enable();
   if (!stream_path.empty() &&
       !telemetry::Hub::instance().stream_trace_to(stream_path)) {
@@ -118,5 +127,41 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", hub.snapshot().to_table().c_str());
   }
-  return cmp.clean() ? 0 : 1;
+  bool flows_ok = true;
+  if (!metrics_path.empty()) {
+    // Per-flow oracle (mchang6137-style): every recorded cell of port pt's
+    // flow {1, 100+pt} must have entered AND left the switch (the run horizon
+    // includes 2 ms of drain), with zero drops.  The latency quantiles come
+    // straight from the per-flow log2 histograms.
+    std::printf("\nper-flow oracle (expected = recorded trace length)\n");
+    for (std::size_t pt = 0; pt < rigs::SwitchRig::kPorts; ++pt) {
+      const netsim::FlowKey key{1, static_cast<std::uint16_t>(100 + pt),
+                                static_cast<std::uint32_t>(pt)};
+      const std::uint64_t expected = traces[pt].size();
+      const netsim::FlowStats* f = rig.net.flows().find(key);
+      const std::uint64_t in = f != nullptr ? f->cells_in : 0;
+      const std::uint64_t out = f != nullptr ? f->cells_out : 0;
+      const std::uint64_t drops = f != nullptr ? f->drops : 0;
+      const bool ok = in == expected && out == expected && drops == 0;
+      flows_ok = flows_ok && ok;
+      std::printf(
+          "  flow %-10s expect=%llu in=%llu out=%llu drops=%llu "
+          "p50=%.3gs p99=%.3gs [%s]\n",
+          key.to_string().c_str(), static_cast<unsigned long long>(expected),
+          static_cast<unsigned long long>(in),
+          static_cast<unsigned long long>(out),
+          static_cast<unsigned long long>(drops),
+          f != nullptr ? f->latency.quantile(0.50) : 0.0,
+          f != nullptr ? f->latency.quantile(0.99) : 0.0, ok ? "ok" : "FAIL");
+    }
+    std::ofstream mf(metrics_path);
+    if (!mf) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    mf << telemetry::Hub::instance().snapshot().to_json();
+    std::printf("metrics written ........ %s\n", metrics_path.c_str());
+  }
+  return cmp.clean() && flows_ok ? 0 : 1;
 }

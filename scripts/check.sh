@@ -11,7 +11,11 @@
 #   scripts/check.sh --tidy    # + clang-tidy over src/ (needs clang-tidy)
 #   scripts/check.sh --bench-smoke  # + bench_e1 small-workload regression gate
 #   scripts/check.sh --farm    # + session-farm smoke (2 workers x 4 sessions,
-#                              #   farmed results checked against serial)
+#                              #   farmed results + merged metrics checked
+#                              #   against serial, run report validated)
+#
+# The default run also validates the metrics JSON schema: switch_coverify
+# --metrics writes a snapshot, castanet_report --validate round-trips it.
 #
 # Flags combine; --asan and --ubsan together use one address,undefined tree.
 #
@@ -68,6 +72,16 @@ else
   echo "python3 unavailable; skipped JSON validation of $TRACE_OUT"
 fi
 
+echo "== metrics schema (switch_coverify --metrics, castanet_report --validate)"
+# The validator round-trips the snapshot through from_json/to_json and
+# requires structural identity (counters exact, histogram buckets exact),
+# so any drift between the writer and the parser fails here, not in a
+# downstream consumer.
+METRICS_SMOKE="$BUILD/coverify_metrics.json"
+"$BUILD/examples/switch_coverify" 8 --metrics "$METRICS_SMOKE" >/dev/null
+"$BUILD/tools/castanet_report" --validate "$METRICS_SMOKE"
+echo "metrics schema OK: $METRICS_SMOKE"
+
 if [ "$run_lint" -eq 1 ]; then
   # Exit status 0 requires zero error-severity diagnostics on every design.
   echo "== castanet_lint --design all ($BUILD)"
@@ -76,10 +90,20 @@ fi
 
 if [ "$run_farm" -eq 1 ]; then
   # --check reruns the experiment serially and fails unless every farmed
-  # session result is byte-identical (id, digest, responses, divergences).
-  echo "== castanet_farm smoke (farm_smoke.json, -j2, --check)"
+  # session result is byte-identical (id, digest, responses, divergences)
+  # AND the farm-merged metrics match the serial merge (counters exact,
+  # histograms bucket-identical).  --report consolidates the per-shard
+  # snapshots into one run report, which must pass the schema validator.
+  echo "== castanet_farm smoke (farm_smoke.json, -j2, --check, --report)"
   "$BUILD/tools/castanet_farm" --experiment experiments/farm_smoke.json \
-    -j2 --check > "$BUILD/farm_smoke_report.json"
+    -j2 --check --metrics "$BUILD/farm_smoke.metrics.json" \
+    --report "$BUILD/farm_smoke.run_report.json" \
+    > "$BUILD/farm_smoke_report.json"
+  "$BUILD/tools/castanet_report" --validate "$BUILD/farm_smoke.run_report.json"
+  for shard in "$BUILD"/farm_smoke.metrics.*.json; do
+    [ -e "$shard" ] || { echo "check.sh: no per-shard metrics written" >&2; exit 1; }
+    "$BUILD/tools/castanet_report" --validate "$shard"
+  done
 fi
 
 if [ "$run_bench_smoke" -eq 1 ]; then

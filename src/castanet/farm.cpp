@@ -24,8 +24,17 @@ constexpr std::uint8_t kJob = 1;   // parent -> worker: u32 item index
 constexpr std::uint8_t kExit = 2;  // parent -> worker: done, exit cleanly
 constexpr std::uint8_t kOk = 3;    // worker -> parent: u32 item, result bytes
 constexpr std::uint8_t kFail = 4;  // worker -> parent: u32 item, str detail
+constexpr std::uint8_t kBeat = 5;  // worker -> parent: u32 item, f64 progress
 
 constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
+
+// Worker-side heartbeat plumbing: worker_loop points these at its pipe and
+// in-flight item for the duration of each run() call, so instrumented
+// runners can ship progress without threading a handle through every layer.
+// Single-threaded by construction (fork_map requires a single-threaded
+// parent; the worker loop never spawns threads).
+transport::FramePipe* g_beat_pipe = nullptr;
+std::uint32_t g_beat_item = 0;
 
 struct WorkerProc {
   pid_t pid = -1;
@@ -53,17 +62,22 @@ struct WorkerProc {
     const std::uint32_t item = r.u32();
     wire::Writer w;
     try {
+      g_beat_pipe = &pipe;
+      g_beat_item = item;
       const std::vector<std::uint8_t> bytes =
           run(static_cast<std::size_t>(item), worker);
+      g_beat_pipe = nullptr;
       w.u8(kOk);
       w.u32(item);
       w.bytes(bytes.data(), bytes.size());
     } catch (const std::exception& e) {
+      g_beat_pipe = nullptr;
       w = wire::Writer();
       w.u8(kFail);
       w.u32(item);
       w.str(e.what());
     } catch (...) {
+      g_beat_pipe = nullptr;
       w = wire::Writer();
       w.u8(kFail);
       w.u32(item);
@@ -75,12 +89,22 @@ struct WorkerProc {
 
 }  // namespace
 
+bool worker_heartbeat(double value) {
+  if (g_beat_pipe == nullptr) return false;
+  wire::Writer w;
+  w.u8(kBeat);
+  w.u32(g_beat_item);
+  w.f64(value);
+  return g_beat_pipe->send_frame(w.data());
+}
+
 PoolStats fork_map(
     std::size_t n, int jobs,
     const std::function<std::vector<std::uint8_t>(std::size_t, int)>& run,
     const std::function<void(std::size_t, const std::vector<std::uint8_t>&)>&
         on_result,
-    const std::function<void(std::size_t, const std::string&)>& on_failed) {
+    const std::function<void(std::size_t, const std::string&)>& on_failed,
+    const std::function<void(std::size_t, int, double)>& on_beat) {
   PoolStats stats;
   if (n == 0) return stats;
   const int workers = static_cast<int>(
@@ -190,28 +214,41 @@ PoolStats fork_map(
     for (std::size_t k = 0; k < pfds.size(); ++k) {
       if (pfds[k].revents == 0) continue;
       WorkerProc& p = procs[pidx[k]];
-      const transport::RecvStatus st = p.pipe->recv_frame(frame, 0);
-      if (st == transport::RecvStatus::kTimeout) continue;  // partial frame
-      if (st == transport::RecvStatus::kClosed) {
-        worker_died(p);
-        continue;
+      // Drain EVERY buffered frame, not just one: a single POLLIN wakeup can
+      // carry several frames (heartbeats followed by the result), and
+      // whatever the pipe's reassembly buffer holds beyond the first frame
+      // is invisible to the top-level poll().
+      while (p.alive) {
+        const transport::RecvStatus st = p.pipe->recv_frame(frame, 0);
+        if (st == transport::RecvStatus::kTimeout) break;  // drained
+        if (st == transport::RecvStatus::kClosed) {
+          worker_died(p);
+          break;
+        }
+        wire::Reader r(frame);
+        const std::uint8_t op = r.u8();
+        const std::size_t item = r.u32();
+        if (op == kBeat) {
+          // Progress frame: liveness, not completion — the item stays in
+          // flight and the worker keeps running.
+          const double value = r.f64();
+          if (on_beat) on_beat(item, static_cast<int>(pidx[k]), value);
+          continue;
+        }
+        if (op == kOk) {
+          std::vector<std::uint8_t> bytes(r.remaining());
+          r.bytes(bytes.data(), bytes.size());
+          on_result(item, bytes);
+        } else if (op == kFail) {
+          on_failed(item, r.str());
+        } else {
+          worker_died(p);
+          break;
+        }
+        ++done;
+        p.item = kNoItem;
+        assign(p);  // may retire the worker (alive = false ends the drain)
       }
-      wire::Reader r(frame);
-      const std::uint8_t op = r.u8();
-      const std::size_t item = r.u32();
-      if (op == kOk) {
-        std::vector<std::uint8_t> bytes(r.remaining());
-        r.bytes(bytes.data(), bytes.size());
-        on_result(item, bytes);
-      } else if (op == kFail) {
-        on_failed(item, r.str());
-      } else {
-        worker_died(p);
-        continue;
-      }
-      ++done;
-      p.item = kNoItem;
-      assign(p);
     }
   }
 
@@ -242,6 +279,8 @@ std::vector<std::uint8_t> encode_result(const SessionResult& r) {
   w.u64(r.digest);
   w.u64(static_cast<std::uint64_t>(r.wall_seconds * 1e9));
   w.str(r.detail);
+  w.u8(r.has_metrics ? 1 : 0);
+  if (r.has_metrics) wire::encode_snapshot(w, r.metrics);
   return w.take();
 }
 
@@ -256,17 +295,21 @@ SessionResult decode_result(const std::vector<std::uint8_t>& bytes) {
   out.digest = r.u64();
   out.wall_seconds = static_cast<double>(r.u64()) * 1e-9;
   out.detail = r.str();
+  out.has_metrics = r.u8() != 0;
+  if (out.has_metrics) out.metrics = wire::decode_snapshot(r);
   return out;
 }
 
-/// Rewrites the spec's trace_out so concurrent sessions never share a file
-/// (the satellite fix for --trace-out collisions).
+/// Rewrites the spec's per-session output paths (trace_out, metrics_out) so
+/// concurrent sessions never share a file (the satellite fix for
+/// --trace-out collisions, extended to the metrics exports).
 SessionSpec retag_traces(const SessionSpec& spec, int worker) {
   SessionSpec out = spec;
-  if (const json::Value* t = out.params.find("trace_out");
-      t != nullptr && t->is_string()) {
-    out.params.set("trace_out",
-                   tagged_path(t->as_string(), worker, out.id));
+  for (const char* key : {"trace_out", "metrics_out"}) {
+    if (const json::Value* t = out.params.find(key);
+        t != nullptr && t->is_string()) {
+      out.params.set(key, tagged_path(t->as_string(), worker, out.id));
+    }
   }
   return out;
 }
@@ -322,8 +365,27 @@ json::Value FarmReport::to_json() const {
     sessions.push_back(std::move(s));
   }
   v.set("sessions", std::move(sessions));
+  if (sessions_with_metrics > 0) {
+    v.set("sessions_with_metrics",
+          static_cast<std::int64_t>(sessions_with_metrics));
+    v.set("heartbeats", static_cast<std::int64_t>(heartbeats));
+    v.set("metrics", metrics.to_json_value());
+  }
   return v;
 }
+
+namespace {
+
+/// Folds each session's shipped snapshot into the report-level merge.
+void merge_session_metrics(FarmReport& rep) {
+  for (const SessionResult& r : rep.results) {
+    if (!r.has_metrics) continue;
+    rep.metrics.merge_from(r.metrics);
+    ++rep.sessions_with_metrics;
+  }
+}
+
+}  // namespace
 
 FarmReport run_serial(const std::vector<SessionSpec>& specs,
                       const SessionRunner& runner) {
@@ -337,6 +399,7 @@ FarmReport run_serial(const std::vector<SessionSpec>& specs,
   rep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  merge_session_metrics(rep);
   return rep;
 }
 
@@ -364,12 +427,16 @@ FarmReport run_farm(const std::vector<SessionSpec>& specs,
         rep.results[item].id = specs[item].id;
         rep.results[item].ok = false;
         rep.results[item].error = detail;
+      },
+      [&](std::size_t /*item*/, int /*worker*/, double /*value*/) {
+        ++rep.heartbeats;
       });
   rep.workers_spawned = stats.workers_spawned;
   rep.workers_failed = stats.workers_failed;
   rep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  merge_session_metrics(rep);
   return rep;
 }
 

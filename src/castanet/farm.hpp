@@ -27,6 +27,7 @@
 
 #include "src/castanet/transport.hpp"
 #include "src/core/json.hpp"
+#include "src/core/telemetry.hpp"
 
 namespace castanet::cosim::farm {
 
@@ -58,6 +59,12 @@ struct SessionResult {
   std::uint64_t digest = 0;
   double wall_seconds = 0.0;    ///< informational; excluded from identity
   std::string detail;           ///< scenario-provided one-line summary
+  /// Final telemetry Hub snapshot of the session, captured by the runner
+  /// when telemetry is enabled and shipped back over the worker socketpair.
+  /// Counters/histograms are deterministic in the spec; wall-clock timings
+  /// inside the snapshot are informational, like wall_seconds.
+  bool has_metrics = false;
+  telemetry::MetricsSnapshot metrics;
 };
 
 /// Executes one session spec.  Runs inside a worker process (or inline for
@@ -75,10 +82,16 @@ struct FarmReport {
   int workers_spawned = 0;
   int workers_failed = 0;  ///< workers that died before orderly exit
   double wall_seconds = 0.0;
+  /// Cross-shard merge of every session's snapshot (merge_metric_row
+  /// semantics: counters summed, timings/histograms merged exactly).  Empty
+  /// unless at least one session shipped metrics.
+  telemetry::MetricsSnapshot metrics;
+  int sessions_with_metrics = 0;
+  std::uint64_t heartbeats = 0;  ///< progress frames seen (farm runs only)
 
   bool all_ok() const;
   /// {"jobs", "wall_seconds", "workers_spawned", "workers_failed",
-  ///  "sessions": [{"id", "ok", ...}]}
+  ///  "sessions": [{"id", "ok", ...}], "metrics": {...} when present}
   json::Value to_json() const;
 };
 
@@ -115,7 +128,16 @@ PoolStats fork_map(
                              const std::vector<std::uint8_t>& bytes)>&
         on_result,
     const std::function<void(std::size_t item, const std::string& detail)>&
-        on_failed);
+        on_failed,
+    const std::function<void(std::size_t item, int worker, double value)>&
+        on_beat = {});
+
+/// Ships a heartbeat/progress frame (current item + a scenario-defined
+/// gauge, e.g. cycles completed) from inside a worker's `run` callback to
+/// the parent, which surfaces it through fork_map's `on_beat` — the stall
+/// detector's signal.  Returns false (no-op) when the caller is not a farm
+/// worker, so instrumented runners work unchanged under run_serial.
+bool worker_heartbeat(double value);
 
 // ---------------------------------------------------------------------------
 // Experiment files: tsload-style parametrization.

@@ -1,6 +1,8 @@
 #include "src/castanet/gateway.hpp"
 
 #include "src/core/error.hpp"
+#include "src/core/telemetry.hpp"
+#include "src/netsim/simulation.hpp"
 
 namespace castanet::cosim {
 
@@ -15,6 +17,13 @@ void GatewayProcess::handle_interrupt(const netsim::Interrupt& intr) {
   require(intr.stream < streams_, "GatewayProcess: stream out of range");
   const MessageType type = type_for_stream(intr.stream);
   if (intr.packet.has_cell()) {
+    if (telemetry::enabled()) {
+      // The gateway is the choke point every DUT-bound cell crosses: stamp
+      // its entry into the measured region on the per-flow registry.
+      const atm::Cell& c = intr.packet.cell();
+      simulation().flows().note_in({c.header.vpi, c.header.vci, intr.stream},
+                                   now());
+    }
     to_hdl_.send(make_cell_message(type, now(), intr.packet.cell()));
   } else {
     // Field packets travel as words: (id, then named fields in map order is

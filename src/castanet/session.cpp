@@ -124,6 +124,10 @@ void VerificationSession::publish_metrics() const {
   hub.publish_count("session.fanout_messages", s.fanout_messages);
   hub.publish_count("session.max_effective_stride", s.max_effective_stride);
   hub.publish_count("session.divergences", comparator_.divergences().size());
+  // Per-flow cell statistics accumulate on the network simulation; publish
+  // them here because the co-verification loop never calls net_.finish()
+  // (kEnd interrupts would perturb the measured run).
+  if (!net_.flows().empty()) net_.flows().publish("flow", net_.now().seconds());
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     const DutBackend& b = *backends_[i];
     const BackendStats& bs = s.backends[i];
@@ -136,6 +140,7 @@ void VerificationSession::publish_metrics() const {
     hub.publish_count(prefix + "send_blocks", bs.send_blocks);
     hub.publish_count(prefix + "nudge_wakeups", bs.nudge_wakeups);
     hub.publish_stat(prefix + "lag_seconds", b.sync().lag_stat());
+    hub.publish_histogram(prefix + "lag_seconds_hist", b.sync().lag_histogram());
     const double net_now = b.sync().network_time().seconds();
     for (const ConservativeSync::QueueDepth& q : b.sync().queue_depths()) {
       hub.publish_time_avg(
@@ -196,6 +201,14 @@ void VerificationSession::handle_response(std::size_t backend, TimedMessage m,
     divergences_seen_ = n_div;
   }
   if (backend != primary_) return;  // secondary backends are pure checkers
+  if (telemetry::enabled() && m.cell) {
+    // Cells leaving the DUT: observed here, not in GatewayProcess, because
+    // scenarios may install a response handler that bypasses emit_response
+    // (the switch rig's monitors do).  Sim-time based, so deterministic.
+    net_.flows().note_out({m.cell->header.vpi, m.cell->header.vci,
+                           static_cast<std::uint32_t>(m.type)},
+                          m.timestamp);
+  }
   if (in_run) {
     schedule_response(std::move(m));
   } else if (on_response_) {

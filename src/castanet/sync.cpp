@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/error.hpp"
+#include "src/core/telemetry.hpp"
 
 namespace castanet::cosim {
 
@@ -170,6 +171,7 @@ void ConservativeSync::note_hdl_time(SimTime t) {
       network_time_ > t ? (network_time_ - t).seconds() : 0.0;
   lag_.record(lag_sec);
   max_lag_sec_ = std::max(max_lag_sec_, lag_sec);
+  if (telemetry::enabled()) lag_hist_.record(lag_sec);
 }
 
 }  // namespace castanet::cosim

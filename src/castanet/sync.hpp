@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/castanet/message.hpp"
+#include "src/core/histogram.hpp"
 #include "src/core/stats.hpp"
 
 namespace castanet::cosim {
@@ -101,6 +102,9 @@ class ConservativeSync {
   /// Distribution of (network_time - hdl_time) over every note_hdl_time
   /// call — how far this simulator trails the originator (§3.1's lag).
   const SampleStat& lag_stat() const { return lag_; }
+  /// The same grant-to-response lag as a log2 histogram (p50/p99 of how far
+  /// the HDL side trails).  Recorded only while telemetry is enabled.
+  const Log2Histogram& lag_histogram() const { return lag_hist_; }
   /// Per-input-queue occupancy as a time-weighted statistic over network
   /// time (OPNET-style "time average"), one entry per declared type in type
   /// order.  The depth changes at push() and take_deliverable().
@@ -136,6 +140,7 @@ class ConservativeSync {
   std::uint64_t lookahead_stalls_ = 0;
   double max_lag_sec_ = 0.0;
   SampleStat lag_;
+  Log2Histogram lag_hist_;
 };
 
 }  // namespace castanet::cosim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/castanet/message.hpp"
+#include "src/core/telemetry.hpp"
 
 namespace castanet::cosim::wire {
 
@@ -25,6 +26,9 @@ class Writer {
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern, little-endian; every NaN encodes as the one
+  /// canonical quiet NaN so re-encoding a decoded frame is byte-identical.
+  void f64(double v);
   void str(const std::string& s);
   void bytes(const void* data, std::size_t len);
 
@@ -47,6 +51,7 @@ class Reader {
   std::uint32_t u32();
   std::uint64_t u64();
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
   std::string str();
   void bytes(void* out, std::size_t len);
 
@@ -66,6 +71,17 @@ void encode_message(Writer& w, const TimedMessage& m);
 std::vector<std::uint8_t> encode_message(const TimedMessage& m);
 TimedMessage decode_message(Reader& r);
 TimedMessage decode_message(const std::vector<std::uint8_t>& frame);
+
+/// Serializes one telemetry snapshot (the farm workers ship their final Hub
+/// state to the parent through this).  Versioned frame; canonical like the
+/// message encoding (sorted rows in, sorted rows out; NaN normalized), so
+/// digests of snapshot frames are meaningful too.
+void encode_snapshot(Writer& w, const telemetry::MetricsSnapshot& snap);
+std::vector<std::uint8_t> encode_snapshot(
+    const telemetry::MetricsSnapshot& snap);
+telemetry::MetricsSnapshot decode_snapshot(Reader& r);
+telemetry::MetricsSnapshot decode_snapshot(
+    const std::vector<std::uint8_t>& frame);
 
 /// FNV-1a 64-bit over `data` — the content digest used by the session
 /// comparator's enqueue-time hashing and the farm's result digests.

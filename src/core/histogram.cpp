@@ -1,0 +1,166 @@
+#include "src/core/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/core/error.hpp"
+
+namespace castanet {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+int Log2Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return -1;  // zero, negatives and NaN: the zero bucket
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  // v in [2^(exp-1), 2^exp)  ->  bucket index (exp - 1) - kMinExp.
+  const int i = (exp - 1) - kMinExp;
+  return std::clamp(i, 0, kBuckets - 1);
+}
+
+double Log2Histogram::bucket_lo(int i) { return std::ldexp(1.0, i + kMinExp); }
+
+double Log2Histogram::bucket_hi(int i) {
+  return std::ldexp(1.0, i + 1 + kMinExp);
+}
+
+void Log2Histogram::touch_counts() {
+  if (counts_.empty()) counts_.assign(kBuckets, 0);
+}
+
+void Log2Histogram::record(double v) {
+  if (std::isnan(v)) return;  // not a sample
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  const int i = bucket_of(v);
+  if (i < 0) {
+    ++zero_;
+    return;
+  }
+  touch_counts();
+  ++counts_[static_cast<std::size_t>(i)];
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.count_ == 0) return;  // empty ⊕ x keeps x's extrema intact
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_ += other.zero_;
+  if (!other.counts_.empty()) {
+    touch_counts();
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+  }
+}
+
+double Log2Histogram::min() const { return count_ ? min_ : kNaN; }
+double Log2Histogram::max() const { return count_ ? max_ : kNaN; }
+
+double Log2Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : kNaN;
+}
+
+std::uint64_t Log2Histogram::bucket_count(int i) const {
+  if (i < 0 || i >= kBuckets || counts_.empty()) return 0;
+  return counts_[static_cast<std::size_t>(i)];
+}
+
+double Log2Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Log2Histogram::quantile: q out of [0,1]");
+  if (count_ == 0) return kNaN;
+  // Rank of the q-th order statistic, 1-based: the smallest r with
+  // r >= q * n, at least 1 (q = 0 selects the first sample).
+  const double target =
+      std::max(1.0, std::ceil(q * static_cast<double>(count_)));
+  double cum = static_cast<double>(zero_);
+  if (cum >= target) return 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    cum += static_cast<double>(c);
+    if (cum >= target) {
+      return std::clamp(bucket_hi(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable unless counts desynced; max is always safe
+}
+
+std::vector<std::pair<int, std::uint64_t>> Log2Histogram::nonzero_buckets()
+    const {
+  std::vector<std::pair<int, std::uint64_t>> out;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c != 0) out.emplace_back(i, c);
+  }
+  return out;
+}
+
+Log2Histogram Log2Histogram::from_parts(
+    std::uint64_t count, double sum, double min, double max,
+    std::uint64_t zero,
+    const std::vector<std::pair<int, std::uint64_t>>& buckets) {
+  Log2Histogram h;
+  h.count_ = count;
+  h.sum_ = sum;
+  if (count > 0) {
+    h.min_ = min;
+    h.max_ = max;
+  }
+  h.zero_ = zero;
+  for (const auto& [i, c] : buckets) {
+    if (i < 0 || i >= kBuckets || c == 0) continue;
+    h.touch_counts();
+    h.counts_[static_cast<std::size_t>(i)] += c;
+  }
+  return h;
+}
+
+bool Log2Histogram::identical(const Log2Histogram& other) const {
+  const auto same = [](double a, double b) {
+    return (std::isnan(a) && std::isnan(b)) || a == b;
+  };
+  if (count_ != other.count_ || zero_ != other.zero_ ||
+      !same(sum_, other.sum_) || !same(min(), other.min()) ||
+      !same(max(), other.max())) {
+    return false;
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    if (bucket_count(i) != other.bucket_count(i)) return false;
+  }
+  return true;
+}
+
+std::string Log2Histogram::to_string() const {
+  std::string out;
+  char line[96];
+  if (zero_) {
+    std::snprintf(line, sizeof(line), "[<=0] %llu\n",
+                  static_cast<unsigned long long>(zero_));
+    out += line;
+  }
+  for (const auto& [i, c] : nonzero_buckets()) {
+    std::snprintf(line, sizeof(line), "[%.3g,%.3g) %llu\n", bucket_lo(i),
+                  bucket_hi(i), static_cast<unsigned long long>(c));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace castanet

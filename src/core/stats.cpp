@@ -18,6 +18,23 @@ void SampleStat::record(double x) {
   max_ = std::max(max_, x);
 }
 
+void SampleStat::merge(const SampleStat& other) {
+  if (other.count_ == 0) return;  // empty ⊕ x keeps x intact (incl. NaN min/max)
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n = static_cast<double>(count_);
+  const double m = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double SampleStat::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

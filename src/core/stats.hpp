@@ -17,6 +17,13 @@ class SampleStat {
  public:
   void record(double x);
 
+  /// Combines another stat into this one (Chan et al. parallel Welford):
+  /// count/sum/min/max exact, mean/variance numerically combined.  Merging
+  /// an empty stat is a no-op, so NaN-when-empty min/max semantics survive
+  /// a farm merge (empty ⊕ x == x).  Associative up to floating-point
+  /// rounding.
+  void merge(const SampleStat& other);
+
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   double variance() const;  ///< Unbiased sample variance; 0 for n < 2.

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <limits>
 
+#include "src/core/error.hpp"
+#include "src/core/json.hpp"
+
 namespace castanet::telemetry {
 
 namespace {
@@ -81,17 +84,33 @@ std::string render_trace_event(const TraceEvent& e, std::size_t track_count) {
   return row;
 }
 
-const char* kind_name(MetricRow::Kind k) {
+}  // namespace
+
+const char* metric_kind_name(MetricRow::Kind k) {
   switch (k) {
     case MetricRow::Kind::kCounter: return "counter";
     case MetricRow::Kind::kGauge: return "gauge";
     case MetricRow::Kind::kTiming: return "timing";
     case MetricRow::Kind::kTimeAverage: return "time_average";
+    case MetricRow::Kind::kHistogram: return "histogram";
   }
   return "?";
 }
 
-}  // namespace
+bool metric_kind_from_name(const std::string& name, MetricRow::Kind* out) {
+  static constexpr MetricRow::Kind kAll[] = {
+      MetricRow::Kind::kCounter,     MetricRow::Kind::kGauge,
+      MetricRow::Kind::kTiming,      MetricRow::Kind::kTimeAverage,
+      MetricRow::Kind::kHistogram,
+  };
+  for (MetricRow::Kind k : kAll) {
+    if (name == metric_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
 
 // ---------------------------------------------------------------------------
 // Metric handles.
@@ -126,6 +145,36 @@ double Timing::mean() const {
   return n ? sum() / static_cast<double>(n) : kNaN;
 }
 
+void HistogramMetric::record(double v) {
+  if (std::isnan(v)) return;  // not a sample
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v, prev == 0);
+  atomic_max(max_, v, prev == 0);
+  const int i = Log2Histogram::bucket_of(v);
+  if (i < 0) {
+    zero_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[static_cast<std::size_t>(i)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  }
+}
+
+Log2Histogram HistogramMetric::snapshot() const {
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+  for (int i = 0; i < Log2Histogram::kBuckets; ++i) {
+    const std::uint64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (c != 0) buckets.emplace_back(i, c);
+  }
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  return Log2Histogram::from_parts(
+      n, sum_.load(std::memory_order_relaxed),
+      n ? min_.load(std::memory_order_relaxed) : kNaN,
+      n ? max_.load(std::memory_order_relaxed) : kNaN,
+      zero_.load(std::memory_order_relaxed), buckets);
+}
+
 // ---------------------------------------------------------------------------
 // Hub.
 
@@ -156,6 +205,7 @@ void Hub::reset() {
     counters_.clear();
     gauges_.clear();
     timings_.clear();
+    histograms_.clear();
     published_.clear();
   }
   {
@@ -188,6 +238,13 @@ Timing& Hub::timing(const std::string& name) {
   std::lock_guard<std::mutex> lk(metrics_mu_);
   auto& slot = timings_[name];
   if (!slot) slot = std::make_unique<Timing>();
+  return *slot;
+}
+
+HistogramMetric& Hub::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
   return *slot;
 }
 
@@ -236,6 +293,20 @@ void Hub::publish_time_avg(const std::string& name, const TimeAverageStat& s,
   row.min = kNaN;
   row.max = s.max();
   row.last = s.current();
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  published_[name] = std::move(row);
+}
+
+void Hub::publish_histogram(const std::string& name, const Log2Histogram& h) {
+  MetricRow row;
+  row.name = name;
+  row.kind = MetricRow::Kind::kHistogram;
+  row.count = h.count();
+  row.sum = h.sum();
+  row.min = h.min();
+  row.max = h.max();
+  row.last = kNaN;
+  row.hist = h;
   std::lock_guard<std::mutex> lk(metrics_mu_);
   published_[name] = std::move(row);
 }
@@ -406,6 +477,18 @@ MetricsSnapshot Hub::snapshot() const {
       row.last = kNaN;
       snap.rows.push_back(std::move(row));
     }
+    for (const auto& [name, h] : histograms_) {
+      MetricRow row;
+      row.name = name;
+      row.kind = MetricRow::Kind::kHistogram;
+      row.hist = h->snapshot();
+      row.count = row.hist.count();
+      row.sum = row.hist.sum();
+      row.min = row.hist.min();
+      row.max = row.hist.max();
+      row.last = kNaN;
+      snap.rows.push_back(std::move(row));
+    }
     for (const auto& [name, row] : published_) snap.rows.push_back(row);
   }
   std::sort(snap.rows.begin(), snap.rows.end(),
@@ -423,7 +506,8 @@ std::string MetricsSnapshot::to_json() const {
     const MetricRow& r = rows[i];
     out += i ? ",\n    " : "\n    ";
     out += "{\"name\": \"" + json_escape(r.name) + "\", \"kind\": \"" +
-           kind_name(r.kind) + "\", \"count\": " + std::to_string(r.count);
+           metric_kind_name(r.kind) +
+           "\", \"count\": " + std::to_string(r.count);
     if (r.empty()) {
       // No samples: emptiness is explicit, never a fake zero.
       out += ", \"empty\": true";
@@ -432,12 +516,214 @@ std::string MetricsSnapshot::to_json() const {
       out += ", \"min\": " + json_number(r.min);
       out += ", \"max\": " + json_number(r.max);
       out += ", \"last\": " + json_number(r.last);
+      if (r.kind == MetricRow::Kind::kHistogram) {
+        out += ", \"zero\": " + std::to_string(r.hist.zero_count());
+        out += ", \"buckets\": [";
+        bool first = true;
+        for (const auto& [b, c] : r.hist.nonzero_buckets()) {
+          if (!first) out += ", ";
+          first = false;
+          out += "[" + std::to_string(b) + ", " + std::to_string(c) + "]";
+        }
+        out += "]";
+        out += ", \"p50\": " + json_number(r.hist.quantile(0.50));
+        out += ", \"p90\": " + json_number(r.hist.quantile(0.90));
+        out += ", \"p99\": " + json_number(r.hist.quantile(0.99));
+        out += ", \"p999\": " + json_number(r.hist.quantile(0.999));
+      }
     }
     out += "}";
   }
   out += "\n  ],\n  \"trace_events\": " + std::to_string(trace_events) +
          ",\n  \"trace_dropped\": " + std::to_string(trace_dropped) + "\n}\n";
   return out;
+}
+
+json::Value MetricsSnapshot::to_json_value() const {
+  json::Array metrics;
+  metrics.reserve(rows.size());
+  for (const MetricRow& r : rows) {
+    // NaN has no JSON literal; mirror to_json()'s convention of null.
+    const auto num = [](double v) {
+      return std::isfinite(v) ? json::Value(v) : json::Value(nullptr);
+    };
+    json::Value row{json::Object{}};
+    row.set("name", r.name);
+    row.set("kind", metric_kind_name(r.kind));
+    row.set("count", static_cast<std::int64_t>(r.count));
+    if (r.empty()) {
+      row.set("empty", true);
+    } else {
+      row.set("sum", num(r.sum));
+      row.set("min", num(r.min));
+      row.set("max", num(r.max));
+      row.set("last", num(r.last));
+      if (r.kind == MetricRow::Kind::kHistogram) {
+        row.set("zero", static_cast<std::int64_t>(r.hist.zero_count()));
+        json::Array buckets;
+        for (const auto& [b, c] : r.hist.nonzero_buckets()) {
+          buckets.push_back(json::Value{json::Array{
+              json::Value(static_cast<std::int64_t>(b)),
+              json::Value(static_cast<std::int64_t>(c))}});
+        }
+        row.set("buckets", json::Value{std::move(buckets)});
+        row.set("p50", num(r.hist.quantile(0.50)));
+        row.set("p90", num(r.hist.quantile(0.90)));
+        row.set("p99", num(r.hist.quantile(0.99)));
+        row.set("p999", num(r.hist.quantile(0.999)));
+      }
+    }
+    metrics.push_back(std::move(row));
+  }
+  json::Value doc{json::Object{}};
+  doc.set("metrics", json::Value{std::move(metrics)});
+  doc.set("trace_events", static_cast<std::int64_t>(trace_events));
+  doc.set("trace_dropped", static_cast<std::int64_t>(trace_dropped));
+  return doc;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const json::Value& doc) {
+  const json::Value* metrics = doc.find("metrics");
+  require(metrics != nullptr && metrics->is_array(),
+          "MetricsSnapshot::from_json: missing \"metrics\" array");
+  // null (JSON's NaN stand-in) and absent both decode to NaN.
+  const auto num = [](const json::Value* v) {
+    return v != nullptr && v->is_number() ? v->as_double() : kNaN;
+  };
+  MetricsSnapshot snap;
+  for (const json::Value& entry : metrics->as_array()) {
+    require(entry.is_object(),
+            "MetricsSnapshot::from_json: metric row is not an object");
+    MetricRow row;
+    const json::Value* name = entry.find("name");
+    require(name != nullptr && name->is_string(),
+            "MetricsSnapshot::from_json: metric row without a name");
+    row.name = name->as_string();
+    require(metric_kind_from_name(entry.string_or("kind", ""), &row.kind),
+            "MetricsSnapshot::from_json: unknown metric kind");
+    row.count = static_cast<std::uint64_t>(entry.int_or("count", 0));
+    if (entry.bool_or("empty", false)) {
+      row.sum = row.kind == MetricRow::Kind::kCounter ? 0.0 : kNaN;
+      row.min = row.max = row.last = kNaN;
+    } else {
+      row.sum = num(entry.find("sum"));
+      row.min = num(entry.find("min"));
+      row.max = num(entry.find("max"));
+      row.last = num(entry.find("last"));
+      if (row.kind == MetricRow::Kind::kHistogram) {
+        std::vector<std::pair<int, std::uint64_t>> buckets;
+        if (const json::Value* b = entry.find("buckets");
+            b != nullptr && b->is_array()) {
+          for (const json::Value& pair : b->as_array()) {
+            require(pair.is_array() && pair.as_array().size() == 2,
+                    "MetricsSnapshot::from_json: bad histogram bucket");
+            buckets.emplace_back(
+                static_cast<int>(pair.as_array()[0].as_int()),
+                static_cast<std::uint64_t>(pair.as_array()[1].as_int()));
+          }
+        }
+        row.hist = Log2Histogram::from_parts(
+            row.count, row.sum, row.min, row.max,
+            static_cast<std::uint64_t>(entry.int_or("zero", 0)), buckets);
+      }
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  snap.trace_events = static_cast<std::uint64_t>(doc.int_or("trace_events", 0));
+  snap.trace_dropped =
+      static_cast<std::uint64_t>(doc.int_or("trace_dropped", 0));
+  return snap;
+}
+
+void merge_metric_row(MetricRow& into, const MetricRow& from) {
+  require(into.kind == from.kind,
+          "merge_metric_row: kind mismatch for metric \"" + into.name + "\"");
+  // NaN-aware extrema: an empty side never contributes a fake zero.
+  const auto nan_min = [](double a, double b) {
+    if (std::isnan(a)) return b;
+    if (std::isnan(b)) return a;
+    return std::min(a, b);
+  };
+  const auto nan_max = [](double a, double b) {
+    if (std::isnan(a)) return b;
+    if (std::isnan(b)) return a;
+    return std::max(a, b);
+  };
+  switch (into.kind) {
+    case MetricRow::Kind::kCounter:
+      into.count += from.count;
+      into.sum = static_cast<double>(into.count);
+      break;
+    case MetricRow::Kind::kGauge:
+      if (from.count != 0) into.last = from.last;  // last writer per shard
+      into.max = nan_max(into.max, from.max);
+      into.count += from.count;
+      break;
+    case MetricRow::Kind::kTiming:
+      if (from.count != 0) {
+        into.sum = into.count != 0 ? into.sum + from.sum : from.sum;
+        into.min = nan_min(into.min, from.min);
+        into.max = nan_max(into.max, from.max);
+        into.count += from.count;
+      }
+      break;
+    case MetricRow::Kind::kTimeAverage:
+      // Approximate: per-shard observation durations are not retained, so
+      // weight each shard's average by its sample count.
+      if (from.count != 0) {
+        if (into.count != 0) {
+          const double n = static_cast<double>(into.count);
+          const double m = static_cast<double>(from.count);
+          into.sum = (into.sum * n + from.sum * m) / (n + m);
+        } else {
+          into.sum = from.sum;
+        }
+        into.max = nan_max(into.max, from.max);
+        into.last = from.last;
+        into.count += from.count;
+      }
+      break;
+    case MetricRow::Kind::kHistogram:
+      into.hist.merge(from.hist);
+      into.count = into.hist.count();
+      into.sum = into.hist.sum();
+      into.min = into.hist.min();
+      into.max = into.hist.max();
+      break;
+  }
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  // Both row lists are sorted by name; classic sorted merge.
+  std::vector<MetricRow> merged;
+  merged.reserve(rows.size() + other.rows.size());
+  std::size_t i = 0, j = 0;
+  while (i < rows.size() || j < other.rows.size()) {
+    if (j >= other.rows.size() ||
+        (i < rows.size() && rows[i].name < other.rows[j].name)) {
+      merged.push_back(std::move(rows[i++]));
+    } else if (i >= rows.size() || other.rows[j].name < rows[i].name) {
+      merged.push_back(other.rows[j++]);
+    } else {
+      MetricRow row = std::move(rows[i++]);
+      merge_metric_row(row, other.rows[j++]);
+      merged.push_back(std::move(row));
+    }
+  }
+  rows = std::move(merged);
+  trace_events += other.trace_events;
+  trace_dropped += other.trace_dropped;
+}
+
+const MetricRow* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricRow& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
 }
 
 std::string MetricsSnapshot::to_table() const {
@@ -472,9 +758,13 @@ std::string MetricsSnapshot::to_table() const {
       case MetricRow::Kind::kTimeAverage:
         value = cell(r.sum);
         break;
+      case MetricRow::Kind::kHistogram:
+        // value column: p99 — the tail is what a latency histogram is for.
+        value = r.empty() ? "-" : cell(r.hist.quantile(0.99));
+        break;
     }
     std::snprintf(line, sizeof(line), "%-44s %-12s %10llu %12s %12s %12s\n",
-                  r.name.c_str(), kind_name(r.kind),
+                  r.name.c_str(), metric_kind_name(r.kind),
                   static_cast<unsigned long long>(r.count),
                   r.empty() ? "-" : cell(r.min).c_str(),
                   r.empty() ? "-" : cell(r.max).c_str(), value.c_str());

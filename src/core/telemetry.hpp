@@ -35,7 +35,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/histogram.hpp"
 #include "src/core/stats.hpp"
+
+namespace castanet::json {
+class Value;
+}
 
 namespace castanet::telemetry {
 
@@ -92,6 +97,28 @@ class Timing {
   std::atomic<double> max_{0.0};
 };
 
+/// Hub-owned log2 histogram handle: the same global bucket edges as
+/// Log2Histogram, recorded through relaxed atomics so any thread may record.
+/// Bucket counts are exact; count/sum/min/max follow the Timing discipline
+/// (independent relaxed updates, consistent at quiescent points — which is
+/// when snapshots are taken).
+class HistogramMetric {
+ public:
+  void record(double v);
+  /// Materializes the current state as a plain Log2Histogram (relaxed
+  /// loads; exact at quiescent points).
+  Log2Histogram snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, Log2Histogram::kBuckets> buckets_{};
+  std::atomic<std::uint64_t> zero_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
 /// One entry of the trace ring.  `name` must be a static-lifetime string
 /// (instrumentation sites use literals); numeric args only, so no ownership.
 struct TraceEvent {
@@ -109,23 +136,66 @@ struct TraceEvent {
 
 /// One row of the flat metrics snapshot.
 struct MetricRow {
-  enum class Kind : std::uint8_t { kCounter, kGauge, kTiming, kTimeAverage };
+  enum class Kind : std::uint8_t {
+    kCounter,
+    kGauge,
+    kTiming,
+    kTimeAverage,
+    kHistogram,
+  };
   std::string name;
   Kind kind = Kind::kCounter;
   std::uint64_t count = 0;  ///< samples (Timing/Gauge) or counter value
   double sum = 0.0;
   double min = 0.0, max = 0.0, last = 0.0;  ///< NaN where not applicable
+  /// Bucketed distribution; populated only for kHistogram rows (lazy
+  /// storage: an empty histogram member costs no allocation).
+  Log2Histogram hist;
   /// An empty stat (no samples recorded) — exporters render "-" instead of
   /// a fake zero.
   bool empty() const { return count == 0 && kind != Kind::kCounter; }
 };
 
+const char* metric_kind_name(MetricRow::Kind k);
+/// Inverse of metric_kind_name; false when `name` is unknown.
+bool metric_kind_from_name(const std::string& name, MetricRow::Kind* out);
+
+/// Cross-shard row combination (the farm merges per-worker snapshots with
+/// this).  Kinds merge as:
+///   counter       sums
+///   gauge         count sums; last/max taken from `from` when it has
+///                 samples (last-writer-per-shard), max NaN-aware
+///   timing        count/sum sum, min/max NaN-aware exact
+///   time_average  average-of-averages weighted by shard sample count
+///                 (approximate — per-shard durations are not retained);
+///                 max NaN-aware, last last-writer
+///   histogram     exact bucketwise merge (Log2Histogram::merge)
+/// Merging an empty row is a no-op for extrema: NaN-when-empty min/max
+/// never poison (or fake-zero) the populated side.  Throws LogicError on a
+/// kind mismatch between rows of the same name.
+void merge_metric_row(MetricRow& into, const MetricRow& from);
+
 struct MetricsSnapshot {
   std::vector<MetricRow> rows;  ///< sorted by name
   std::uint64_t trace_events = 0;
   std::uint64_t trace_dropped = 0;
+
   std::string to_json() const;
   std::string to_table() const;
+
+  /// Structured form of to_json() (same shape); parse side below.
+  json::Value to_json_value() const;
+  /// Inverse of to_json_value/to_json.  Throws LogicError on a document
+  /// that is not a metrics snapshot (missing "metrics" array, bad kinds).
+  static MetricsSnapshot from_json(const json::Value& doc);
+
+  /// Merges another shard's snapshot into this one, row-matched by name
+  /// (see merge_metric_row for per-kind semantics); trace totals sum.
+  /// Associative and commutative for counters/timings/histograms.
+  void merge_from(const MetricsSnapshot& other);
+
+  /// Row lookup by exact name; nullptr when absent.
+  const MetricRow* find(const std::string& name) const;
 };
 
 class Hub {
@@ -150,6 +220,7 @@ class Hub {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Timing& timing(const std::string& name);
+  HistogramMetric& histogram(const std::string& name);
 
   // --- published rows (component-owned stats, pushed at quiescent points) -
   void publish_count(const std::string& name, std::uint64_t value);
@@ -157,6 +228,7 @@ class Hub {
   void publish_stat(const std::string& name, const SampleStat& s);
   void publish_time_avg(const std::string& name, const TimeAverageStat& s,
                         double now_seconds);
+  void publish_histogram(const std::string& name, const Log2Histogram& h);
 
   // --- timeline rows ------------------------------------------------------
   /// Registers (or looks up) a named timeline row.  Stable until reset().
@@ -203,6 +275,7 @@ class Hub {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Timing>> timings_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
   std::map<std::string, MetricRow> published_;
 
   /// Writes the ring's events (sorted by timestamp) to the stream file and

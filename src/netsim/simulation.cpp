@@ -123,6 +123,9 @@ void Simulation::finish() {
     deliver(*p, intr);
   }
   packet_pool_.publish_telemetry();
+  if (telemetry::enabled() && !flows_.empty()) {
+    flows_.publish("flow", now().seconds());
+  }
 }
 
 SampleStat& Simulation::sample_stat(const std::string& name) {

@@ -14,6 +14,7 @@
 
 #include "src/core/stats.hpp"
 #include "src/dsim/scheduler.hpp"
+#include "src/netsim/flow_stats.hpp"
 #include "src/netsim/process.hpp"
 
 namespace castanet::netsim {
@@ -90,6 +91,11 @@ class Simulation {
   PacketPool& packet_pool() { return packet_pool_; }
   const PacketPool& packet_pool() const { return packet_pool_; }
 
+  /// Per-flow (VPI/VCI/stream) cell statistics; recording is gated on
+  /// telemetry::enabled() and published into the Hub by finish().
+  FlowRegistry& flows() { return flows_; }
+  const FlowRegistry& flows() const { return flows_; }
+
   Rng& rng() { return rng_; }
 
  private:
@@ -118,6 +124,7 @@ class Simulation {
   std::unordered_map<std::uint64_t, Connection> connections_;
   std::unordered_map<std::string, SampleStat> sample_stats_;
   std::unordered_map<std::string, TimeAverageStat> time_stats_;
+  FlowRegistry flows_;
   std::uint64_t packets_created_ = 0;
 };
 

@@ -13,6 +13,7 @@
 
 #include "src/castanet/wire.hpp"
 #include "src/core/error.hpp"
+#include "src/core/telemetry.hpp"
 
 namespace castanet::cosim::farm {
 namespace {
@@ -221,6 +222,105 @@ TEST(Farm, TraceOutRetaggedPerSessionAndWorker) {
     farm_paths.insert(r.detail);
   }
   EXPECT_EQ(farm_paths.size(), specs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry over the farm seam: per-session snapshots ship to the parent,
+// merge deterministically, and worker heartbeats arrive while items are in
+// flight.
+
+// Deterministic per-spec snapshot: a counter scaled by the seed plus a
+// histogram whose samples depend only on the seed.
+SessionResult metric_run(const SessionSpec& spec) {
+  SessionResult r = fake_run(spec);
+  worker_heartbeat(static_cast<double>(spec.seed));
+  telemetry::MetricRow counter;
+  counter.name = "fake.cells";
+  counter.kind = telemetry::MetricRow::Kind::kCounter;
+  counter.count = spec.seed * 10;
+  telemetry::MetricRow hist;
+  hist.name = "fake.lag";
+  hist.kind = telemetry::MetricRow::Kind::kHistogram;
+  for (std::uint64_t i = 0; i <= spec.seed; ++i) {
+    hist.hist.record(1e-6 * static_cast<double>(1 + i + spec.seed));
+  }
+  hist.count = hist.hist.count();
+  hist.sum = hist.hist.sum();
+  hist.min = hist.hist.min();
+  hist.max = hist.hist.max();
+  r.metrics.rows.push_back(std::move(counter));
+  r.metrics.rows.push_back(std::move(hist));
+  r.has_metrics = true;
+  return r;
+}
+
+TEST(FarmTelemetry, SnapshotsShipAndMergeIdenticallyToSerial) {
+  const auto specs = make_specs(8);
+  const FarmReport serial = run_serial(specs, metric_run);
+  const FarmReport farmed = run_farm(specs, metric_run, FarmParams{3});
+
+  EXPECT_EQ(serial.sessions_with_metrics, 8);
+  EXPECT_EQ(farmed.sessions_with_metrics, 8);
+  // Per-session snapshots survive the socketpair seam bit-exactly...
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(farmed.results[i].has_metrics);
+    const auto* fh = farmed.results[i].metrics.find("fake.lag");
+    const auto* sh = serial.results[i].metrics.find("fake.lag");
+    ASSERT_NE(fh, nullptr);
+    ASSERT_NE(sh, nullptr);
+    EXPECT_TRUE(fh->hist.identical(sh->hist));
+  }
+  // ...and the farm-wide merge is identical to the serial merge: counters
+  // summed, histogram buckets combined exactly.
+  const auto* fc = farmed.metrics.find("fake.cells");
+  const auto* sc = serial.metrics.find("fake.cells");
+  ASSERT_NE(fc, nullptr);
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(fc->count, sc->count);
+  std::uint64_t expected = 0;
+  for (const auto& s : specs) expected += s.seed * 10;
+  EXPECT_EQ(fc->count, expected);
+  const auto* fl = farmed.metrics.find("fake.lag");
+  const auto* sl = serial.metrics.find("fake.lag");
+  ASSERT_NE(fl, nullptr);
+  ASSERT_NE(sl, nullptr);
+  EXPECT_TRUE(fl->hist.identical(sl->hist));
+}
+
+TEST(FarmTelemetry, HeartbeatsReachTheParentWhileItemsRun) {
+  const auto specs = make_specs(5);
+  const FarmReport report = run_farm(specs, metric_run, FarmParams{2});
+  // One worker_heartbeat per session, forwarded as kBeat frames.
+  EXPECT_EQ(report.heartbeats, specs.size());
+  EXPECT_TRUE(report.all_ok());
+}
+
+TEST(FarmTelemetry, HeartbeatOutsideAWorkerIsANoop) {
+  // In-process (serial) runs have no pipe to the parent; the call must be
+  // safe and report false.
+  EXPECT_FALSE(worker_heartbeat(1.0));
+}
+
+TEST(ForkMap, BeatFramesCarryItemWorkerAndValue) {
+  std::vector<std::pair<std::size_t, double>> beats;
+  fork_map(
+      4, 2,
+      [](std::size_t item, int) {
+        worker_heartbeat(static_cast<double>(item) * 2.5);
+        wire::Writer w;
+        w.u64(item);
+        return w.data();
+      },
+      [](std::size_t, const std::vector<std::uint8_t>&) {},
+      [](std::size_t, const std::string&) { FAIL(); },
+      [&](std::size_t item, int worker, double value) {
+        EXPECT_GE(worker, 0);
+        beats.emplace_back(item, value);
+      });
+  ASSERT_EQ(beats.size(), 4u);
+  for (const auto& [item, value] : beats) {
+    EXPECT_EQ(value, static_cast<double>(item) * 2.5);
+  }
 }
 
 // ---------------------------------------------------------------------------

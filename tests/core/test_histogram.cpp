@@ -1,0 +1,185 @@
+// Log2Histogram: bucket edges, quantile error bound against the exact order
+// statistic, and the exact-merge guarantee the farm report depends on —
+// merged per-shard histograms must be bit-identical to the single-process
+// histogram of the union of samples.
+#include "src/core/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/error.hpp"
+#include "src/core/rng.hpp"
+
+namespace castanet {
+namespace {
+
+TEST(Log2Histogram, EmptyHasNanEnvelopeAndNanQuantile) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(Log2Histogram, BucketEdgesArePowersOfTwo) {
+  // 1.0 = 2^0 lands in the bucket covering [1, 2).
+  const int b = Log2Histogram::bucket_of(1.0);
+  EXPECT_EQ(Log2Histogram::bucket_lo(b), 1.0);
+  EXPECT_EQ(Log2Histogram::bucket_hi(b), 2.0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1.999), b);
+  EXPECT_EQ(Log2Histogram::bucket_of(2.0), b + 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(0.5), b - 1);
+  // Zero and negatives land in the dedicated zero bucket.
+  EXPECT_EQ(Log2Histogram::bucket_of(0.0), -1);
+  EXPECT_EQ(Log2Histogram::bucket_of(-3.0), -1);
+}
+
+TEST(Log2Histogram, ZeroSamplesAreRealObservations) {
+  Log2Histogram h;
+  h.record(0.0);
+  h.record(0.0);
+  h.record(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.zero_count(), 2u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 4.0);
+  // Two of three samples are zero: the median is zero.
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Log2Histogram, QuantileClampsIntoExactEnvelope) {
+  Log2Histogram h;
+  h.record(3.0);  // bucket [2, 4) — upper edge 4 would overshoot max
+  EXPECT_EQ(h.quantile(0.0), 3.0);
+  EXPECT_EQ(h.quantile(1.0), 3.0);
+  EXPECT_THROW(h.quantile(-0.1), LogicError);
+  EXPECT_THROW(h.quantile(1.1), LogicError);
+}
+
+// The documented bound: true_q <= quantile(q) <= 2 * true_q for positive
+// samples, checked against the sorted-vector order statistic on randomized
+// workloads spanning ten orders of magnitude.
+TEST(Log2Histogram, RandomizedQuantileWithinOneOctaveOfExact) {
+  Rng rng(20260809);
+  for (int round = 0; round < 20; ++round) {
+    Log2Histogram h;
+    std::vector<double> samples;
+    const int n = 100 + static_cast<int>(rng.uniform() * 900);
+    for (int i = 0; i < n; ++i) {
+      // log-uniform over [1e-8, 1e2]
+      const double v = std::pow(10.0, -8.0 + 10.0 * rng.uniform());
+      samples.push_back(v);
+      h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      // Same rank convention as the implementation: 1-based rank
+      // max(1, ceil(q * n)).
+      const std::size_t rank = static_cast<std::size_t>(std::max(
+          1.0, std::ceil(q * static_cast<double>(samples.size()))));
+      const double exact = samples[rank - 1];
+      const double est = h.quantile(q);
+      EXPECT_GE(est, exact * (1.0 - 1e-12))
+          << "q=" << q << " round=" << round;
+      EXPECT_LE(est, exact * 2.0) << "q=" << q << " round=" << round;
+    }
+    EXPECT_EQ(h.min(), samples.front());
+    EXPECT_EQ(h.max(), samples.back());
+  }
+}
+
+// The farm-merge guarantee: splitting a deterministic workload across shards
+// and merging the per-shard histograms yields the same distribution as the
+// single-process run — buckets, count, min/max and therefore every quantile
+// are EXACT; only the sum (a float accumulation) depends on addition order
+// and agrees to rounding.
+TEST(Log2Histogram, ShardedMergeMatchesSingleProcess) {
+  Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(std::pow(10.0, -6.0 + 9.0 * rng.uniform()));
+  }
+  Log2Histogram whole;
+  for (double v : samples) whole.record(v);
+
+  for (const int shards : {2, 3, 7}) {
+    std::vector<Log2Histogram> parts(shards);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      parts[i % shards].record(samples[i]);
+    }
+    Log2Histogram merged;
+    for (const Log2Histogram& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.count(), whole.count()) << shards << " shards";
+    EXPECT_EQ(merged.zero_count(), whole.zero_count());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    EXPECT_EQ(merged.nonzero_buckets(), whole.nonzero_buckets());
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * whole.sum());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(Log2Histogram, MergePreservesEmptySemantics) {
+  Log2Histogram a, b;
+  a.merge(b);  // empty + empty stays empty
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(std::isnan(a.min()));
+
+  Log2Histogram c;
+  c.record(2.5);
+  a.merge(c);  // empty + nonempty adopts the envelope exactly
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 2.5);
+  EXPECT_EQ(a.max(), 2.5);
+  EXPECT_TRUE(a.identical(c));
+
+  c.merge(b);  // nonempty + empty is a no-op
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.min(), 2.5);
+}
+
+TEST(Log2Histogram, MergeIsAssociative) {
+  Log2Histogram a, b, c;
+  a.record(1.0);
+  a.record(100.0);
+  b.record(0.001);
+  c.record(7.5);
+  c.record(0.0);
+
+  Log2Histogram ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+
+  Log2Histogram bc = b;
+  bc.merge(c);
+  Log2Histogram a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_TRUE(ab_c.identical(a_bc));
+}
+
+TEST(Log2Histogram, FromPartsRoundTrips) {
+  Log2Histogram h;
+  h.record(0.0);
+  h.record(1e-9);
+  h.record(3.5);
+  h.record(3.6);
+  const Log2Histogram back = Log2Histogram::from_parts(
+      h.count(), h.sum(), h.min(), h.max(), h.zero_count(),
+      h.nonzero_buckets());
+  EXPECT_TRUE(back.identical(h));
+
+  const Log2Histogram empty_back =
+      Log2Histogram::from_parts(0, 0.0, std::nan(""), std::nan(""), 0, {});
+  EXPECT_TRUE(empty_back.identical(Log2Histogram{}));
+}
+
+}  // namespace
+}  // namespace castanet

@@ -27,6 +27,10 @@
 //                            "board" scenario defaults to 200)
 //   trace_out              telemetry trace path; automatically tagged with
 //                          the session id + worker so runs never collide
+//   metrics_out            per-session metrics JSON path, tagged like
+//                          trace_out; implies telemetry capture
+//   metrics                bool: capture a telemetry snapshot per session
+//                          and ship it to the parent for the merged report
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,6 +40,7 @@
 #include "examples/rigs/accounting_rig.hpp"
 #include "examples/rigs/switch_rig.hpp"
 #include "src/castanet/farm.hpp"
+#include "src/castanet/report.hpp"
 #include "src/castanet/wire.hpp"
 #include "src/core/error.hpp"
 #include "src/core/telemetry.hpp"
@@ -71,19 +76,38 @@ cosim::VerificationSession::Params session_params(const SessionSpec& spec) {
   return sp;
 }
 
-/// Streams a telemetry trace for this session when the spec asks for one.
-/// The farm already tagged the path with session id + worker.
-class ScopedTrace {
+/// Arms the telemetry Hub for one session when the spec asks for traces
+/// (`trace_out`), per-session metrics files (`metrics_out`) or in-memory
+/// snapshot capture (`metrics: true`).  The farm already tagged both output
+/// paths with session id + worker, so concurrent shards never collide.
+class ScopedTelemetry {
  public:
-  explicit ScopedTrace(const SessionSpec& spec) {
-    if (const json::Value* t = spec.params.find("trace_out");
-        t != nullptr && t->is_string()) {
-      telemetry::Hub::instance().enable();
-      telemetry::Hub::instance().stream_trace_to(t->as_string());
-      active_ = true;
+  explicit ScopedTelemetry(const SessionSpec& spec) {
+    metrics_out_ = spec.params.string_or("metrics_out", "");
+    trace_out_ = spec.params.string_or("trace_out", "");
+    active_ = spec.params.bool_or("metrics", false) || !metrics_out_.empty() ||
+              !trace_out_.empty();
+    if (!active_) return;
+    telemetry::Hub::instance().enable();
+    if (!trace_out_.empty()) {
+      telemetry::Hub::instance().stream_trace_to(trace_out_);
     }
   }
-  ~ScopedTrace() {
+
+  /// Captures the final Hub snapshot into the result (shipped to the farm
+  /// parent over the socketpair) and the metrics_out file.  Call once, after
+  /// the scenario finished and published its stats.
+  void capture(SessionResult& r) {
+    if (!active_) return;
+    r.metrics = telemetry::Hub::instance().snapshot();
+    r.has_metrics = true;
+    if (!metrics_out_.empty()) {
+      std::ofstream f(metrics_out_);
+      if (f) f << r.metrics.to_json();
+    }
+  }
+
+  ~ScopedTelemetry() {
     if (active_) {
       telemetry::Hub::instance().stop_trace_stream();
       telemetry::Hub::instance().disable();
@@ -92,6 +116,8 @@ class ScopedTrace {
 
  private:
   bool active_ = false;
+  std::string metrics_out_;
+  std::string trace_out_;
 };
 
 void digest_comparator(cosim::wire::Writer& w,
@@ -110,7 +136,7 @@ void digest_comparator(cosim::wire::Writer& w,
 }
 
 SessionResult run_accounting(const SessionSpec& spec) {
-  ScopedTrace trace_guard(spec);
+  ScopedTelemetry telemetry_guard(spec);
   rigs::AccountingRig::Params rp;
   rp.session = session_params(spec);
   rp.board_real_time_per_test_cycle = std::chrono::microseconds(
@@ -122,6 +148,7 @@ SessionResult run_accounting(const SessionSpec& spec) {
   const traffic::CellTrace trace =
       mutate_trace(rigs::AccountingRig::record_trace(cells), spec.seed);
   rig.drive(trace);
+  cosim::farm::worker_heartbeat(0.0);
   rig.run(trace.arrivals().back().time + SimTime::from_ms(1));
 
   const auto& cmp = rig.session->comparator();
@@ -143,11 +170,13 @@ SessionResult run_accounting(const SessionSpec& spec) {
              " clp1_0=" + std::to_string(rig.ref.clp1_count(0)) +
              " charge0=" + std::to_string(rig.ref.charge(0));
   if (!r.ok) r.error = cmp.report();
+  cosim::farm::worker_heartbeat(static_cast<double>(stats.responses));
+  telemetry_guard.capture(r);
   return r;
 }
 
 SessionResult run_switch(const SessionSpec& spec) {
-  ScopedTrace trace_guard(spec);
+  ScopedTelemetry telemetry_guard(spec);
   rigs::SwitchRig::Params rp;
   rp.session = session_params(spec);
   rigs::SwitchRig rig(rp);
@@ -157,6 +186,7 @@ SessionResult run_switch(const SessionSpec& spec) {
       rigs::SwitchRig::record_traces(cells);
   for (traffic::CellTrace& t : traces) t = mutate_trace(t, spec.seed);
   rig.drive(traces);
+  cosim::farm::worker_heartbeat(0.0);
   rig.run(rigs::SwitchRig::horizon(traces) + SimTime::from_ms(2));
 
   const auto& cmp = rig.session.comparator();
@@ -173,6 +203,8 @@ SessionResult run_switch(const SessionSpec& spec) {
   r.detail = "responses=" + std::to_string(stats.responses) +
              " matched=" + std::to_string(cmp.responses_matched());
   if (!r.ok) r.error = cmp.report();
+  cosim::farm::worker_heartbeat(static_cast<double>(stats.responses));
+  telemetry_guard.capture(r);
   return r;
 }
 
@@ -192,9 +224,15 @@ int usage(const char* argv0) {
                "  -j N               worker processes (default 1)\n"
                "  --serial           run inline in this process (baseline)\n"
                "  --check            run serial AND farmed, assert identical\n"
-               "                     per-session results\n"
+               "                     per-session results and merged counters\n"
                "  --out FILE         write the JSON report here (default "
-               "stdout)\n";
+               "stdout)\n"
+               "  --metrics FILE     per-session metrics JSON (tagged with\n"
+               "                     session id + worker); enables telemetry\n"
+               "  --trace FILE       per-session Chrome trace (tagged too)\n"
+               "  --report [FILE]    consolidated run report: table on\n"
+               "                     stderr, JSON to FILE when given;\n"
+               "                     enables telemetry\n";
   return 2;
 }
 
@@ -212,12 +250,50 @@ bool results_identical(const std::vector<SessionResult>& a,
   return true;
 }
 
+/// Deterministic subset of the merged snapshot: counters and histograms are
+/// driven purely by simulated time + stimulus, so a farmed merge must equal
+/// the serial merge exactly.  Wall-clock timings legitimately differ.
+bool merged_counters_identical(const telemetry::MetricsSnapshot& farm,
+                               const telemetry::MetricsSnapshot& serial,
+                               std::string& why) {
+  using Kind = telemetry::MetricRow::Kind;
+  for (const telemetry::MetricRow& s : serial.rows) {
+    if (s.kind != Kind::kCounter && s.kind != Kind::kHistogram) continue;
+    const telemetry::MetricRow* f = farm.find(s.name);
+    if (f == nullptr || f->kind != s.kind) {
+      why = "row \"" + s.name + "\" missing from the farmed merge";
+      return false;
+    }
+    if (f->count != s.count) {
+      why = "row \"" + s.name + "\": farm count " + std::to_string(f->count) +
+            " != serial " + std::to_string(s.count);
+      return false;
+    }
+    if (s.kind == Kind::kHistogram && !f->hist.identical(s.hist)) {
+      why = "histogram \"" + s.name + "\" differs between farm and serial";
+      return false;
+    }
+  }
+  for (const telemetry::MetricRow& f : farm.rows) {
+    if (f.kind != Kind::kCounter && f.kind != Kind::kHistogram) continue;
+    if (serial.find(f.name) == nullptr) {
+      why = "farmed merge has extra row \"" + f.name + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
 int farm_main(int argc, char** argv) {
   std::string experiment;
   std::string out_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string report_path;
   int jobs = 1;
   bool serial = false;
   bool check = false;
+  bool want_report = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--experiment" && i + 1 < argc) {
@@ -232,14 +308,28 @@ int farm_main(int argc, char** argv) {
       check = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--report") {
+      want_report = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') report_path = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
   if (experiment.empty() || jobs < 1) return usage(argv[0]);
 
-  const std::vector<SessionSpec> specs =
+  std::vector<SessionSpec> specs =
       cosim::farm::load_experiment_file(experiment);
+  // CLI telemetry flags apply to every session; the farm retags the output
+  // paths per session + worker so shards never collide.
+  for (SessionSpec& spec : specs) {
+    if (!metrics_path.empty()) spec.params.set("metrics_out", metrics_path);
+    if (!trace_path.empty()) spec.params.set("trace_out", trace_path);
+    if (want_report || check) spec.params.set("metrics", true);
+  }
   std::cerr << "castanet_farm: " << specs.size() << " sessions from "
             << experiment << "\n";
 
@@ -258,10 +348,38 @@ int farm_main(int argc, char** argv) {
                 << "serial: " << baseline.to_json().dump(2) << "\n";
       return 1;
     }
+    std::string why;
+    if (!merged_counters_identical(report.metrics, baseline.metrics, why)) {
+      std::cerr << "castanet_farm: FARM/SERIAL MERGED METRICS MISMATCH: "
+                << why << "\n";
+      return 1;
+    }
     std::cerr << "castanet_farm: farmed results byte-identical to serial ("
-              << report.results.size() << " sessions, farm "
+              << report.results.size() << " sessions, "
+              << report.metrics.rows.size() << " merged metric rows, farm "
               << report.wall_seconds << "s vs serial "
               << baseline.wall_seconds << "s)\n";
+  }
+
+  if (want_report) {
+    cosim::report::RunReport run_report;
+    for (const SessionResult& r : report.results) {
+      if (!r.has_metrics) continue;
+      run_report.shards.push_back(
+          cosim::report::ShardMetrics{r.id, r.metrics});
+    }
+    run_report.merged = report.metrics;
+    std::cerr << run_report.to_table();
+    if (!report_path.empty()) {
+      std::ofstream f(report_path);
+      if (!f) {
+        std::cerr << "castanet_farm: cannot write " << report_path << "\n";
+        return 1;
+      }
+      f << run_report.to_json().dump(2) << "\n";
+      std::cerr << "castanet_farm: run report written to " << report_path
+                << "\n";
+    }
   }
 
   const std::string json = report.to_json().dump(2);
