@@ -82,10 +82,24 @@ METRICS_SMOKE="$BUILD/coverify_metrics.json"
 "$BUILD/tools/castanet_report" --validate "$METRICS_SMOKE"
 echo "metrics schema OK: $METRICS_SMOKE"
 
+echo "== lint schema (castanet_lint --json, --validate round-trip)"
+# Same contract as the metrics schema gate above, for the lint report
+# format: the --json document must survive from_json/to_json_value with
+# structural identity (key order, summary counts, suppressed total).
+LINT_JSON="$BUILD/lint_report.json"
+"$BUILD/tools/castanet_lint" --design all --json > "$LINT_JSON"
+"$BUILD/tools/castanet_lint" --validate "$LINT_JSON"
+
 if [ "$run_lint" -eq 1 ]; then
-  # Exit status 0 requires zero error-severity diagnostics on every design.
-  echo "== castanet_lint --design all ($BUILD)"
-  "$BUILD/tools/castanet_lint" --design all
+  # Full gate: netlist + dataflow (DF-*) rules on both rigs, ratcheted
+  # against the checked-in clean baseline — any finding not listed there
+  # fails, so new defects cannot ride in under note severity.  The
+  # dataflow wall time lands in the metrics snapshot for trend tracking.
+  echo "== castanet_lint --design all --dataflow --strict (baseline-gated)"
+  "$BUILD/tools/castanet_lint" --design all --dataflow --strict \
+    --baseline tests/lint/examples_baseline.json \
+    --metrics "$BUILD/lint_metrics.json"
+  "$BUILD/tools/castanet_report" --validate "$BUILD/lint_metrics.json"
 fi
 
 if [ "$run_farm" -eq 1 ]; then

@@ -33,8 +33,11 @@ AccountingUnit::AccountingUnit(rtl::Simulator& sim, std::string name,
   const rtl::ProcessId count_pid =
       clocked("count", clk_, [this] { on_clk_count(); });
   wake_on(count_pid, {rst_.id(), rx_->cell_valid.id()});
+  guard_on(count_pid, rst_, /*active_high=*/true, rtl::GuardKind::kReset,
+           "count");
   const rtl::ProcessId bus_pid = clocked("bus", clk_, [this] { on_clk_bus(); });
   wake_on(bus_pid, {rst_.id(), cs.id()});
+  guard_on(bus_pid, rst_, /*active_high=*/true, rtl::GuardKind::kReset, "bus");
 }
 
 void AccountingUnit::bind_connection(atm::VcId vc, std::size_t index,

@@ -13,6 +13,7 @@ CellReceiver::CellReceiver(rtl::Simulator& sim, std::string name,
   hec_error = make_signal("hec_error", rtl::Logic::L0);
   const rtl::ProcessId pid = clocked("rx", clk_, [this] { on_clk(); });
   wake_on(pid, {rst_.id(), in_.valid.id()});
+  guard_on(pid, rst_, /*active_high=*/true, rtl::GuardKind::kReset, "rx");
 }
 
 void CellReceiver::on_clk() {

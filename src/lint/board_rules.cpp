@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <sstream>
 #include <vector>
 
 namespace castanet::lint {
@@ -34,11 +35,32 @@ unsigned total_bits(const std::vector<LaneSlice>& slices) {
 struct Ctx {
   const std::string& scope;
   Report& report;
+  const PinRemap* remap = nullptr;
   /// Per-pin owner label ("inport 3", ...) for the two direction classes;
   /// empty string = unclaimed.
   std::array<std::string, kPins> tester_owner{};
   std::array<std::string, kPins> dut_owner{};
 };
+
+std::string slice_str(const LaneSlice& s) {
+  return "lane " + std::to_string(s.byte_lane) + " bits [" +
+         std::to_string(s.start_bit) + ".." +
+         std::to_string(s.start_bit + s.nbits) + ")";
+}
+
+/// The concrete relocation the proposed remap found for this slice (if
+/// any), rendered for a fix hint.
+std::string remap_hint(const Ctx& ctx, const std::string& port,
+                       std::size_t slice_index) {
+  if (ctx.remap == nullptr) return "";
+  for (const SliceMove& m : ctx.remap->moves) {
+    if (m.ok && m.port == port && m.slice_index == slice_index) {
+      return "; proposed remap: " + slice_str(m.from) + " -> " +
+             slice_str(m.to) + " (--fix-dry-run prints the patched config)";
+    }
+  }
+  return "";
+}
 
 void check_slices(Ctx& ctx, const std::string& port,
                   const std::vector<LaneSlice>& slices, unsigned width,
@@ -52,14 +74,16 @@ void check_slices(Ctx& ctx, const std::string& port,
                        " bit(s) covered by its lane slices",
                    "make width the sum of the slice widths (and non-zero)");
   }
-  for (const LaneSlice& s : slices) {
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const LaneSlice& s = slices[i];
     if (s.byte_lane >= kByteLanes) {
       ctx.report.add("BRD-LANE-RANGE", Severity::kError, kFamily,
                      qualify(ctx.scope, port),
                      "slice references byte lane " +
                          std::to_string(s.byte_lane) + "; the board has " +
                          std::to_string(kByteLanes) + " lanes (0..15)",
-                     "use a lane ID below " + std::to_string(kByteLanes));
+                     "use a lane ID below " + std::to_string(kByteLanes) +
+                         remap_hint(ctx, port, i));
       continue;  // pin math below would index out of the pin array
     }
     if (s.nbits == 0 || s.nbits > kPinsPerLane ||
@@ -72,7 +96,7 @@ void check_slices(Ctx& ctx, const std::string& port,
               std::to_string(s.byte_lane) + " exceed the " +
               std::to_string(kPinsPerLane) + "-pin lane width",
           "keep start_bit + nbits <= " + std::to_string(kPinsPerLane) +
-              " and nbits >= 1");
+              " and nbits >= 1" + remap_hint(ctx, port, i));
       continue;
     }
     auto& owner = dut_driven ? ctx.dut_owner : ctx.tester_owner;
@@ -86,7 +110,8 @@ void check_slices(Ctx& ctx, const std::string& port,
                            std::to_string(s.start_bit + b) +
                            ") is already claimed by " + owner[pin] +
                            " in the same drive direction",
-                       "move one of the overlapping slices to free pins");
+                       "move one of the overlapping slices to free pins" +
+                           remap_hint(ctx, port, i));
       } else {
         owner[pin] = port;
       }
@@ -199,9 +224,117 @@ void check_ioports(Ctx& ctx, const board::ConfigDataSet& cfg) {
 
 }  // namespace
 
+PinRemap propose_pin_remap(const board::ConfigDataSet& cfg) {
+  PinRemap out;
+  out.patched = cfg;
+  std::array<bool, kPins> tester{};
+  std::array<bool, kPins> dut{};
+
+  const auto pins_free = [&](const LaneSlice& s, bool dut_driven) {
+    for (unsigned b = 0; b < s.nbits; ++b) {
+      const std::size_t pin = s.byte_lane * kPinsPerLane + s.start_bit + b;
+      if (dut_driven ? (dut[pin] || tester[pin]) : tester[pin]) return false;
+    }
+    return true;
+  };
+  const auto claim = [&](const LaneSlice& s, bool dut_driven) {
+    for (unsigned b = 0; b < s.nbits; ++b) {
+      const std::size_t pin = s.byte_lane * kPinsPerLane + s.start_bit + b;
+      (dut_driven ? dut : tester)[pin] = true;
+    }
+  };
+  const auto in_range = [](const LaneSlice& s) {
+    return s.byte_lane < kByteLanes && s.nbits >= 1 &&
+           s.nbits <= kPinsPerLane && s.start_bit + s.nbits <= kPinsPerLane;
+  };
+  // Lowest free contiguous run of the slice's width, scanning lanes then
+  // start bits (runs never span a lane: the board packs per byte lane).
+  const auto relocate = [&](LaneSlice& s, bool dut_driven) {
+    for (std::uint8_t lane = 0; lane < kByteLanes; ++lane) {
+      for (std::uint8_t start = 0; start + s.nbits <= kPinsPerLane; ++start) {
+        const LaneSlice cand{lane, start, s.nbits};
+        if (pins_free(cand, dut_driven)) {
+          s = cand;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  const auto handle = [&](std::vector<LaneSlice>& slices,
+                          const std::string& port, bool dut_driven) {
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      LaneSlice& s = slices[i];
+      if (in_range(s) && pins_free(s, dut_driven)) {
+        claim(s, dut_driven);  // first claimant keeps its pins
+        continue;
+      }
+      SliceMove mv{port, i, s, s, false};
+      if (s.nbits >= 1 && s.nbits <= kPinsPerLane) {
+        LaneSlice target = s;
+        if (relocate(target, dut_driven)) {
+          mv.to = target;
+          mv.ok = true;
+          s = target;
+          claim(s, dut_driven);
+        }
+      }
+      out.changed |= mv.ok;
+      out.complete &= mv.ok;
+      out.moves.push_back(std::move(mv));
+    }
+  };
+
+  for (auto& m : out.patched.inports) {
+    handle(m.slices, "inport " + std::to_string(m.inport),
+           /*dut_driven=*/false);
+  }
+  for (auto& m : out.patched.ctrlports) {
+    handle(m.slices, "ctrlport " + std::to_string(m.ctrlport),
+           /*dut_driven=*/false);
+  }
+  for (auto& m : out.patched.outports) {
+    handle(m.slices, "outport " + std::to_string(m.outport),
+           /*dut_driven=*/true);
+  }
+  return out;
+}
+
+std::string render_board_config(const board::ConfigDataSet& cfg) {
+  std::ostringstream os;
+  const auto slices_str = [](const std::vector<LaneSlice>& slices) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      if (i) out += ",";
+      out += " " + slice_str(slices[i]);
+    }
+    return out + " }";
+  };
+  os << "gating_factor " << cfg.gating_factor << "\n";
+  for (const InportMapping& m : cfg.inports) {
+    os << "inport " << m.inport << " width " << m.width << " "
+       << slices_str(m.slices) << "\n";
+  }
+  for (const CtrlportMapping& m : cfg.ctrlports) {
+    os << "ctrlport " << m.ctrlport << " width " << m.width << " "
+       << slices_str(m.slices) << " write_value " << m.write_value << "\n";
+  }
+  for (const OutportMapping& m : cfg.outports) {
+    os << "outport " << m.outport << " width " << m.width << " "
+       << slices_str(m.slices) << "\n";
+  }
+  for (const IoPortMapping& m : cfg.ioports) {
+    os << "ioport in " << m.inport << " out " << m.outport << " ctrl "
+       << m.ctrlport << " width " << m.width << " dut_drives_value "
+       << m.dut_drives_value << "\n";
+  }
+  return os.str();
+}
+
 void analyze_board_config(const board::ConfigDataSet& cfg,
                           const std::string& scope, Report& report) {
-  Ctx ctx{scope, report, {}, {}};
+  const PinRemap remap = propose_pin_remap(cfg);
+  Ctx ctx{scope, report, remap.changed ? &remap : nullptr, {}, {}};
 
   if (cfg.gating_factor == 0) {
     report.add("BRD-GATING", Severity::kError, kFamily,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/error.hpp"
+#include "src/core/json.hpp"
 
 namespace castanet::lint {
 
@@ -70,6 +71,13 @@ class Report {
   std::string to_text() const;
   /// Machine-readable form: {"diagnostics": [...], "errors": N, ...}.
   std::string to_json() const;
+  /// Structured form of to_json(): same fields, same order, as a
+  /// json::Value document (the CLI --json schema gate round-trips it).
+  json::Value to_json_value() const;
+  /// Rebuilds a report from to_json()/to_json_value() output.  Throws
+  /// LintError when the document is not a lint report (missing
+  /// "diagnostics", unknown severity).
+  static Report from_json(const json::Value& v);
 
   /// Throws LintError listing the offending diagnostics when any diagnostic
   /// has severity >= `threshold` (strict elaboration hooks).
@@ -79,5 +87,14 @@ class Report {
   std::vector<Diagnostic> diags_;
   std::size_t suppressed_ = 0;
 };
+
+/// Schema gate for CLI lint JSON (castanet_lint --json / --validate).
+/// Accepts a bare report document or an object of design-name -> report,
+/// checks structural identity the way castanet_report --validate does:
+/// every report must parse back (Report::from_json) and re-serialize to the
+/// same document — unknown keys, mis-ordered fields or summary counts that
+/// disagree with the diagnostics all fail.  Returns "" when valid, else a
+/// one-line description of the first problem.
+std::string validate_lint_json(const std::string& text);
 
 }  // namespace castanet::lint

@@ -21,6 +21,20 @@ Report analyze_session(cosim::VerificationSession& session,
         settle(r->hdl(), r->sync().params().clock_period, opts.settle_cycles);
       }
       analyze_netlist(r->hdl(), nopts, report);
+      if (opts.dataflow) {
+        DataflowOptions dopts = opts.dataflow_options;
+        dopts.scope = b.name();
+        dopts.suppressions = opts.suppressions;
+        const DataflowStats stats = analyze_dataflow(r->hdl(), dopts, report);
+        if (opts.dataflow_stats != nullptr) {
+          opts.dataflow_stats->processes_probed += stats.processes_probed;
+          opts.dataflow_stats->probe_evaluations += stats.probe_evaluations;
+          opts.dataflow_stats->fixpoint_passes += stats.fixpoint_passes;
+          opts.dataflow_stats->degraded_processes += stats.degraded_processes;
+          opts.dataflow_stats->constant_signals += stats.constant_signals;
+          opts.dataflow_stats->wall_ns += stats.wall_ns;
+        }
+      }
     } else if (auto* brd = dynamic_cast<cosim::BoardBackend*>(&b)) {
       analyze_board_config(brd->board().config(), b.name(), report);
     }
@@ -36,6 +50,7 @@ void install_elaboration_hooks(HookConfig cfg) {
   rtl::Simulator::set_elaboration_hook([sim_cfg](rtl::Simulator& sim) {
     Report report;
     analyze_netlist(sim, NetlistOptions{}, report);
+    if (sim_cfg.dataflow) analyze_dataflow(sim, DataflowOptions{}, report);
     if (sim_cfg.sink) sim_cfg.sink(report);
     if (sim_cfg.strict) report.throw_if(Severity::kError);
   });
@@ -43,6 +58,7 @@ void install_elaboration_hooks(HookConfig cfg) {
       [cfg = std::move(cfg)](cosim::VerificationSession& session) {
         Options opts;
         opts.depth = NetlistDepth::kElaboration;
+        opts.dataflow = cfg.dataflow;
         Report report = analyze_session(session, opts);
         if (cfg.sink) cfg.sink(report);
         if (cfg.strict) report.throw_if(Severity::kError);

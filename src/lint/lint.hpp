@@ -23,6 +23,7 @@
 
 #include "src/castanet/session.hpp"
 #include "src/lint/board_rules.hpp"
+#include "src/lint/dataflow.hpp"
 #include "src/lint/diagnostic.hpp"
 #include "src/lint/netlist.hpp"
 #include "src/lint/sync_rules.hpp"
@@ -42,9 +43,19 @@ struct Options {
   /// diagnostics.
   bool strict = false;
   /// Per-signal rule suppressions, forwarded to every backend's netlist
-  /// analysis (see RuleSuppression in netlist.hpp).  Suppressed findings
-  /// are counted on the report, not silently absent.
+  /// and dataflow analyses (see suppress.hpp).  Suppressed findings are
+  /// counted on the report, not silently absent.
   std::vector<RuleSuppression> suppressions;
+  /// Run the DF-* abstract-interpretation rules (src/lint/dataflow.hpp) on
+  /// every RTL backend after the netlist rules.  Off by default: the probe
+  /// fixpoint costs more than the structural rules.
+  bool dataflow = false;
+  /// Budget knobs and constant seeds forwarded to analyze_dataflow when
+  /// `dataflow` is set (scope/suppressions are filled per backend).
+  DataflowOptions dataflow_options;
+  /// When non-null, accumulates the per-backend dataflow stats (the CLI
+  /// uses this for the metrics snapshot).
+  DataflowStats* dataflow_stats = nullptr;
 };
 
 /// Runs every analyzer family over `session` and its attached backends.
@@ -56,6 +67,10 @@ Report analyze_session(cosim::VerificationSession& session,
 struct HookConfig {
   /// Promote error-severity findings to LintError, aborting elaboration.
   bool strict = false;
+  /// Also run the DF-* dataflow rules in both hooks (default-budget
+  /// DataflowOptions).  DF findings are warnings, so strict mode stays
+  /// safe on clean designs.
+  bool dataflow = false;
   /// Invoked with every finished (possibly clean) report, before the strict
   /// check; use to log or collect findings in non-strict mode.
   std::function<void(const Report&)> sink;

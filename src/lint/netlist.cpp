@@ -15,25 +15,11 @@ std::string qualify(const std::string& scope, std::string loc) {
   return scope + ": " + loc;
 }
 
-bool signal_matches(const std::string& pattern, const std::string& name) {
-  if (!pattern.empty() && pattern.back() == '*') {
-    const std::size_t n = pattern.size() - 1;
-    return name.size() >= n && name.compare(0, n, pattern, 0, n) == 0;
-  }
-  return pattern == name;
-}
-
-/// True (and counted on the report) when a suppression entry covers this
-/// rule on this signal.
+/// Shared suppression machinery (suppress.hpp), bound to this family's
+/// options.
 bool is_suppressed(const NetlistOptions& opts, std::string_view rule,
                    const std::string& signal, Report& report) {
-  for (const RuleSuppression& s : opts.suppressions) {
-    if (!s.rule.empty() && s.rule != "*" && s.rule != rule) continue;
-    if (!signal_matches(s.signal, signal)) continue;
-    report.note_suppressed();
-    return true;
-  }
-  return false;
+  return lint::is_suppressed(opts.suppressions, rule, signal, report);
 }
 
 bool has_x(const rtl::LogicVector& v) {
@@ -164,52 +150,61 @@ void analyze_netlist(rtl::Simulator& sim, const NetlistOptions& opts,
   check_bindings(sim, opts, report);
   check_drivers(sim, opts, report);
 
-  const std::vector<std::string> comb_cycle =
-      rtl::find_combinational_cycle(sim);
-  if (!comb_cycle.empty()) {
-    report.add("NET-COMB-LOOP", Severity::kError, kFamily,
-               qualify(opts.scope, comb_cycle.front()),
-               "combinational loop: " + join_path(comb_cycle),
-               "break the loop with a clocked process or remove the "
-               "back-path from the sensitivity list");
+  // Suppressions gate the *analysis*, not just the reporting: a rule
+  // suppressed on every signal never runs its graph search (suppress.hpp).
+  if (!rule_fully_suppressed(opts.suppressions, "NET-COMB-LOOP")) {
+    const std::vector<std::string> comb_cycle =
+        rtl::find_combinational_cycle(sim);
+    if (!comb_cycle.empty()) {
+      report.add("NET-COMB-LOOP", Severity::kError, kFamily,
+                 qualify(opts.scope, comb_cycle.front()),
+                 "combinational loop: " + join_path(comb_cycle),
+                 "break the loop with a clocked process or remove the "
+                 "back-path from the sensitivity list");
+    }
   }
 
   if (opts.depth == NetlistDepth::kProbed) {
     check_undriven(sim, opts, report);
-    const TopologyInfo topo = classify_topology(sim);
-    if (topo.feed_forward) {
-      report.add("NET-TOPOLOGY", Severity::kNote, kFamily,
-                 qualify(opts.scope, "design"),
-                 "dataflow topology is feed-forward: pipelined co-simulation "
-                 "preserves bit-identity with serial mode (DESIGN.md §7)",
-                 "");
-    } else {
-      report.add("NET-TOPOLOGY", Severity::kNote, kFamily,
-                 qualify(opts.scope, "design"),
-                 "dataflow topology has feedback (" + join_path(topo.cycle) +
-                     "): the §7 bit-identity guarantee for pipelined mode "
-                     "does not apply automatically",
-                 "verify responses do not influence later stimulus, or use "
-                 "serial mode for signoff");
+    if (!rule_fully_suppressed(opts.suppressions, "NET-TOPOLOGY")) {
+      const TopologyInfo topo = classify_topology(sim);
+      if (topo.feed_forward) {
+        report.add("NET-TOPOLOGY", Severity::kNote, kFamily,
+                   qualify(opts.scope, "design"),
+                   "dataflow topology is feed-forward: pipelined "
+                   "co-simulation preserves bit-identity with serial mode "
+                   "(DESIGN.md §7)",
+                   "");
+      } else {
+        report.add("NET-TOPOLOGY", Severity::kNote, kFamily,
+                   qualify(opts.scope, "design"),
+                   "dataflow topology has feedback (" + join_path(topo.cycle) +
+                       "): the §7 bit-identity guarantee for pipelined mode "
+                       "does not apply automatically",
+                   "verify responses do not influence later stimulus, or use "
+                   "serial mode for signoff");
+      }
     }
 
     // Name every region the two-phase scheduler refuses to levelize
     // (DESIGN.md §7.7): these processes evaluate under the delta loop on
     // every wake, so they are where a redesign buys simulation speed.
-    const rtl::LevelSchedule sched = rtl::levelize(sim);
-    for (const rtl::FallbackRegion& region : sched.fallback_regions) {
-      std::string members;
-      for (std::size_t i = 0; i < region.members.size(); ++i) {
-        if (i) members += ", ";
-        members += "'" + sim.process_name(region.members[i]) + "'";
+    if (!rule_fully_suppressed(opts.suppressions, "LEVELIZE-FALLBACK")) {
+      const rtl::LevelSchedule sched = rtl::levelize(sim);
+      for (const rtl::FallbackRegion& region : sched.fallback_regions) {
+        std::string members;
+        for (std::size_t i = 0; i < region.members.size(); ++i) {
+          if (i) members += ", ";
+          members += "'" + sim.process_name(region.members[i]) + "'";
+        }
+        report.add("LEVELIZE-FALLBACK", Severity::kNote, kFamily,
+                   qualify(opts.scope, "design"),
+                   "combinational region {" + members +
+                       "} is cyclic: the levelized two-phase scheduler falls "
+                       "back to delta iteration for time points that wake it",
+                   "break the combinational cycle (register one path) to let "
+                   "the kernel evaluate these processes in one ranked pass");
       }
-      report.add("LEVELIZE-FALLBACK", Severity::kNote, kFamily,
-                 qualify(opts.scope, "design"),
-                 "combinational region {" + members +
-                     "} is cyclic: the levelized two-phase scheduler falls "
-                     "back to delta iteration for time points that wake it",
-                 "break the combinational cycle (register one path) to let "
-                 "the kernel evaluate these processes in one ranked pass");
     }
   }
 }

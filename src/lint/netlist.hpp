@@ -22,24 +22,13 @@
 #pragma once
 
 #include "src/lint/diagnostic.hpp"
+#include "src/lint/suppress.hpp"
 #include "src/rtl/levelize.hpp"
 #include "src/rtl/simulator.hpp"
 
 namespace castanet::lint {
 
 enum class NetlistDepth { kElaboration, kProbed };
-
-/// One per-signal rule suppression: findings of `rule` anchored on a signal
-/// matching `signal` are withheld (Report::note_suppressed counts them).
-/// `signal` is the bare kernel signal name — exact, or a trailing-'*'
-/// prefix glob ("sw.rx0.*").  An empty or "*" rule matches every rule ID.
-/// This is the annotation mechanism for findings that are by design
-/// (tri-state buses, intentional tie-offs): suppress the specific rule on
-/// the specific net instead of ignoring the whole report.
-struct RuleSuppression {
-  std::string rule;
-  std::string signal;
-};
 
 struct NetlistOptions {
   NetlistDepth depth = NetlistDepth::kElaboration;

@@ -1,0 +1,69 @@
+// Rule suppressions shared by every analyzer family (DESIGN.md §10/§13).
+//
+// A suppression is the annotation mechanism for findings that are by
+// design (tri-state buses, intentional tie-offs): withhold a specific rule
+// on a specific net instead of ignoring the whole report.  Families apply
+// suppressions *before* running a rule, so a fully suppressed rule skips
+// its analysis entirely — the dataflow fixpoint is expensive enough that
+// "analyze, then discard" would be wasted work.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lint/diagnostic.hpp"
+
+namespace castanet::lint {
+
+/// One rule suppression: findings of `rule` anchored on a signal matching
+/// `signal` are withheld (Report::note_suppressed counts them).  `signal`
+/// is the bare kernel signal name — exact, or a trailing-'*' prefix glob
+/// ("sw.rx0.*"); "*" matches every signal.  `rule` is a rule ID — exact, a
+/// trailing-'*' prefix glob ("DF-*"), or empty/"*" for every rule.
+struct RuleSuppression {
+  std::string rule;
+  std::string signal;
+};
+
+/// Exact match, or trailing-'*' prefix glob ("sw.rx*" matches "sw.rx0.q").
+inline bool pattern_matches(std::string_view pattern, std::string_view name) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    const std::size_t n = pattern.size() - 1;
+    return name.size() >= n && name.compare(0, n, pattern.substr(0, n)) == 0;
+  }
+  return pattern == name;
+}
+
+inline bool rule_matches(std::string_view pattern, std::string_view rule) {
+  if (pattern.empty() || pattern == "*") return true;
+  return pattern_matches(pattern, rule);
+}
+
+/// True (and counted on the report) when a suppression covers this rule on
+/// this signal.
+inline bool is_suppressed(const std::vector<RuleSuppression>& suppressions,
+                          std::string_view rule, std::string_view signal,
+                          Report& report) {
+  for (const RuleSuppression& s : suppressions) {
+    if (!rule_matches(s.rule, rule)) continue;
+    if (!pattern_matches(s.signal, signal)) continue;
+    report.note_suppressed();
+    return true;
+  }
+  return false;
+}
+
+/// True when a suppression withholds `rule` on *every* signal ("RULE@*"):
+/// the family can skip the rule's analysis entirely.  Skipped-family
+/// findings are not individually counted as suppressed (they were never
+/// computed).
+inline bool rule_fully_suppressed(
+    const std::vector<RuleSuppression>& suppressions, std::string_view rule) {
+  for (const RuleSuppression& s : suppressions) {
+    if (rule_matches(s.rule, rule) && s.signal == "*") return true;
+  }
+  return false;
+}
+
+}  // namespace castanet::lint

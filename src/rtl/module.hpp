@@ -131,6 +131,29 @@ class Module {
   /// soundness contract on the kernel API.
   void gate() { sim_->gate_current_process(); }
 
+  /// Declares that `pid`'s body (or a branch of it) executes only while
+  /// `cond` reads active (Simulator::declare_guard).  Descriptive analysis
+  /// metadata like bind_port: the lint dataflow rules prove guards dead
+  /// (DF-DEAD-BRANCH) or cross-domain (DF-RESET); recording one never
+  /// changes simulation behavior.
+  void guard_on(ProcessId pid, const Signal& cond, bool active_high,
+                GuardKind kind, const std::string& local) {
+    if (cond.valid()) {
+      sim_->declare_guard(pid, cond.id(), active_high, kind,
+                          name_ + "." + local);
+    }
+  }
+  /// Declares a state machine: `state` register, its `next`-state signal
+  /// and the legal encodings (Simulator::declare_fsm; consumed by the
+  /// DF-UNREACHABLE-STATE dataflow rule).  Descriptive only.
+  void fsm_on(const Bus& state, const Bus& next,
+              std::vector<LogicVector> states, const std::string& local) {
+    if (state.valid() && next.valid()) {
+      sim_->declare_fsm(state.id(), next.id(), std::move(states),
+                        name_ + "." + local);
+    }
+  }
+
   /// Registers a process that runs `fn` on every rising edge of `clk`.
   /// The sensitivity entry is edge-restricted so the kernel never wakes the
   /// process on the falling edge; the rose() guard stays for the

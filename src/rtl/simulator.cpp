@@ -84,7 +84,7 @@ void Simulator::set_wake_signals(ProcessId p,
 }
 
 void Simulator::gate_current_process() {
-  if (current_process_ == kExternalProcess) return;
+  if (current_process_ == kExternalProcess || probing_) return;
   gated_[current_process_] = 1;
 }
 
@@ -116,6 +116,10 @@ void Simulator::harvest_read(SignalId s) const {
   if (std::find(readers.begin(), readers.end(), current_process_) ==
       readers.end()) {
     readers.push_back(current_process_);
+  }
+  if (probing_ && std::find(probe_reads_.begin(), probe_reads_.end(), s) ==
+                      probe_reads_.end()) {
+    probe_reads_.push_back(s);
   }
 }
 
@@ -164,6 +168,65 @@ void Simulator::declare_port_binding(SignalId s, PortDir dir,
   bindings_.push_back({s, dir, expected_width, std::move(context)});
 }
 
+void Simulator::declare_guard(ProcessId pid, SignalId sig, bool active_high,
+                              GuardKind kind, std::string label) {
+  require(pid != kExternalProcess && pid < processes_.size(),
+          "declare_guard: unknown process");
+  require(sig < signals_.size(), "declare_guard: unknown signal");
+  guard_decls_.push_back({pid, sig, active_high, kind, std::move(label)});
+}
+
+void Simulator::declare_fsm(SignalId state, SignalId next,
+                            std::vector<LogicVector> states,
+                            std::string context) {
+  require(state < signals_.size() && next < signals_.size(),
+          "declare_fsm: unknown signal");
+  for (const LogicVector& v : states) {
+    require(v.width() == signals_[state].width,
+            "declare_fsm: state encoding width mismatch");
+  }
+  fsm_decls_.push_back({state, next, std::move(states), std::move(context)});
+}
+
+Simulator::ProbeResult Simulator::probe_process(ProcessId p) {
+  require(p != kExternalProcess && p < processes_.size(),
+          "probe_process: unknown process");
+  ProbeResult out;
+  probing_ = true;
+  probe_unclean_ = false;
+  probe_writes_.clear();
+  probe_reads_.clear();
+  const ProcessId prev_proc = current_process_;
+  const bool prev_tracking = read_tracking_;
+  current_process_ = p;
+  read_tracking_ = true;  // the probe's read set is part of the result
+  try {
+    processes_[p].fn();
+  } catch (...) {
+    // A body that throws under a probed input valuation (e.g. to_uint on X
+    // bits) may have skipped writes; the caller must degrade its outputs.
+    probe_unclean_ = true;
+  }
+  read_tracking_ = prev_tracking;
+  current_process_ = prev_proc;
+  probing_ = false;
+  out.writes = std::move(probe_writes_);
+  out.reads = std::move(probe_reads_);
+  out.clean = !probe_unclean_;
+  probe_writes_.clear();
+  probe_reads_.clear();
+  return out;
+}
+
+void Simulator::set_value_for_analysis(SignalId s, const LogicVector& v) {
+  require(s < signals_.size(), "set_value_for_analysis: unknown signal");
+  if (v.width() != signals_[s].width) {
+    throw LogicError("set_value_for_analysis: width mismatch on signal '" +
+                     signals_[s].name + "'");
+  }
+  signals_[s].effective = v;
+}
+
 Simulator::TimeBucket& Simulator::bucket_for(SimTime when) {
   const auto [it, inserted] = bucket_index_.try_emplace(when.ps(), 0);
   if (inserted) {
@@ -189,6 +252,12 @@ void Simulator::schedule_write(SignalId s, LogicVector v, SimTime delay) {
                      signals_[s].name + "'");
   }
   require(delay >= SimTime::zero(), "schedule_write: negative delay");
+  if (probing_) {
+    // Analysis sandbox: capture the write instead of staging it.  The
+    // transport delay is irrelevant to the value abstraction.
+    probe_writes_.push_back({s, std::move(v)});
+    return;
+  }
   Transaction t{s, current_process_, std::move(v)};
   if (delay == SimTime::zero()) {
     next_delta_.push_back(std::move(t));
@@ -203,6 +272,12 @@ void Simulator::schedule_write(SignalId s, Logic v, SimTime delay) {
 
 bool Simulator::event(SignalId s) const {
   require(s < signals_.size(), "event: unknown signal");
+  if (probing_) {
+    // Edge state is meaningless in the analysis sandbox; answer false and
+    // flag the probe so the caller degrades this process to unknown.
+    probe_unclean_ = true;
+    return false;
+  }
   return signals_[s].changed_serial == delta_serial_;
 }
 

@@ -54,6 +54,32 @@ struct KernelStats {
 /// recorded for the static netlist analyzers in src/lint).
 enum class PortDir { kIn, kOut, kInOut };
 
+/// What a declared process guard protects: an ordinary enable branch or a
+/// reset branch (the distinction feeds the DF-RESET cross-domain rule).
+enum class GuardKind { kBranch, kReset };
+
+/// A module's declaration that a process body (or part of it) executes only
+/// while a condition signal is active.  Purely descriptive, like
+/// PortBinding: recording one never changes simulation; the lint dataflow
+/// analysis proves guards dead (DF-DEAD-BRANCH) or cross-domain (DF-RESET).
+struct GuardDecl {
+  ProcessId pid = 0;
+  SignalId sig = 0;
+  bool active_high = true;
+  GuardKind kind = GuardKind::kBranch;
+  std::string label;  ///< "module.process" of the declaring module
+};
+
+/// A module's declaration of a finite state machine: the state register
+/// signal, the combinational next-state signal feeding it, and the legal
+/// state encodings.  Consumed by the DF-UNREACHABLE-STATE dataflow rule.
+struct FsmDecl {
+  SignalId state = 0;
+  SignalId next = 0;
+  std::vector<LogicVector> states;
+  std::string context;
+};
+
 /// A module's declared expectation about a signal it is bound to: the
 /// direction it uses the signal in and the width its logic assumes.  Purely
 /// descriptive — recording one never changes simulation behavior; the lint
@@ -162,8 +188,47 @@ class Simulator {
   /// already captured by driver slots).  Off by default — the hot path pays
   /// only one predictable branch.
   void set_read_tracking(bool on) { read_tracking_ = on; }
+  bool read_tracking() const { return read_tracking_; }
   /// Distinct processes observed reading `s` while tracking was enabled.
   const std::vector<ProcessId>& readers_of(SignalId s) const;
+
+  /// Declares a guard on `pid` (see GuardDecl); module helpers call this.
+  void declare_guard(ProcessId pid, SignalId sig, bool active_high,
+                     GuardKind kind, std::string label);
+  const std::vector<GuardDecl>& guards() const { return guard_decls_; }
+
+  /// Declares a state machine (see FsmDecl); module helpers call this.
+  void declare_fsm(SignalId state, SignalId next,
+                   std::vector<LogicVector> states, std::string context);
+  const std::vector<FsmDecl>& fsms() const { return fsm_decls_; }
+
+  // --- analysis sandbox (consumed by lint::analyze_dataflow) ------------
+  /// One signal write captured during a probe (the value the process would
+  /// have scheduled; the transport delay is irrelevant to the abstraction).
+  struct ProbeWrite {
+    SignalId sig = 0;
+    LogicVector value;
+  };
+  /// Outcome of one sandboxed execution.  `clean` is false when the body
+  /// consulted edge state (event/rose/fell — meaningless under a probe) or
+  /// threw: the caller must treat the process's outputs as unknown.
+  struct ProbeResult {
+    std::vector<ProbeWrite> writes;
+    std::vector<SignalId> reads;
+    bool clean = true;
+  };
+  /// Executes process `p` once in a sandbox: scheduled writes are captured
+  /// instead of staged, reads are harvested, edge queries answer false (and
+  /// mark the result unclean), self-gating is ignored, and no kernel state
+  /// or statistic changes.  Only processes honouring the combinational
+  /// purity contract (compute from value() reads, no internal C++ state)
+  /// yield meaningful results; probing a sequential process additionally
+  /// mutates its member state and must be avoided by the caller.
+  ProbeResult probe_process(ProcessId p);
+  /// Overwrites a signal's effective value directly — no transaction, no
+  /// event, no process wakeup.  Analysis-only: callers must restore every
+  /// poked signal before simulation resumes.
+  void set_value_for_analysis(SignalId s, const LogicVector& v);
 
   bool initialized() const { return initialized_; }
 
@@ -307,6 +372,13 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   bool initialized_ = false;
   bool read_tracking_ = false;
+  /// True while probe_process runs a body in the analysis sandbox.
+  bool probing_ = false;
+  /// Mutable: event()/rose()/fell() are const but must be able to flag a
+  /// probe as unclean, and harvest_read appends probe reads.
+  mutable bool probe_unclean_ = false;
+  mutable std::vector<SignalId> probe_reads_;
+  std::vector<ProbeWrite> probe_writes_;
   std::uint64_t delta_serial_ = 0;  ///< increments every delta cycle
   ProcessId current_process_ = kExternalProcess;
 
@@ -354,6 +426,8 @@ class Simulator {
 
   std::vector<ChangeObserver> observers_;
   std::vector<PortBinding> bindings_;
+  std::vector<GuardDecl> guard_decls_;
+  std::vector<FsmDecl> fsm_decls_;
   KernelStats stats_;
   telemetry::TrackId telemetry_track_ = telemetry::kMainTrack;
 };

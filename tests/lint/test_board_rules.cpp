@@ -153,6 +153,79 @@ TEST(BoardRules, ZeroGatingFactor) {
   EXPECT_EQ(r.by_rule("BRD-GATING").front()->severity, Severity::kError);
 }
 
+// --- pin remap proposals ----------------------------------------------------
+
+TEST(BoardRemap, CleanConfigProposesNothing) {
+  const PinRemap remap = propose_pin_remap(base_config());
+  EXPECT_FALSE(remap.changed);
+  EXPECT_TRUE(remap.complete);
+  EXPECT_TRUE(remap.moves.empty());
+}
+
+TEST(BoardRemap, OverlapMovesSecondClaimantToFreeRun) {
+  ConfigDataSet cfg = base_config();            // inport 0: lane 0 bits 0..8
+  cfg.inports.push_back({1, 4, {{0, 4, 4}}});   // collides on bits 4..7
+  const PinRemap remap = propose_pin_remap(cfg);
+  ASSERT_TRUE(remap.changed);
+  EXPECT_TRUE(remap.complete);
+  ASSERT_EQ(remap.moves.size(), 1u);
+  const SliceMove& m = remap.moves.front();
+  EXPECT_EQ(m.port, "inport 1");
+  EXPECT_EQ(m.slice_index, 0u);
+  EXPECT_TRUE(m.ok);
+  // First claimant keeps its pins; the mover lands outside lane 0's low 8.
+  EXPECT_FALSE(m.to.byte_lane == 0 && m.to.start_bit < 8);
+  // The patched config is actually fixed, not just annotated.
+  const Report r = analyze(remap.patched);
+  EXPECT_FALSE(r.has("BRD-PIN-OVERLAP"));
+  EXPECT_FALSE(r.has("BRD-LANE-RANGE"));
+}
+
+TEST(BoardRemap, OutOfRangeLaneIsBroughtBackInRange) {
+  ConfigDataSet cfg = base_config();
+  cfg.outports.push_back({0, 4, {{99, 0, 4}}});  // lane 99 does not exist
+  const PinRemap remap = propose_pin_remap(cfg);
+  ASSERT_TRUE(remap.changed);
+  ASSERT_EQ(remap.moves.size(), 1u);
+  EXPECT_EQ(remap.moves.front().port, "outport 0");
+  EXPECT_LT(remap.moves.front().to.byte_lane, board::kByteLanes);
+  const Report r = analyze(remap.patched);
+  EXPECT_FALSE(r.has("BRD-LANE-RANGE"));
+  EXPECT_FALSE(r.has("BRD-PIN-OVERLAP"));
+}
+
+TEST(BoardRemap, InvalidWidthSliceCannotBePlaced) {
+  ConfigDataSet cfg = base_config();
+  cfg.inports.push_back({1, 9, {{0, 4, 9}}});  // nbits > 8: no lane fits
+  const PinRemap remap = propose_pin_remap(cfg);
+  // Nothing was applied (changed stays false), but the failure is recorded:
+  // the config cannot be auto-fixed.
+  EXPECT_FALSE(remap.changed);
+  EXPECT_FALSE(remap.complete);
+  ASSERT_EQ(remap.moves.size(), 1u);
+  EXPECT_FALSE(remap.moves.front().ok);
+}
+
+TEST(BoardRemap, OverlapDiagnosticCarriesTheProposal) {
+  ConfigDataSet cfg = base_config();
+  cfg.inports.push_back({1, 4, {{0, 4, 4}}});
+  const Report r = analyze(cfg);
+  ASSERT_TRUE(r.has("BRD-PIN-OVERLAP"));
+  const std::string& hint = r.by_rule("BRD-PIN-OVERLAP").front()->fix_hint;
+  EXPECT_NE(hint.find("proposed remap"), std::string::npos);
+  EXPECT_NE(hint.find("--fix-dry-run"), std::string::npos);
+}
+
+TEST(BoardRemap, RenderShowsEveryMapping) {
+  ConfigDataSet cfg = base_config();
+  cfg.outports.push_back({2, 4, {{1, 0, 4}}});
+  const std::string text = render_board_config(cfg);
+  EXPECT_NE(text.find("inport 0"), std::string::npos);
+  EXPECT_NE(text.find("outport 2"), std::string::npos);
+  EXPECT_NE(text.find("lane 0 bits [0..8)"), std::string::npos);
+  EXPECT_NE(text.find("lane 1 bits [0..4)"), std::string::npos);
+}
+
 TEST(BoardRules, CollectsEveryFindingInsteadOfThrowing) {
   ConfigDataSet cfg;
   cfg.gating_factor = 0;

@@ -98,6 +98,77 @@ TEST(Report, CleanReportNeverThrows) {
   EXPECT_NO_THROW(r.throw_if(Severity::kNote));
 }
 
+// --- JSON schema / structural round-trip ------------------------------------
+
+TEST(ReportJson, ValueRoundTripPreservesEverything) {
+  Report r;
+  r.add(mk("NET-A", Severity::kError));
+  r.add({"DF-STUCK", Severity::kWarning, "dataflow", "rtl: signal 'y'",
+         "provably constant", "tie it off"});
+  r.note_suppressed();
+  r.note_suppressed();
+  const Report back = Report::from_json(r.to_json_value());
+  EXPECT_EQ(back.to_json_value().dump(), r.to_json_value().dump());
+  EXPECT_EQ(back.diagnostics().size(), 2u);
+  EXPECT_EQ(back.suppressed(), 2u);
+  EXPECT_TRUE(back.has("DF-STUCK"));
+  EXPECT_EQ(back.by_rule("DF-STUCK").front()->fix_hint, "tie it off");
+}
+
+TEST(ReportJson, TextWriterAgreesWithValueWriter) {
+  // The hand-rolled to_json() text and the json::Value tree must describe
+  // the same document — this is what makes --validate meaningful for the
+  // CLI's --json output.
+  Report r;
+  r.add({"NET-A", Severity::kError, "netlist", "signal \"q\"", "line1\nline2",
+         ""});
+  r.add(mk("BRD-B", Severity::kNote));
+  EXPECT_EQ(validate_lint_json(r.to_json()), "");
+}
+
+TEST(ReportJson, ValidateAcceptsMultiDesignWrapper) {
+  Report a;
+  a.add(mk("NET-A", Severity::kWarning));
+  const std::string doc =
+      "{\"switch\": " + a.to_json() + ", \"board\": " + Report().to_json() +
+      "}";
+  EXPECT_EQ(validate_lint_json(doc), "");
+}
+
+TEST(ReportJson, ValidateRejectsTamperedCounts) {
+  Report r;
+  r.add(mk("NET-A", Severity::kError));
+  std::string js = r.to_json();
+  const auto pos = js.find("\"errors\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  js.replace(pos, 11, "\"errors\": 0");
+  EXPECT_NE(validate_lint_json(js), "");
+}
+
+TEST(ReportJson, ValidateRejectsUnknownKeysAndGarbage) {
+  Report r;
+  std::string js = r.to_json();
+  ASSERT_EQ(js.back(), '\n');
+  js.pop_back();
+  ASSERT_EQ(js.back(), '}');
+  js.pop_back();
+  js += ", \"extra\": true}";
+  EXPECT_NE(validate_lint_json(js), "");
+  EXPECT_NE(validate_lint_json("not json"), "");
+  EXPECT_NE(validate_lint_json("[]"), "");
+  EXPECT_NE(validate_lint_json("{}"), "");
+  EXPECT_NE(validate_lint_json("{\"switch\": 3}"), "");
+}
+
+TEST(ReportJson, FromJsonRejectsMalformedReports) {
+  EXPECT_THROW(Report::from_json(json::parse("{}")), LintError);
+  EXPECT_THROW(
+      Report::from_json(json::parse(
+          "{\"diagnostics\": [{\"rule\": \"X\", \"severity\": \"fatal\"}], "
+          "\"errors\": 0, \"warnings\": 0, \"notes\": 0, \"suppressed\": 0}")),
+      LintError);
+}
+
 TEST(Severity, ToString) {
   EXPECT_STREQ(to_string(Severity::kNote), "note");
   EXPECT_STREQ(to_string(Severity::kWarning), "warning");
