@@ -18,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=${BUILD_DIR:-build}
-PR=${PR_NUMBER:-8}
+PR=${PR_NUMBER:-10}
 OUT=${1:-BENCH_PR${PR}.json}
 : "${CASTANET_E1_REPS:=9}"
 export CASTANET_E1_REPS
@@ -57,7 +57,8 @@ if nice -n -10 true 2>/dev/null; then
 fi
 
 BENCHES="e1_cosim_speed e2_coverify_flow e3_sync_protocol e4_abstraction_map \
-         e5_board_cycles e6_event_ratio e7_testbench_reuse e8_buffer_ablation"
+         e5_board_cycles e6_event_ratio e7_testbench_reuse e8_buffer_ablation \
+         e9_sched_scale"
 
 for b in $BENCHES; do
   bin="$BUILD/bench/bench_$b"

@@ -124,6 +124,8 @@ void VerificationSession::publish_metrics() const {
   hub.publish_count("session.fanout_messages", s.fanout_messages);
   hub.publish_count("session.max_effective_stride", s.max_effective_stride);
   hub.publish_count("session.divergences", comparator_.divergences().size());
+  // Calendar-queue health for the network-side event list (dsim.wheel.*).
+  net_.scheduler().publish_telemetry();
   // Per-flow cell statistics accumulate on the network simulation; publish
   // them here because the co-verification loop never calls net_.finish()
   // (kEnd interrupts would perturb the measured run).

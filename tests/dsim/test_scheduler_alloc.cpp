@@ -1,0 +1,138 @@
+// Steady-state allocation contract (PR 10): once the scheduler's slab, free
+// list, and bucket arrays are warm, schedule_at/step/cancel perform ZERO
+// heap allocations for any action whose capture fits SmallFn's inline
+// buffer.  Proven the same way test_flow_stats.cpp proves the disabled-path
+// contract: this binary replaces the global allocator with a counting
+// wrapper and asserts the count does not move across the hot phase.
+#include "src/dsim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/dsim/small_fn.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: replaces the global allocator for this test binary.
+// Only counts; behavior is unchanged.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace castanet {
+namespace {
+
+/// Mimics netsim's packet-delivery capture: the largest hot-path payload
+/// (Simulation*, ProcessModel*, port, 40-byte Packet ~ 64 bytes total).
+struct DeliverySized {
+  void* a = nullptr;
+  void* b = nullptr;
+  unsigned port = 0;
+  unsigned pad = 0;
+  unsigned char packet[40] = {};
+};
+static_assert(sizeof(DeliverySized) <= SmallFn::kInlineBytes,
+              "hot-path capture must fit the inline buffer");
+
+TEST(SchedulerAlloc, SmallFnStoresHotPathCapturesInline) {
+  int hits = 0;
+  DeliverySized payload;
+  SmallFn small([&hits, payload] { ++hits; });
+  EXPECT_TRUE(small.is_inline());
+  const std::uint64_t before = g_allocations.load();
+  small();
+  SmallFn moved = std::move(small);
+  moved();
+  EXPECT_EQ(g_allocations.load(), before);  // invoke + move: no heap
+  EXPECT_EQ(hits, 2);
+
+  // Oversized captures fall back to a single heap cell, same semantics.
+  struct Big {
+    unsigned char bytes[SmallFn::kInlineBytes + 8] = {};
+  };
+  Big big;
+  SmallFn large([&hits, big] { ++hits; });
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(SchedulerAlloc, ScheduleAndStepAreAllocationFreeWhenWarm) {
+  Scheduler s;
+  std::uint64_t fired = 0;
+  constexpr int kPending = 1000;
+  const auto populate = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      s.schedule_at(s.now() + SimTime::from_ns(1 + (i * 37) % 1000),
+                    [&fired] { ++fired; });
+    }
+  };
+  // Warm-up: grow the slab and bucket arrays, then drain so the free list
+  // reaches full capacity too, then refill to the steady-state backlog.
+  populate(kPending);
+  s.run();
+  populate(kPending);
+
+  // Steady state: one schedule per pop, live count pinned at kPending so no
+  // resize triggers; every capture is inline.
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 20'000; ++i) {
+    s.schedule_at(s.now() + SimTime::from_ns(1 + (i * 53) % 1000),
+                  [&fired] { ++fired; });
+    ASSERT_TRUE(s.step());
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "schedule_at/step allocated in steady state";
+  s.run();
+  EXPECT_EQ(fired, 2u * kPending + 20'000);
+}
+
+TEST(SchedulerAlloc, CancelIsAllocationFreeWhenWarm) {
+  Scheduler s;
+  constexpr int kPending = 512;
+  std::vector<EventHandle> handles;
+  handles.reserve(2 * kPending);
+  // Warm up including a full cancel pass (free-list capacity) and refill.
+  for (int i = 0; i < kPending; ++i) {
+    handles.push_back(s.schedule_at(SimTime::from_ns(10 + i), [] {}));
+  }
+  for (const EventHandle& h : handles) s.cancel(h);
+  handles.clear();
+  for (int i = 0; i < kPending; ++i) {
+    handles.push_back(s.schedule_at(SimTime::from_ns(10 + i), [] {}));
+  }
+
+  // Steady state: cancel one, schedule one; live count never drops far
+  // enough to shrink the wheel.
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 5'000; ++i) {
+    EXPECT_TRUE(s.cancel(handles[static_cast<std::size_t>(i) % kPending]));
+    handles[static_cast<std::size_t>(i) % kPending] =
+        s.schedule_at(SimTime::from_ns(10 + i % 1000), [] {});
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "cancel/re-schedule allocated in steady state";
+}
+
+}  // namespace
+}  // namespace castanet
